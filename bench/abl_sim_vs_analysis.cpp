@@ -1,0 +1,71 @@
+// Ablation: Monte-Carlo simulation versus the closed forms, side by side,
+// for every scheme with an analytical model.  The columns must agree
+// within the printed confidence interval — this is the library's
+// end-to-end self-check (the same property the test suite asserts, here
+// over a broader grid for inspection).
+#include <cstdio>
+
+#include "analysis/integrated.hpp"
+#include "bench_common.hpp"
+#include "core/reliable_multicast.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace pbl;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double p = cli.get_double("p", 0.02);
+  const std::int64_t k = cli.get_int64("k", 7);
+  const std::int64_t tgs = cli.get_int64("tgs", 1000);
+  if (cli.has("help")) {
+    std::puts(cli.usage().c_str());
+    return 0;
+  }
+
+  bench::banner(
+      "Ablation: simulation vs closed forms",
+      "p = " + std::to_string(p) + ", k = " + std::to_string(k) + ", " +
+          std::to_string(tgs) + " TGs per cell",
+      "sim and analysis agree within the 95% CI for every scheme");
+
+  Table t({"R", "scheme", "simulated", "ci95", "analytic"});
+  for (const std::int64_t r : {1, 10, 100, 1000}) {
+    for (const auto mode :
+         {core::RecoveryMode::kNoFec, core::RecoveryMode::kLayeredFec,
+          core::RecoveryMode::kIntegratedFec1,
+          core::RecoveryMode::kIntegratedFec2}) {
+      core::MulticastConfig cfg;
+      cfg.k = k;
+      cfg.h = mode == core::RecoveryMode::kLayeredFec ? 2 : 0;
+      cfg.receivers = static_cast<std::size_t>(r);
+      cfg.p = p;
+      cfg.mode = mode;
+      cfg.num_tgs = tgs;
+      cfg.seed = static_cast<std::uint64_t>(r) * 131 + 7;
+      const auto report = core::simulate(cfg);
+      t.add_row({static_cast<long long>(r), core::to_string(mode),
+                 report.mean_tx, report.ci95,
+                 report.predicted.value_or(-1.0)});
+    }
+    // Finite parity budget (the corrected Fig. 6 model) against its
+    // dedicated simulator.
+    for (const std::int64_t h : {1, 3}) {
+      loss::BernoulliLossModel model(p);
+      protocol::IidTransmitter tx(model, static_cast<std::size_t>(r),
+                                  Rng(static_cast<std::uint64_t>(r) * 7 + h));
+      protocol::McConfig mc;
+      mc.k = k;
+      mc.h = h;
+      mc.num_tgs = tgs;
+      const auto res = protocol::sim_integrated_finite(tx, mc);
+      t.add_row({static_cast<long long>(r),
+                 "integrated h=" + std::to_string(h), res.mean_tx, res.ci95,
+                 analysis::expected_tx_integrated(k, h, 0, p,
+                                                  static_cast<double>(r))});
+    }
+  }
+  t.set_precision(5);
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

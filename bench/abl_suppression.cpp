@@ -1,0 +1,77 @@
+// Ablation: how the NAK suppression slot size Ts shapes protocol NP's
+// feedback load (Section 5.1: "the slot size Ts needs to be chosen
+// appropriately").  Small slots answer faster but suppress less; slots
+// comfortably above the propagation delay approach the ideal single NAK
+// per feedback round.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "loss/loss_model.hpp"
+#include "protocol/np_protocol.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace pbl;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double p = cli.get_double("p", 0.05);
+  const std::size_t receivers =
+      static_cast<std::size_t>(cli.get_int64("R", 200));
+  const std::size_t tgs = static_cast<std::size_t>(cli.get_int64("tgs", 20));
+  if (cli.has("help")) {
+    std::puts(cli.usage().c_str());
+    return 0;
+  }
+
+  bench::banner(
+      "Ablation: NAK suppression slot size in protocol NP",
+      "R = " + std::to_string(receivers) + ", p = " + std::to_string(p) +
+          ", k = 8, one-way delay 10 ms (full DES protocol)",
+      "NAKs per feedback round drop towards 1 as Ts grows past the "
+      "propagation delay; completion time grows in exchange");
+
+  loss::BernoulliLossModel model(p);
+  Table t({"slot_ms", "naks_sent", "naks_suppressed", "naks_per_round",
+           "completion_s", "tx_per_packet"});
+  for (const double slot_ms : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+    protocol::NpConfig cfg;
+    cfg.k = 8;
+    cfg.h = 80;
+    cfg.packet_len = 64;
+    cfg.slot = slot_ms / 1000.0;
+    protocol::NpSession session(model, receivers, tgs, cfg, 42);
+    const auto stats = session.run();
+    const double rounds =
+        static_cast<double>(stats.polls_sent);  // one poll opens each round
+    t.add_row({slot_ms, static_cast<long long>(stats.naks_sent),
+               static_cast<long long>(stats.naks_suppressed),
+               rounds > 0 ? static_cast<double>(stats.naks_sent) / rounds : 0.0,
+               stats.completion_time, stats.tx_per_packet});
+  }
+  t.set_precision(4);
+  std::printf("%s", t.to_string().c_str());
+
+  // Scalability: with a fixed, well-chosen Ts, how does the feedback load
+  // grow with the population?  (The paper's scalability claim: per-TG
+  // feedback, ideally one NAK per round, independent of R.)
+  Table t2({"R", "naks_sent", "naks_suppressed", "naks_per_round"});
+  for (const std::size_t r : {10u, 50u, 200u, 1000u, 5000u}) {
+    protocol::NpConfig cfg;
+    cfg.k = 8;
+    cfg.h = 80;
+    cfg.packet_len = 64;
+    cfg.slot = 0.03;
+    protocol::NpSession session(model, r, tgs, cfg, 42);
+    const auto stats = session.run();
+    const double rounds = static_cast<double>(stats.polls_sent);
+    t2.add_row({static_cast<long long>(r),
+                static_cast<long long>(stats.naks_sent),
+                static_cast<long long>(stats.naks_suppressed),
+                rounds > 0 ? static_cast<double>(stats.naks_sent) / rounds
+                           : 0.0});
+  }
+  t2.set_precision(4);
+  std::printf("\n%s", t2.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the figure-regeneration binaries.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pbl::bench {
+
+/// Log-spaced integer grid from lo to hi (inclusive), `per_decade` points
+/// per decade, deduplicated after rounding.
+inline std::vector<std::int64_t> log_grid(std::int64_t lo, std::int64_t hi,
+                                          int per_decade = 4) {
+  std::vector<std::int64_t> out;
+  const double step = 1.0 / per_decade;
+  for (double e = std::log10(static_cast<double>(lo));
+       e <= std::log10(static_cast<double>(hi)) + 1e-9; e += step) {
+    const auto v = static_cast<std::int64_t>(std::llround(std::pow(10.0, e)));
+    if (out.empty() || v > out.back()) out.push_back(v);
+  }
+  if (out.back() != hi) out.push_back(hi);
+  return out;
+}
+
+/// Wall-clock seconds spent in fn().
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Prints the standard figure banner: what the binary regenerates and the
+/// paper's qualitative expectation, so bench output is self-describing.
+inline void banner(const std::string& figure, const std::string& setup,
+                   const std::string& expectation) {
+  std::printf("== %s ==\n", figure.c_str());
+  std::printf("setup: %s\n", setup.c_str());
+  std::printf("paper: %s\n", expectation.c_str());
+}
+
+}  // namespace pbl::bench

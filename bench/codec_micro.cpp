@@ -1,0 +1,102 @@
+// Google-benchmark microbenchmarks of the GF(2^8) arithmetic and the RSE
+// codec hot paths (per-parity encode, worst-case decode, matrix
+// inversion).  Complements fig01_codec_throughput, which reports the
+// paper's packets/s metric.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fec/rse_code.hpp"
+#include "gf/gf.hpp"
+#include "gf/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pbl::Rng;
+using pbl::fec::RseCode;
+using pbl::fec::Shard;
+using pbl::gf::Gf256;
+
+std::vector<std::vector<std::uint8_t>> random_packets(std::size_t count,
+                                                      std::size_t len) {
+  Rng rng(1);
+  std::vector<std::vector<std::uint8_t>> pkts(count);
+  for (auto& p : pkts) {
+    p.resize(len);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng());
+  }
+  return pkts;
+}
+
+void BM_GfMulAdd(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto& gf = Gf256::instance();
+  std::vector<std::uint8_t> dst(len, 0x11), src(len, 0x37);
+  for (auto _ : state) {
+    gf.mul_add(dst.data(), src.data(), len, 0xA7);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_GfMulAdd)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_EncodeParity(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t len = 1024;
+  RseCode code(k, k + 8 <= 255 ? k + 8 : 255);
+  const auto data = random_packets(k, len);
+  std::vector<std::span<const std::uint8_t>> views(data.begin(), data.end());
+  std::vector<std::uint8_t> out(len);
+  std::size_t j = 0;
+  for (auto _ : state) {
+    code.encode_parity(j, views, out);
+    j = (j + 1) % code.h();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * len));
+}
+BENCHMARK(BM_EncodeParity)->Arg(7)->Arg(20)->Arg(100);
+
+void BM_DecodeWorstCase(benchmark::State& state) {
+  // All h = k/2 losses hit data packets: maximal reconstruction work.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t h = k / 2;
+  const std::size_t len = 1024;
+  RseCode code(k, k + h);
+  const auto data = random_packets(k, len);
+  std::vector<std::span<const std::uint8_t>> views(data.begin(), data.end());
+  std::vector<std::vector<std::uint8_t>> parity(h,
+                                                std::vector<std::uint8_t>(len));
+  for (std::size_t j = 0; j < h; ++j) code.encode_parity(j, views, parity[j]);
+  std::vector<Shard> shards;
+  for (std::size_t i = h; i < k; ++i) shards.push_back({i, data[i]});
+  for (std::size_t j = 0; j < h; ++j) shards.push_back({k + j, parity[j]});
+  std::vector<std::vector<std::uint8_t>> out(k, std::vector<std::uint8_t>(len));
+  for (auto _ : state) {
+    std::vector<std::span<std::uint8_t>> ov(out.begin(), out.end());
+    code.decode(shards, ov);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DecodeWorstCase)->Arg(8)->Arg(20)->Arg(100);
+
+void BM_MatrixInvert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const pbl::gf::GaloisField field(8);
+  const auto g = pbl::gf::Matrix::systematic_generator(field, 2 * n, n);
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = n + i;  // parity rows
+  const auto sub = g.select_rows(rows);
+  for (auto _ : state) {
+    auto inv = sub.inverted();
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_MatrixInvert)->Arg(7)->Arg(20)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Figure 4: same sweep as Figure 3 but with h = 7 parity packets.  With
+// enough parities the large TG (k = 100) becomes the most efficient for
+// receiver populations up to ~200,000.
+#include <cstdio>
+
+#include "analysis/layered.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  pbl::Cli cli(argc, argv);
+  const double p = cli.get_double("p", 0.01);
+  const std::int64_t h = cli.get_int64("h", 7);
+  const std::int64_t rmax = cli.get_int64("rmax", 1000000);
+  if (cli.has("help")) {
+    std::puts(cli.usage().c_str());
+    return 0;
+  }
+
+  pbl::bench::banner(
+      "Figure 4: layered FEC with h = " + std::to_string(h) + " parities",
+      "p = " + std::to_string(p) + ", k in {7, 20, 100}, analysis (Eq. 2-3)",
+      "k = 100 with 7 parities beats k = 7 and k = 20 for R in the "
+      "1..200,000 range");
+
+  pbl::Table t({"R", "no_fec", "layered_k7", "layered_k20", "layered_k100"});
+  for (const std::int64_t r : pbl::bench::log_grid(1, rmax)) {
+    const auto rd = static_cast<double>(r);
+    t.add_row({static_cast<long long>(r),
+               pbl::analysis::expected_tx_nofec(p, rd),
+               pbl::analysis::expected_tx_layered(7, 7 + h, p, rd),
+               pbl::analysis::expected_tx_layered(20, 20 + h, p, rd),
+               pbl::analysis::expected_tx_layered(100, 100 + h, p, rd)});
+  }
+  t.set_precision(5);
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 7: influence of the transmission-group size on idealised
+// integrated FEC — E[M] versus R for k = 7, 20, 100 at p = 0.01.
+#include <cstdio>
+
+#include "analysis/integrated.hpp"
+#include "analysis/layered.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  pbl::Cli cli(argc, argv);
+  const double p = cli.get_double("p", 0.01);
+  const std::int64_t rmax = cli.get_int64("rmax", 1000000);
+  if (cli.has("help")) {
+    std::puts(cli.usage().c_str());
+    return 0;
+  }
+
+  pbl::bench::banner(
+      "Figure 7: integrated FEC vs R for k = 7, 20, 100",
+      "p = " + std::to_string(p) + ", idealised integrated FEC (Eq. 6)",
+      "larger TGs push E[M] towards 1 even for 10^6 receivers");
+
+  pbl::Table t({"R", "no_fec", "integr_k7", "integr_k20", "integr_k100"});
+  for (const std::int64_t r : pbl::bench::log_grid(1, rmax)) {
+    const auto rd = static_cast<double>(r);
+    t.add_row({static_cast<long long>(r),
+               pbl::analysis::expected_tx_nofec(p, rd),
+               pbl::analysis::expected_tx_integrated_ideal(7, 0, p, rd),
+               pbl::analysis::expected_tx_integrated_ideal(20, 0, p, rd),
+               pbl::analysis::expected_tx_integrated_ideal(100, 0, p, rd)});
+  }
+  t.set_precision(5);
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 8: influence of the loss probability on idealised integrated FEC
+// — E[M] versus p in [10^-3, 10^-1] for k = 7, 20, 100 at R = 1000.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/integrated.hpp"
+#include "analysis/layered.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  pbl::Cli cli(argc, argv);
+  const double receivers = cli.get_double("R", 1000.0);
+  if (cli.has("help")) {
+    std::puts(cli.usage().c_str());
+    return 0;
+  }
+
+  pbl::bench::banner(
+      "Figure 8: integrated FEC vs p for k = 7, 20, 100",
+      "R = " + std::to_string(static_cast<long long>(receivers)) +
+          ", idealised integrated FEC (Eq. 6)",
+      "integrated FEC is insensitive to p for large k; no-FEC degrades "
+      "steeply");
+
+  pbl::Table t({"p", "no_fec", "integr_k7", "integr_k20", "integr_k100"});
+  for (double e = -3.0; e <= -1.0 + 1e-9; e += 0.125) {
+    const double p = std::pow(10.0, e);
+    t.add_row({p, pbl::analysis::expected_tx_nofec(p, receivers),
+               pbl::analysis::expected_tx_integrated_ideal(7, 0, p, receivers),
+               pbl::analysis::expected_tx_integrated_ideal(20, 0, p, receivers),
+               pbl::analysis::expected_tx_integrated_ideal(100, 0, p, receivers)});
+  }
+  t.set_precision(5);
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: heterogeneous receivers without FEC — E[M] versus R when a
+// fraction alpha of receivers loses at p_high = 0.25 and the rest at
+// p_low = 0.01 (Eq. 7 with k = n = 1).
+#include <cstdio>
+
+#include "analysis/heterogeneous.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  pbl::Cli cli(argc, argv);
+  const double p_low = cli.get_double("p-low", 0.01);
+  const double p_high = cli.get_double("p-high", 0.25);
+  const std::int64_t rmax = cli.get_int64("rmax", 1000000);
+  if (cli.has("help")) {
+    std::puts(cli.usage().c_str());
+    return 0;
+  }
+
+  pbl::bench::banner(
+      "Figure 9: heterogeneous receivers, no FEC",
+      "p_low = " + std::to_string(p_low) + ", p_high = " +
+          std::to_string(p_high) + ", alpha in {0, 1, 5, 25}%",
+      "1% high-loss receivers among 10^6 suffice to roughly double E[M]; "
+      "one high-loss receiver in 100 has little effect");
+
+  pbl::Table t({"R", "high0pct", "high1pct", "high5pct", "high25pct"});
+  for (const std::int64_t r : pbl::bench::log_grid(1, rmax)) {
+    const auto rd = static_cast<double>(r);
+    std::vector<pbl::Table::Cell> row{static_cast<long long>(r)};
+    for (const double alpha : {0.0, 0.01, 0.05, 0.25}) {
+      const auto pop =
+          pbl::analysis::two_class_population(rd, alpha, p_low, p_high);
+      row.emplace_back(pbl::analysis::expected_tx_nofec_hetero(pop));
+    }
+    t.add_row(std::move(row));
+  }
+  t.set_precision(5);
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

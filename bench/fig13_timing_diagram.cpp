@@ -1,0 +1,91 @@
+// Figure 13 is the paper's timing diagram, not a measurement — this
+// binary renders the same diagram from the library's Timing rules as an
+// ASCII timeline, so every figure of the paper has a regenerating binary.
+//
+// Scenario (mirroring the figure): a transmission group of k packets in
+// which packet `lost` is lost once and repaired in the following round.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "protocol/timing.hpp"
+#include "util/cli.hpp"
+
+using namespace pbl;
+
+namespace {
+
+struct Event {
+  double time;
+  char symbol;  // 'D' data, 'P' parity, 'r' retransmitted original
+};
+
+void render(const char* label, const std::vector<Event>& events,
+            double horizon, double per_column) {
+  std::string line(static_cast<std::size_t>(horizon / per_column) + 2, '.');
+  for (const auto& e : events) {
+    const auto col = static_cast<std::size_t>(e.time / per_column);
+    if (col < line.size()) line[col] = e.symbol;
+  }
+  std::printf("%-16s |%s|\n", label, line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::size_t k = static_cast<std::size_t>(cli.get_int64("k", 7));
+  const std::size_t lost = static_cast<std::size_t>(cli.get_int64("lost", 2));
+  if (cli.has("help")) {
+    std::puts(cli.usage().c_str());
+    return 0;
+  }
+  protocol::Timing timing;  // delta = 40 ms, T = 300 ms
+
+  std::printf("== Figure 13: transmission timing of the four schemes ==\n");
+  std::printf("k = %zu data packets, packet %zu lost once; delta = %.0f ms, "
+              "T = %.0f ms; one column = delta\n",
+              k, lost, 1e3 * timing.delta, 1e3 * timing.gap);
+  std::printf("D = data, P = parity, r = retransmitted original\n\n");
+
+  const double d = timing.delta, T = timing.gap;
+
+  // no FEC: k data; after T, the lost original again.
+  std::vector<Event> nofec;
+  for (std::size_t i = 0; i < k; ++i) nofec.push_back({i * d, 'D'});
+  nofec.push_back({k * d + T, 'r'});
+
+  // layered FEC: block of k+1; after T, a fresh full block carrying the
+  // lost original in its slot.
+  std::vector<Event> layered;
+  for (std::size_t i = 0; i < k; ++i) layered.push_back({i * d, 'D'});
+  layered.push_back({k * d, 'P'});
+  const double block2 = (k + 1) * d + T;
+  for (std::size_t i = 0; i < k; ++i)
+    layered.push_back({block2 + i * d, i == lost ? 'r' : 'D'});
+  layered.push_back({block2 + k * d, 'P'});
+
+  // integrated FEC 1: parities follow immediately at rate 1/delta.
+  std::vector<Event> fec1;
+  for (std::size_t i = 0; i < k; ++i) fec1.push_back({i * d, 'D'});
+  fec1.push_back({k * d, 'P'});
+
+  // integrated FEC 2: one parity after the feedback gap T.
+  std::vector<Event> fec2;
+  for (std::size_t i = 0; i < k; ++i) fec2.push_back({i * d, 'D'});
+  fec2.push_back({k * d + T, 'P'});
+
+  const double horizon = block2 + (k + 1) * d + 2 * d;
+  render("no FEC", nofec, horizon, d);
+  render("layered FEC", layered, horizon, d);
+  render("integrated FEC1", fec1, horizon, d);
+  render("integrated FEC2", fec2, horizon, d);
+
+  std::printf("\nrecovery completes at: no FEC %.2f s | layered %.2f s | "
+              "FEC1 %.2f s | FEC2 %.2f s\n",
+              k * d + T, block2 + k * d, k * d, k * d + T);
+  std::printf("FEC1 repairs without any feedback delay; FEC2 pays one T; "
+              "layered pays a whole extra block; no FEC pays T per lost "
+              "packet and repairs only that packet.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Figure 17: per-packet processing rates at the sender and at a receiver
+// for protocols N2 (plain ARQ) and NP (hybrid ARQ), k = 20, p = 0.01,
+// using the paper's measured processing constants (DECstation 5000/200).
+//
+// Additionally prints the same model fed with the RSE coding/decoding
+// constants measured on THIS machine, so the reader can see how modern
+// hardware shifts the encode bottleneck.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "analysis/processing.hpp"
+#include "fec/rse_code.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace pbl;
+
+namespace {
+
+/// Measures the per-packet encode/decode constants ce, cd of our codec
+/// (seconds per packet per group member, i.e. the c in t = k * l * c).
+std::pair<double, double> measure_coding_constants(std::size_t k,
+                                                   std::size_t packet_len) {
+  fec::RseCode code(k, k + k / 2);
+  Rng rng(1);
+  std::vector<std::vector<std::uint8_t>> data(k);
+  for (auto& p : data) {
+    p.resize(packet_len);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng());
+  }
+  std::vector<std::span<const std::uint8_t>> dviews(data.begin(), data.end());
+  std::vector<std::uint8_t> parity(packet_len);
+
+  // Encoding one parity touches all k data packets: t = k * ce.
+  const int reps = 400;
+  const double enc_t = bench::time_seconds([&] {
+    for (int i = 0; i < reps; ++i)
+      code.encode_parity(static_cast<std::size_t>(i) % code.h(), dviews, parity);
+  });
+  const double ce = enc_t / reps / static_cast<double>(k);
+
+  // Decoding l lost packets costs ~ k * l * cd; use l = 2.
+  std::vector<std::vector<std::uint8_t>> parities(
+      2, std::vector<std::uint8_t>(packet_len));
+  {
+    std::vector<std::span<std::uint8_t>> pv(parities.begin(), parities.end());
+    std::vector<std::span<const std::uint8_t>> dv(data.begin(), data.end());
+    code.encode_parity(0, dv, pv[0]);
+    code.encode_parity(1, dv, pv[1]);
+  }
+  std::vector<fec::Shard> shards;
+  for (std::size_t i = 2; i < k; ++i) shards.push_back({i, data[i]});
+  shards.push_back({k, parities[0]});
+  shards.push_back({k + 1, parities[1]});
+  std::vector<std::vector<std::uint8_t>> out(k,
+                                             std::vector<std::uint8_t>(packet_len));
+  const double dec_t = bench::time_seconds([&] {
+    for (int i = 0; i < reps; ++i) {
+      std::vector<std::span<std::uint8_t>> ov(out.begin(), out.end());
+      code.decode(shards, ov);
+    }
+  });
+  const double cd = dec_t / reps / (2.0 * static_cast<double>(k));
+  return {ce, cd};
+}
+
+void print_rates(const char* label, const analysis::ProcessingCosts& costs,
+                 std::int64_t k, double p) {
+  Table t({"R", "n2_sender", "n2_receiver", "np_sender", "np_receiver"});
+  for (const std::int64_t r : bench::log_grid(1, 1000000)) {
+    const auto rd = static_cast<double>(r);
+    const auto n2 = analysis::n2_rates(p, rd, costs);
+    const auto np = analysis::np_rates(k, p, rd, costs);
+    // Rates in packets/ms to match the paper's axis.
+    t.add_row({static_cast<long long>(r), n2.sender / 1000.0,
+               n2.receiver / 1000.0, np.sender / 1000.0,
+               np.receiver / 1000.0});
+  }
+  t.set_precision(5);
+  std::printf("--- %s ---\n%s", label, t.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::int64_t k = cli.get_int64("k", 20);
+  const double p = cli.get_double("p", 0.01);
+  if (cli.has("help")) {
+    std::puts(cli.usage().c_str());
+    return 0;
+  }
+
+  bench::banner(
+      "Figure 17: sender/receiver processing rates, N2 vs NP",
+      "k = " + std::to_string(k) + ", p = " + std::to_string(p) +
+          ", Eqs. 10-16 [pkts/ms]",
+      "N2 sender ~ receiver; NP receiver is fast (decodes only k*p pkts/TG) "
+      "while the NP sender pays the encoding bill and becomes the "
+      "bottleneck");
+
+  print_rates("paper constants (DECstation 5000/200, 2 KB packets)", {}, k, p);
+
+  const auto [ce, cd] =
+      measure_coding_constants(static_cast<std::size_t>(k), 2048);
+  analysis::ProcessingCosts measured;
+  measured.ce = ce;
+  measured.cd = cd;
+  std::printf("measured on this machine: ce = %.3g us, cd = %.3g us "
+              "(paper: 700/720 us)\n", ce * 1e6, cd * 1e6);
+  print_rates("same model with ce/cd measured on this machine", measured, k, p);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Protocol NP over REAL loopback UDP sockets: one sender thread and N
+// receiver threads, emulated multicast (unicast fan-out), loss injected
+// at each receiver, parity repair with per-TG NAK feedback, and
+// end-to-end integrity verification of every byte at every receiver.
+//
+//   $ ./udp_multicast_demo --receivers=8 --p=0.2 --bytes=20000 --k=8
+//
+// Built on the library's UdpNpSender/UdpNpReceiver (net/udp/udp_np.hpp)
+// and the file framing of core/file_transfer.hpp.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/file_transfer.hpp"
+#include "net/udp/udp_np.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace pbl;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::size_t receivers =
+      static_cast<std::size_t>(cli.get_int64("receivers", 8));
+  const std::size_t bytes =
+      static_cast<std::size_t>(cli.get_int64("bytes", 20000));
+  const double p = cli.get_double("p", 0.2);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int64("seed", 1));
+  net::UdpNpConfig cfg;
+  cfg.k = static_cast<std::size_t>(cli.get_int64("k", 8));
+  cfg.h = static_cast<std::size_t>(cli.get_int64("h", 64));
+  cfg.packet_len = static_cast<std::size_t>(cli.get_int64("packet-bytes", 512));
+  if (cli.has("help")) {
+    std::puts(cli.usage().c_str());
+    return 0;
+  }
+  if (cfg.k + cfg.h > 255) {
+    std::fprintf(stderr, "k + h must be <= 255\n");
+    return 2;
+  }
+
+  // The "file".
+  Rng data_rng(seed);
+  std::vector<std::uint8_t> blob(bytes);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(data_rng());
+  const auto groups = core::segment_blob(blob, cfg.k, cfg.packet_len);
+
+  std::printf("UDP demo: %zu receivers on loopback, %zu bytes in %zu TGs "
+              "(k=%zu, %zu B packets), injected loss p = %g\n",
+              receivers, bytes, groups.size(), cfg.k, cfg.packet_len, p);
+
+  // Sockets and the emulated multicast group.
+  net::UdpSocket sender_socket;
+  const std::uint16_t sender_port = sender_socket.port();
+  std::vector<net::UdpSocket> rx_sockets;
+  net::UdpGroup group;
+  for (std::size_t r = 0; r < receivers; ++r) {
+    rx_sockets.emplace_back();
+    group.add_member(rx_sockets.back().port());
+  }
+
+  std::vector<net::UdpNpReceiverResult> results(receivers);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < receivers; ++r) {
+    threads.emplace_back([&, r, sock = std::move(rx_sockets[r])]() mutable {
+      net::UdpNpReceiver receiver(std::move(sock), sender_port, groups.size(),
+                                  cfg, p, Rng(seed).split(100 + r));
+      results[r] = receiver.run(10.0);
+    });
+  }
+
+  net::UdpNpSender sender(std::move(sender_socket), group, cfg);
+  const auto stats = sender.transfer(groups);
+  for (auto& t : threads) t.join();
+
+  bool all_ok = true;
+  std::uint64_t dropped = 0, decoded = 0;
+  for (std::size_t r = 0; r < receivers; ++r) {
+    bool ok = results[r].complete;
+    if (ok) {
+      const auto rebuilt = core::reassemble_blob(results[r].groups);
+      ok = rebuilt == blob;
+    }
+    all_ok = all_ok && ok;
+    dropped += results[r].dropped;
+    decoded += results[r].decoded;
+  }
+
+  std::printf("sender: %llu data + %llu parities (%.3f tx/packet), %llu "
+              "polls, %llu NAKs received\n",
+              static_cast<unsigned long long>(stats.data_sent),
+              static_cast<unsigned long long>(stats.parity_sent),
+              stats.tx_per_packet,
+              static_cast<unsigned long long>(stats.polls_sent),
+              static_cast<unsigned long long>(stats.naks_received));
+  std::printf("receivers: %llu packets dropped by injected loss, %llu "
+              "packets rebuilt by RSE decoding\n",
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(decoded));
+  std::printf("%s\n", all_ok ? "ALL RECEIVERS VERIFIED THE FILE"
+                             : "SOME RECEIVER IS INCOMPLETE");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+#include "analysis/burst.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/layered.hpp"
+
+namespace pbl::analysis {
+
+namespace {
+
+/// Per-step transition matrix of the sampled two-state chain.
+struct SampledChain {
+  double p01, p11;  // P(loss | prev ok), P(loss | prev loss)
+  double pi1;       // stationary loss probability
+};
+
+SampledChain sample_chain(double p, double mean_burst, double delta) {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("burst analysis: p in (0,1)");
+  if (mean_burst <= 1.0)
+    throw std::invalid_argument("burst analysis: mean_burst > 1");
+  if (delta <= 0.0) throw std::invalid_argument("burst analysis: delta > 0");
+  const double exit_rate = -std::log1p(-1.0 / mean_burst) / delta;
+  const double enter_rate = exit_rate * p / (1.0 - p);
+  const double sigma = enter_rate + exit_rate;
+  const double pi1 = enter_rate / sigma;
+  const double decay = std::exp(-sigma * delta);
+  SampledChain c;
+  c.pi1 = pi1;
+  c.p01 = pi1 * (1.0 - decay);         // ok -> loss
+  c.p11 = pi1 + (1.0 - pi1) * decay;   // loss -> loss
+  return c;
+}
+
+}  // namespace
+
+double q_rm_loss_burst(std::int64_t k, std::int64_t h, double p,
+                       double mean_burst, double delta) {
+  if (k < 1 || h < 0)
+    throw std::invalid_argument("q_rm_loss_burst: k >= 1, h >= 0");
+  const auto n = static_cast<std::size_t>(k + h);
+  const SampledChain c = sample_chain(p, mean_burst, delta);
+
+  // Forward DP over the n block slots: state = (losses so far, chain
+  // state after the slot), with slot `target` forced to LOSS; accumulate
+  // the probability that total losses exceed h.  Summed over the k data
+  // positions and averaged.
+  const auto nk = static_cast<std::size_t>(k);
+  double q_sum = 0.0;
+  std::vector<double> cur, nxt;
+  for (std::size_t target = 0; target < nk; ++target) {
+    // cur[j * 2 + s]: P(j losses in slots processed so far, chain in s).
+    cur.assign((n + 1) * 2, 0.0);
+    // The entries hold the chain state BEFORE the next slot; the chain
+    // starts in stationarity, and each DP step consumes one slot.
+    cur[0 * 2 + 0] = 1.0 - c.pi1;
+    cur[0 * 2 + 1] = c.pi1;
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      nxt.assign((n + 1) * 2, 0.0);
+      for (std::size_t j = 0; j <= slot; ++j) {
+        for (int s = 0; s < 2; ++s) {
+          const double mass = cur[j * 2 + static_cast<std::size_t>(s)];
+          if (mass == 0.0) continue;
+          const double p_loss = s == 0 ? c.p01 : c.p11;
+          if (slot == target) {
+            // Forced loss at the target slot.
+            nxt[(j + 1) * 2 + 1] += mass * p_loss;
+          } else {
+            nxt[(j + 1) * 2 + 1] += mass * p_loss;
+            nxt[j * 2 + 0] += mass * (1.0 - p_loss);
+          }
+        }
+      }
+      cur.swap(nxt);
+    }
+    // q contribution: total losses (including the forced one) > h.
+    double exceeding = 0.0;
+    for (std::size_t j = static_cast<std::size_t>(h) + 1; j <= n; ++j)
+      exceeding += cur[j * 2 + 0] + cur[j * 2 + 1];
+    q_sum += exceeding;
+  }
+  return q_sum / static_cast<double>(k);
+}
+
+double expected_tx_layered_burst(std::int64_t k, std::int64_t h, double p,
+                                 double mean_burst, double receivers,
+                                 const protocol::Timing& timing) {
+  timing.validate();
+  const double q = q_rm_loss_burst(k, h, p, mean_burst, timing.delta);
+  return static_cast<double>(k + h) / static_cast<double>(k) *
+         expected_tx_arq(q, receivers);
+}
+
+double expected_tx_nofec_burst(double p, double receivers) {
+  return expected_tx_nofec(p, receivers);
+}
+
+}  // namespace pbl::analysis

@@ -1,0 +1,32 @@
+#include "analysis/duplicates.hpp"
+
+#include <stdexcept>
+
+#include "analysis/integrated.hpp"
+#include "analysis/layered.hpp"
+
+namespace pbl::analysis {
+
+double expected_duplicates_arq(std::int64_t k, double p, double receivers) {
+  if (k < 1) throw std::invalid_argument("duplicates: k >= 1");
+  if (p < 0.0 || p >= 1.0) throw std::invalid_argument("duplicates: p in [0,1)");
+  if (receivers < 1.0)
+    throw std::invalid_argument("duplicates: receivers >= 1");
+  const double em = expected_tx_nofec(p, receivers);   // group max
+  const double em_r = p == 0.0 ? 1.0 : 1.0 / (1.0 - p);  // one receiver
+  return (1.0 - p) * static_cast<double>(k) * (em - em_r);
+}
+
+double expected_duplicates_integrated(std::int64_t k, double p,
+                                      double receivers) {
+  if (k < 1) throw std::invalid_argument("duplicates: k >= 1");
+  if (p < 0.0 || p >= 1.0) throw std::invalid_argument("duplicates: p in [0,1)");
+  if (receivers < 1.0)
+    throw std::invalid_argument("duplicates: receivers >= 1");
+  if (p == 0.0) return 0.0;
+  const double el = expected_max_extra(k, 0, p, receivers);      // group max
+  const double el_r = static_cast<double>(k) * p / (1.0 - p);    // one receiver
+  return (1.0 - p) * (el - el_r);
+}
+
+}  // namespace pbl::analysis

@@ -1,0 +1,32 @@
+// Unnecessary-reception models (paper Section 2.1, third benefit:
+// "Reduction of unnecessary receptions").
+//
+// Every multicast repair is heard by all receivers; a reception is
+// unnecessary for receiver r when r did not need that packet.  For plain
+// ARQ the sender retransmits k (E[M] - 1) originals per TG while receiver
+// r only needs k (E[Mr] - 1) of them; for integrated FEC the sender sends
+// E[L] repair parities while r can use only Lr of them.  In both cases a
+// reception happens with probability (1 - p):
+//
+//   ARQ:        E[dups/receiver/TG] = (1-p) * k * (E[M]  - E[Mr])
+//   integrated: E[dups/receiver/TG] = (1-p) * (E[L] - E[Lr])
+//
+// The integrated scheme's E[L] - E[Lr] is dramatically smaller than the
+// ARQ gap — that is the claim these models quantify and that the DES
+// protocols (NpSession vs ArqSession) measure.
+#pragma once
+
+#include <cstdint>
+
+namespace pbl::analysis {
+
+/// Expected unnecessary receptions per receiver per TG for ARQ multicast
+/// retransmission of originals.
+double expected_duplicates_arq(std::int64_t k, double p, double receivers);
+
+/// Expected unnecessary receptions per receiver per TG for idealised
+/// integrated FEC (parity repair, n = infinity).
+double expected_duplicates_integrated(std::int64_t k, double p,
+                                      double receivers);
+
+}  // namespace pbl::analysis

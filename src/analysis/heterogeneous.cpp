@@ -1,0 +1,100 @@
+#include "analysis/heterogeneous.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "analysis/integrated.hpp"
+#include "analysis/qfunc.hpp"
+#include "util/numerics.hpp"
+
+namespace pbl::analysis {
+
+Population two_class_population(double receivers, double alpha, double p_low,
+                                double p_high) {
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("two_class_population: alpha in [0,1]");
+  Population pop;
+  const double high = receivers * alpha;
+  const double low = receivers - high;
+  if (low > 0.0) pop.push_back({p_low, low});
+  if (high > 0.0) pop.push_back({p_high, high});
+  return pop;
+}
+
+namespace {
+void check_population(const Population& pop) {
+  if (pop.empty()) throw std::invalid_argument("population must be non-empty");
+  for (const auto& c : pop) {
+    if (c.loss_prob < 0.0 || c.loss_prob >= 1.0)
+      throw std::invalid_argument("population: loss_prob in [0,1)");
+    if (c.count <= 0.0)
+      throw std::invalid_argument("population: class count must be > 0");
+  }
+}
+}  // namespace
+
+double expected_tx_layered_hetero(std::int64_t k, std::int64_t n,
+                                  const Population& pop) {
+  check_population(pop);
+  std::vector<double> logq(pop.size());
+  bool all_zero = true;
+  for (std::size_t c = 0; c < pop.size(); ++c) {
+    const double q = q_rm_loss(k, n, pop[c].loss_prob);
+    logq[c] = q > 0.0 ? std::log(q) : -std::numeric_limits<double>::infinity();
+    all_zero = all_zero && q == 0.0;
+  }
+  const double overhead = static_cast<double>(n) / static_cast<double>(k);
+  if (all_zero) return overhead;
+  // Term i: 1 - prod_c (1 - q_c^i)^{count_c}, all in log space.
+  const double em = sum_until_negligible([&](std::int64_t i) {
+    double log_prod = 0.0;
+    for (std::size_t c = 0; c < pop.size(); ++c) {
+      if (!std::isfinite(logq[c])) continue;  // q == 0: factor is 1
+      const double qi = std::exp(static_cast<double>(i) * logq[c]);
+      if (qi >= 1.0) return 1.0;  // i == 0
+      log_prod += pop[c].count * std::log1p(-qi);
+    }
+    return -std::expm1(log_prod);
+  });
+  return overhead * em;
+}
+
+double expected_tx_nofec_hetero(const Population& pop) {
+  return expected_tx_layered_hetero(1, 1, pop);
+}
+
+double expected_tx_integrated_hetero(std::int64_t k, std::int64_t a,
+                                     const Population& pop) {
+  check_population(pop);
+  if (k < 1 || a < 0)
+    throw std::invalid_argument("integrated_hetero: need k >= 1, a >= 0");
+  // E[L] = sum_{m>=0} (1 - prod_c P(Lr <= m | p_c)^{count_c}).  See
+  // expected_max_extra() for why the pmf-based stopping rule is needed in
+  // addition to the negligible-term test.
+  std::vector<double> cdf(pop.size(), 0.0);
+  double el = 0.0;
+  for (std::int64_t m = 0; m < 100000000; ++m) {
+    double log_prod = 0.0;
+    double weighted_pmf = 0.0;
+    bool zero_cdf = false;
+    for (std::size_t c = 0; c < pop.size(); ++c) {
+      const double pmf = lr_pmf(k, a, pop[c].loss_prob, m);
+      weighted_pmf += pop[c].count * pmf;
+      cdf[c] += pmf;
+      if (cdf[c] > 1.0) cdf[c] = 1.0;
+      if (cdf[c] <= 0.0) {
+        zero_cdf = true;
+        continue;
+      }
+      log_prod += pop[c].count * std::log(cdf[c]);
+    }
+    const double term = zero_cdf ? 1.0 : -std::expm1(log_prod);
+    el += term;
+    if (m >= 2 && !zero_cdf && term < 1e-14 * (1.0 + el)) break;
+    if (m >= 2 && weighted_pmf < 1e-10) break;
+  }
+  return (el + static_cast<double>(k + a)) / static_cast<double>(k);
+}
+
+}  // namespace pbl::analysis

@@ -1,0 +1,39 @@
+// Heterogeneous receiver populations (paper Section 3.3, Eqs. (7)-(8)).
+//
+// Receivers are grouped into classes with a per-class loss probability and
+// population count; losses remain spatially and temporally independent.
+// The paper's experiment uses two classes: a fraction alpha of "high loss"
+// receivers at p = 0.25 among receivers at p = 0.01.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pbl::analysis {
+
+struct ReceiverClass {
+  double loss_prob = 0.0;  ///< p(r) for every receiver in the class
+  double count = 0.0;      ///< number of receivers (real-valued for sweeps)
+};
+
+using Population = std::vector<ReceiverClass>;
+
+/// Convenience: the paper's two-class population with R receivers of which
+/// a fraction `alpha` loses at `p_high` and the rest at `p_low`.
+Population two_class_population(double receivers, double alpha, double p_low,
+                                double p_high);
+
+/// Eq. (7): layered FEC with per-receiver loss probabilities.
+///   E[M] = (n/k) sum_{i>=0} (1 - prod_r (1 - q(k,n,p(r))^i))
+double expected_tx_layered_hetero(std::int64_t k, std::int64_t n,
+                                  const Population& pop);
+
+/// No-FEC baseline for a heterogeneous population (k = n = 1 in Eq. (7)).
+double expected_tx_nofec_hetero(const Population& pop);
+
+/// Eq. (8) + Eq. (6): idealized integrated FEC with per-receiver loss.
+///   P(L <= m) = prod_r P(Lr <= m),  E[M] = (E[L] + k + a)/k
+double expected_tx_integrated_hetero(std::int64_t k, std::int64_t a,
+                                     const Population& pop);
+
+}  // namespace pbl::analysis

@@ -1,0 +1,119 @@
+#include "analysis/integrated.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/qfunc.hpp"
+#include "util/numerics.hpp"
+
+namespace pbl::analysis {
+
+namespace {
+void check_args(std::int64_t k, std::int64_t a, double p, double receivers) {
+  if (k < 1) throw std::invalid_argument("integrated: need k >= 1");
+  if (a < 0) throw std::invalid_argument("integrated: need a >= 0");
+  if (p < 0.0 || p >= 1.0)
+    throw std::invalid_argument("integrated: need p in [0,1)");
+  if (receivers < 1.0)
+    throw std::invalid_argument("integrated: need receivers >= 1");
+}
+}  // namespace
+
+double lr_pmf(std::int64_t k, std::int64_t a, double p, std::int64_t m) {
+  return neg_binomial_extra_pmf(k, a, m, p);
+}
+
+double lr_cdf(std::int64_t k, std::int64_t a, double p, std::int64_t m) {
+  if (m < 0) return 0.0;
+  double sum = 0.0;
+  for (std::int64_t i = 0; i <= m; ++i) sum += lr_pmf(k, a, p, i);
+  return sum < 1.0 ? sum : 1.0;
+}
+
+double expected_max_extra(std::int64_t k, std::int64_t a, double p,
+                          double receivers) {
+  check_args(k, a, p, receivers);
+  if (p == 0.0) return 0.0;
+  // E[L] = sum_{m>=0} (1 - P(Lr <= m)^R), accumulating the cdf
+  // incrementally.  Two stopping rules are needed: the usual
+  // negligible-term test, plus a pmf-based one — once the pmf underflows
+  // relative to the cdf, 1 - cdf freezes at rounding noise (~1e-16) while
+  // the TRUE tail keeps decaying geometrically, so the term test alone
+  // would never fire for large R.  The negative-binomial tail satisfies
+  // P(Lr > m) <= pmf(m) * p/(1-p) * C, so receivers * pmf bounds the
+  // remaining contribution.
+  double cdf = 0.0;
+  double sum = 0.0;
+  for (std::int64_t m = 0; m < 100000000; ++m) {
+    const double pmf = lr_pmf(k, a, p, m);
+    cdf += pmf;
+    if (cdf > 1.0) cdf = 1.0;
+    const double term = one_minus_pow_one_minus(1.0 - cdf, receivers);
+    sum += term;
+    if (m >= 2 && term < 1e-14 * (1.0 + sum)) break;
+    if (m >= 2 && receivers * pmf < 1e-10) break;
+  }
+  return sum;
+}
+
+double expected_tx_integrated_ideal(std::int64_t k, std::int64_t a, double p,
+                                    double receivers) {
+  check_args(k, a, p, receivers);
+  const double el = expected_max_extra(k, a, p, receivers);
+  return (el + static_cast<double>(k + a)) / static_cast<double>(k);
+}
+
+double expected_tx_integrated(std::int64_t k, std::int64_t h, std::int64_t a,
+                              double p, double receivers) {
+  check_args(k, a, p, receivers);
+  if (h < a) throw std::invalid_argument("integrated: need h >= a");
+  const std::int64_t n = k + h;
+  if (p == 0.0) return static_cast<double>(k + a) / static_cast<double>(k);
+
+  // Per-packet probability of needing another block, Eq. (2).
+  const double q = q_rm_loss(k, n, p);
+  double blocks_minus_one = 0.0;
+  if (q > 0.0) {
+    const double logq = std::log(q);
+    blocks_minus_one = sum_until_negligible([&](std::int64_t i) {
+      const double qi = std::exp(static_cast<double>(i) * logq);
+      return one_minus_pow_one_minus(qi, receivers);
+    }, /*i0=*/1);
+  }
+
+  // E[Lp | Lp <= h - a] for the final (successful) block.
+  const std::int64_t budget = h - a;
+  std::vector<double> cdf_l(static_cast<std::size_t>(budget) + 1);
+  {
+    double c = 0.0;
+    for (std::int64_t m = 0; m <= budget; ++m) {
+      c += lr_pmf(k, a, p, m);
+      cdf_l[static_cast<std::size_t>(m)] = c < 1.0 ? c : 1.0;
+    }
+  }
+  // P(Lp <= m) = cdf^R, in log space; the conditional cdf divides out the
+  // common factor, so work with log P directly to survive R = 10^6.
+  const double log_p_success =
+      cdf_l.back() > 0.0 ? receivers * std::log(cdf_l.back())
+                         : -std::numeric_limits<double>::infinity();
+  double cond_extra = 0.0;
+  if (std::isfinite(log_p_success)) {
+    for (std::int64_t m = 0; m < budget; ++m) {
+      const double c = cdf_l[static_cast<std::size_t>(m)];
+      if (c <= 0.0) {
+        cond_extra += 1.0;
+        continue;
+      }
+      const double log_p_le_m = receivers * std::log(c);
+      cond_extra += -std::expm1(log_p_le_m - log_p_success);
+    }
+  }
+
+  const double kd = static_cast<double>(k);
+  return (static_cast<double>(n) / kd) * blocks_minus_one +
+         static_cast<double>(k + a) / kd + cond_extra / kd;
+}
+
+}  // namespace pbl::analysis

@@ -1,0 +1,42 @@
+// Closed-form models for integrated FEC / hybrid ARQ
+// (paper Section 3.2, Eqs. (4)-(6) and the finite-parity variant).
+#pragma once
+
+#include <cstdint>
+
+namespace pbl::analysis {
+
+/// P(Lr = m): a single receiver needs exactly m parity packets beyond the
+/// initial k + a transmissions to collect k packets of the block, with
+/// per-packet loss probability p (Section 3.2).
+double lr_pmf(std::int64_t k, std::int64_t a, double p, std::int64_t m);
+
+/// P(Lr <= m).
+double lr_cdf(std::int64_t k, std::int64_t a, double p, std::int64_t m);
+
+/// E[L] where L = max over `receivers` i.i.d. copies of Lr (Eqs. (4)-(5)).
+double expected_max_extra(std::int64_t k, std::int64_t a, double p,
+                          double receivers);
+
+/// Idealised integrated FEC (n = infinity), Eq. (6):
+///   E[M] = (E[L] + k + a) / k
+/// The unachievable lower bound the paper compares everything against.
+double expected_tx_integrated_ideal(std::int64_t k, std::int64_t a, double p,
+                                    double receivers);
+
+/// Integrated FEC with a finite parity budget h = n - k (Fig. 6).
+///
+/// A block whose receivers need more than h - a extra parities fails and
+/// its packets join a new TG, so the per-packet retry probability is
+/// q(k, n, p) of Eq. (2).  We implement
+///
+///   E[M] = (n/k) (E[B] - 1) + (k + a)/k + E[Lp | Lp <= h - a]/k
+///
+/// where E[B] - 1 = sum_{i>=1} (1 - (1 - q^i)^R).  This corrects two typos
+/// in the printed equation (division by n; the k data packets of the final
+/// block dropped) — see DESIGN.md; the corrected form reduces to Eq. (6)
+/// as h -> infinity and reproduces Fig. 6.
+double expected_tx_integrated(std::int64_t k, std::int64_t h, std::int64_t a,
+                              double p, double receivers);
+
+}  // namespace pbl::analysis

@@ -1,0 +1,75 @@
+#include "analysis/latency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/integrated.hpp"
+#include "analysis/layered.hpp"
+#include "analysis/processing.hpp"
+#include "analysis/qfunc.hpp"
+#include "util/numerics.hpp"
+
+namespace pbl::analysis {
+
+namespace {
+
+/// E[rounds] until all receivers hold all k packets when each packet is
+/// (re)transmitted once per round and lost with probability q:
+/// P[rounds <= m] = (1 - q^m)^(kR) — Eq. (17) generalised to q.
+double rounds_with_loss(std::int64_t k, double q, double receivers) {
+  if (q <= 0.0) return 1.0;
+  const double kr = static_cast<double>(k) * receivers;
+  return sum_until_negligible([&](std::int64_t m) {
+    if (m == 0) return 1.0;
+    const double qm = std::pow(q, static_cast<double>(m));
+    return one_minus_pow_one_minus(qm, kr);
+  });
+}
+
+void check(double p, double receivers, const protocol::Timing& timing) {
+  if (p < 0.0 || p >= 1.0)
+    throw std::invalid_argument("latency: need p in [0,1)");
+  if (receivers < 1.0)
+    throw std::invalid_argument("latency: need receivers >= 1");
+  timing.validate();
+}
+
+}  // namespace
+
+double expected_latency_nofec(std::int64_t k, double p, double receivers,
+                              const protocol::Timing& timing) {
+  check(p, receivers, timing);
+  const double slots = static_cast<double>(k) * expected_tx_nofec(p, receivers);
+  const double rounds = rounds_with_loss(k, p, receivers);
+  return timing.delta * slots + timing.gap * (rounds - 1.0);
+}
+
+double expected_latency_layered(std::int64_t k, std::int64_t h, double p,
+                                double receivers,
+                                const protocol::Timing& timing) {
+  check(p, receivers, timing);
+  const double q = q_rm_loss(k, k + h, p);
+  const double rounds = rounds_with_loss(k, q, receivers);
+  // Every round occupies a full FEC block of k + h slots.
+  const double slots = static_cast<double>(k + h) * rounds;
+  return timing.delta * slots + timing.gap * (rounds - 1.0);
+}
+
+double expected_latency_integrated(std::int64_t k, double p, double receivers,
+                                   const protocol::Timing& timing) {
+  check(p, receivers, timing);
+  const double slots =
+      static_cast<double>(k) * expected_tx_integrated_ideal(k, 0, p, receivers);
+  const double rounds = expected_rounds(k, p, receivers);
+  return timing.delta * slots + timing.gap * (rounds - 1.0);
+}
+
+double expected_latency_stream(std::int64_t k, double p, double receivers,
+                               const protocol::Timing& timing) {
+  check(p, receivers, timing);
+  const double slots =
+      static_cast<double>(k) * expected_tx_integrated_ideal(k, 0, p, receivers);
+  return timing.delta * slots;
+}
+
+}  // namespace pbl::analysis

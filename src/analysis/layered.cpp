@@ -1,0 +1,36 @@
+#include "analysis/layered.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/qfunc.hpp"
+#include "util/numerics.hpp"
+
+namespace pbl::analysis {
+
+double expected_tx_arq(double q, double receivers) {
+  if (q < 0.0 || q >= 1.0)
+    throw std::invalid_argument("expected_tx_arq: need q in [0,1)");
+  if (receivers < 1.0)
+    throw std::invalid_argument("expected_tx_arq: need receivers >= 1");
+  if (q == 0.0) return 1.0;
+  // Term i: 1 - (1 - q^i)^R, evaluated in log space; q^i as exp(i log q).
+  const double logq = std::log(q);
+  return sum_until_negligible([&](std::int64_t i) {
+    const double qi = std::exp(static_cast<double>(i) * logq);
+    return one_minus_pow_one_minus(qi, receivers);
+  });
+}
+
+double expected_tx_nofec(double p, double receivers) {
+  return expected_tx_arq(p, receivers);
+}
+
+double expected_tx_layered(std::int64_t k, std::int64_t n, double p,
+                           double receivers) {
+  const double q = q_rm_loss(k, n, p);
+  return static_cast<double>(n) / static_cast<double>(k) *
+         expected_tx_arq(q, receivers);
+}
+
+}  // namespace pbl::analysis

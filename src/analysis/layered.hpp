@@ -1,0 +1,28 @@
+// Closed-form models for ARQ without FEC and for layered FEC
+// (paper Section 3.1, Eq. (3)).
+#pragma once
+
+#include <cstdint>
+
+namespace pbl::analysis {
+
+/// E[M'] — expected number of RM-layer transmissions of an arbitrary
+/// packet until ALL R receivers hold it, when each receiver independently
+/// misses a transmission with probability q:
+///
+///   E[M'] = sum_{i>=0} (1 - (1 - q^i)^R)
+///
+/// R may be any positive real (the paper sweeps R = 1..10^6).
+double expected_tx_arq(double q, double receivers);
+
+/// No-FEC baseline: E[M] with per-transmission loss probability p.
+double expected_tx_nofec(double p, double receivers);
+
+/// Layered FEC, Eq. (3): E[M] = (n/k) * E[M'] with q = q(k, n, p).
+/// Every RM-layer transmission costs n/k packets because the FEC layer
+/// adds h parities per k packets, for original sends and retransmissions
+/// alike.
+double expected_tx_layered(std::int64_t k, std::int64_t n, double p,
+                           double receivers);
+
+}  // namespace pbl::analysis

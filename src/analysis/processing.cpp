@@ -1,0 +1,152 @@
+#include "analysis/processing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/integrated.hpp"
+#include "analysis/layered.hpp"
+#include "util/numerics.hpp"
+
+namespace pbl::analysis {
+
+namespace {
+void check(double p, double receivers) {
+  if (p < 0.0 || p >= 1.0) throw std::invalid_argument("rates: need p in [0,1)");
+  if (receivers < 1.0) throw std::invalid_argument("rates: need receivers >= 1");
+}
+}  // namespace
+
+EndHostRates n2_rates(double p, double receivers, const ProcessingCosts& c) {
+  check(p, receivers);
+  const double em = expected_tx_nofec(p, receivers);  // E[M^N2]
+
+  // Eq. (10): per-packet sender time.
+  const double x = em * c.xp + (em - 1.0) * c.xn;
+
+  // Per-receiver retransmission count Mr is geometric:
+  //   P(Mr = m) = p^(m-1) (1-p),  E[Mr] = 1/(1-p).
+  const double e_mr = 1.0 / (1.0 - p);
+  const double p_mr_gt2 = p * p;
+  const double p1 = 1.0 - p;          // P(Mr = 1)
+  const double p2 = p * (1.0 - p);    // P(Mr = 2)
+  const double e_mr_gt2 =
+      p_mr_gt2 > 0.0 ? (e_mr - p1 - 2.0 * p2) / p_mr_gt2 : 0.0;
+
+  // Eq. (11): per-packet receiver time.
+  const double y = em * (1.0 - p) * c.yp +
+                   (em - 1.0) * (c.yn / receivers +
+                                 (receivers - 1.0) / receivers * c.yn2) +
+                   (p_mr_gt2 > 0.0
+                        ? p_mr_gt2 * (e_mr_gt2 - 2.0) * c.yt
+                        : 0.0);
+
+  EndHostRates r;
+  r.sender = 1.0 / x;
+  r.receiver = 1.0 / y;
+  r.throughput = std::min(r.sender, r.receiver);
+  return r;
+}
+
+double expected_rounds_single(std::int64_t k, double p) {
+  if (k < 1) throw std::invalid_argument("expected_rounds: need k >= 1");
+  if (p <= 0.0) return 1.0;
+  // P[Tr <= m] = (1 - p^m)^k  (from [19]).
+  return sum_until_negligible([&](std::int64_t m) {
+    if (m == 0) return 1.0;
+    const double pm = std::pow(p, static_cast<double>(m));
+    return one_minus_pow_one_minus(pm, static_cast<double>(k));
+  });
+}
+
+double expected_rounds(std::int64_t k, double p, double receivers) {
+  if (k < 1) throw std::invalid_argument("expected_rounds: need k >= 1");
+  check(p, receivers);
+  if (p == 0.0) return 1.0;
+  // P[T <= m] = P[Tr <= m]^R = (1 - p^m)^(kR).
+  const double kr = static_cast<double>(k) * receivers;
+  return sum_until_negligible([&](std::int64_t m) {
+    if (m == 0) return 1.0;
+    const double pm = std::pow(p, static_cast<double>(m));
+    return one_minus_pow_one_minus(pm, kr);
+  });
+}
+
+EndHostRates np_rates_per_packet_nak(std::int64_t k, double p,
+                                     double receivers,
+                                     const ProcessingCosts& c,
+                                     bool pre_encode) {
+  if (k < 1) throw std::invalid_argument("np_rates: need k >= 1");
+  check(p, receivers);
+  const double kd = static_cast<double>(k);
+  const double em = expected_tx_integrated_ideal(k, 0, p, receivers);
+  const double xe = pre_encode ? 0.0 : kd * (em - 1.0) * c.ce;
+  const double yd = kd * p * c.cd;
+  // k (E[M]-1) NAKs per TG => (E[M]-1) per packet, replacing (E[T]-1)/k.
+  const double naks_per_packet = em - 1.0;
+  const double x = xe + em * c.xp + naks_per_packet * c.xn;
+  const double e_tr = expected_rounds_single(k, p);
+  const double p_tr1 = pow_one_minus(p, kd);
+  const double p_tr_le2 = pow_one_minus(p * p, kd);
+  const double p_tr2 = p_tr_le2 - p_tr1;
+  const double p_tr_gt2 = 1.0 - p_tr_le2;
+  const double e_tr_gt2 =
+      p_tr_gt2 > 0.0 ? (e_tr - p_tr1 - 2.0 * p_tr2) / p_tr_gt2 : 0.0;
+  const double y = em * (1.0 - p) * c.yp +
+                   naks_per_packet * (c.yn / receivers +
+                                      (receivers - 1.0) / receivers * c.yn2) +
+                   (p_tr_gt2 > 0.0 ? p_tr_gt2 * (e_tr_gt2 - 2.0) * c.yt
+                                   : 0.0) +
+                   yd;
+  EndHostRates r;
+  r.sender = 1.0 / x;
+  r.receiver = 1.0 / y;
+  r.throughput = std::min(r.sender, r.receiver);
+  return r;
+}
+
+EndHostRates np_rates(std::int64_t k, double p, double receivers,
+                      const ProcessingCosts& c, bool pre_encode) {
+  if (k < 1) throw std::invalid_argument("np_rates: need k >= 1");
+  check(p, receivers);
+  const double kd = static_cast<double>(k);
+
+  const double em = expected_tx_integrated_ideal(k, 0, p, receivers);
+  const double et = expected_rounds(k, p, receivers);
+
+  // Eq. (15): the sender encodes k (E[M]-1) parities per TG, i.e. per
+  // packet an encoding time of k (E[M]-1) ce / k ... the paper states the
+  // per-packet form E[Xe] = k (E[M]-1) ce directly.
+  const double xe = pre_encode ? 0.0 : kd * (em - 1.0) * c.ce;
+  // Eq. (16): a receiver reconstructs k p packets per TG on average.
+  const double yd = kd * p * c.cd;
+
+  // Eq. (13).
+  const double x = xe + em * c.xp + (et - 1.0) / kd * c.xn;
+
+  // Per-receiver round count Tr: P[Tr <= m] = (1 - p^m)^k.
+  const double e_tr = expected_rounds_single(k, p);
+  const double p_tr1 = pow_one_minus(p, kd);                       // (1-p)^k
+  const double p_tr_le2 = pow_one_minus(p * p, kd);                // (1-p^2)^k
+  const double p_tr2 = p_tr_le2 - p_tr1;
+  const double p_tr_gt2 = 1.0 - p_tr_le2;
+  const double e_tr_gt2 =
+      p_tr_gt2 > 0.0 ? (e_tr - p_tr1 - 2.0 * p_tr2) / p_tr_gt2 : 0.0;
+
+  // Eq. (14).
+  const double y = em * (1.0 - p) * c.yp +
+                   ((et - 1.0) / kd) * (c.yn / receivers +
+                                        (receivers - 1.0) / receivers * c.yn2) +
+                   (p_tr_gt2 > 0.0
+                        ? p_tr_gt2 * (e_tr_gt2 - 2.0) * c.yt
+                        : 0.0) +
+                   yd;
+
+  EndHostRates r;
+  r.sender = 1.0 / x;
+  r.receiver = 1.0 / y;
+  r.throughput = std::min(r.sender, r.receiver);
+  return r;
+}
+
+}  // namespace pbl::analysis

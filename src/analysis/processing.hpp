@@ -1,0 +1,65 @@
+// End-host processing-rate and throughput models for protocols N2 and NP
+// (paper Section 5 and Appendix, Eqs. (9)-(17)).
+//
+// N2 is the receiver-initiated, NAK-based ARQ protocol of Towsley, Kurose
+// & Pingali ('97); NP is the paper's hybrid-ARQ protocol that retransmits
+// parities and collects one NAK per transmission round.  The models count
+// per-packet processing time at the sender and at a receiver; achievable
+// end-system throughput is the minimum of the two rates (Eq. (9)).
+#pragma once
+
+#include <cstdint>
+
+namespace pbl::analysis {
+
+/// Per-operation processing times in seconds.  Defaults are the paper's
+/// measured values (DECstation 5000/200, 2 KByte packets, symbol size 8).
+struct ProcessingCosts {
+  double xp = 1000e-6;  ///< E[Xp]: send one data/parity packet
+  double yp = 1000e-6;  ///< E[Yp]: receive one data/parity packet
+  double xn = 500e-6;   ///< E[Xn]: process a NAK at the sender
+  double yn = 500e-6;   ///< E[Yn]: process and transmit a NAK (receiver)
+  double yn2 = 500e-6;  ///< E[Y'n]: receive and process another's NAK
+  double xt = 24e-6;    ///< E[Xt]: timer overhead at the sender
+  double yt = 24e-6;    ///< E[Yt]: timer overhead at a receiver
+  double ce = 700e-6;   ///< encoding constant per packet (Eq. (15))
+  double cd = 720e-6;   ///< decoding constant per packet (Eq. (16))
+};
+
+struct EndHostRates {
+  double sender = 0.0;      ///< packets/second the sender can sustain
+  double receiver = 0.0;    ///< packets/second a receiver can sustain
+  double throughput = 0.0;  ///< min of the two (Eq. (9))
+};
+
+/// Protocol N2, Eqs. (10)-(11).
+EndHostRates n2_rates(double p, double receivers,
+                      const ProcessingCosts& costs = {});
+
+/// Protocol NP, Eqs. (13)-(16).  With `pre_encode` the sender's encoding
+/// time E[Xe] is removed from the critical path (parities computed
+/// off-line, Section 5.1 / Fig. 18).
+EndHostRates np_rates(std::int64_t k, double p, double receivers,
+                      const ProcessingCosts& costs = {},
+                      bool pre_encode = false);
+
+/// Appendix variant: feedback per MISSING PACKET instead of one NAK per
+/// transmission round ("By slightly modifying Eq. (13) and (14) we
+/// obtained the processing rates for the case one NAK is returned per
+/// missing packet").  The NAK terms scale with k(E[M]-1) per TG; the
+/// paper reports — and the tests verify — that the effect on the rates
+/// is minor, which is why NP's per-round feedback is not what makes it
+/// fast (the parity repair is).
+EndHostRates np_rates_per_packet_nak(std::int64_t k, double p,
+                                     double receivers,
+                                     const ProcessingCosts& costs = {},
+                                     bool pre_encode = false);
+
+/// E[T]: expected number of transmission rounds until every receiver can
+/// reconstruct the TG (Eq. (17), with P[Tr <= m] = (1 - p^m)^k from [19]).
+double expected_rounds(std::int64_t k, double p, double receivers);
+
+/// E[Tr]: rounds for a single receiver.
+double expected_rounds_single(std::int64_t k, double p);
+
+}  // namespace pbl::analysis

@@ -1,0 +1,20 @@
+#include "analysis/qfunc.hpp"
+
+#include <stdexcept>
+
+#include "util/numerics.hpp"
+
+namespace pbl::analysis {
+
+double q_rm_loss(std::int64_t k, std::int64_t n, double p) {
+  if (k < 1 || n < k) throw std::invalid_argument("q_rm_loss: need 1 <= k <= n");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("q_rm_loss: p in [0,1]");
+  // P[more than h-1 of the other n-1 packets lost] = 1 - CDF(h-1).
+  const double cdf = binomial_cdf(n - 1, n - k - 1, p);
+  double q = p * (1.0 - cdf);
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  return q;
+}
+
+}  // namespace pbl::analysis

@@ -1,0 +1,20 @@
+// Eq. (2) of the paper: the residual packet-loss probability seen by the
+// reliable-multicast layer when a (k, n) FEC layer sits underneath.
+#pragma once
+
+#include <cstdint>
+
+namespace pbl::analysis {
+
+/// q(k, n, p): probability that a random data packet of a transmission
+/// group is NOT delivered to the RM receiver.  Packet i is lost at the RM
+/// layer iff it is lost by the FEC layer (prob p) and more than h-1 of the
+/// other n-1 packets of the FEC block are also lost:
+///
+///   q = p * (1 - sum_{j=0}^{n-k-1} C(n-1, j) p^j (1-p)^(n-1-j))
+///
+/// Special cases: n == k (no parity) gives q = p; k = n = 1 is the no-FEC
+/// baseline.
+double q_rm_loss(std::int64_t k, std::int64_t n, double p);
+
+}  // namespace pbl::analysis

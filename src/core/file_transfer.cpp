@@ -1,0 +1,100 @@
+#include "core/file_transfer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pbl::core {
+
+namespace {
+constexpr std::size_t kLengthPrefix = 8;
+}
+
+std::vector<TgData> segment_blob(std::span<const std::uint8_t> blob,
+                                 std::size_t k, std::size_t packet_len) {
+  if (k == 0) throw std::invalid_argument("segment_blob: k >= 1");
+  if (packet_len == 0) throw std::invalid_argument("segment_blob: packet_len >= 1");
+
+  // Length prefix + payload, zero-padded to whole groups.
+  std::vector<std::uint8_t> framed;
+  framed.reserve(kLengthPrefix + blob.size());
+  const std::uint64_t len = blob.size();
+  for (int i = 0; i < 8; ++i)
+    framed.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  framed.insert(framed.end(), blob.begin(), blob.end());
+
+  const std::size_t group_bytes = k * packet_len;
+  const std::size_t groups = (framed.size() + group_bytes - 1) / group_bytes;
+  framed.resize(groups * group_bytes, 0);
+
+  std::vector<TgData> out(groups);
+  std::size_t off = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    out[g].resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      out[g][i].assign(framed.begin() + static_cast<std::ptrdiff_t>(off),
+                       framed.begin() + static_cast<std::ptrdiff_t>(off + packet_len));
+      off += packet_len;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> reassemble_blob(const std::vector<TgData>& groups) {
+  if (groups.empty())
+    throw std::invalid_argument("reassemble_blob: no groups");
+  const std::size_t k = groups[0].size();
+  if (k == 0 || groups[0][0].empty())
+    throw std::invalid_argument("reassemble_blob: empty group shape");
+  const std::size_t packet_len = groups[0][0].size();
+
+  std::vector<std::uint8_t> framed;
+  framed.reserve(groups.size() * k * packet_len);
+  for (const auto& tg : groups) {
+    if (tg.size() != k)
+      throw std::invalid_argument("reassemble_blob: inconsistent group size");
+    for (const auto& pkt : tg) {
+      if (pkt.size() != packet_len)
+        throw std::invalid_argument("reassemble_blob: inconsistent packet size");
+      framed.insert(framed.end(), pkt.begin(), pkt.end());
+    }
+  }
+  if (framed.size() < kLengthPrefix)
+    throw std::invalid_argument("reassemble_blob: truncated framing");
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i)
+    len |= static_cast<std::uint64_t>(framed[static_cast<std::size_t>(i)])
+           << (8 * i);
+  if (len > framed.size() - kLengthPrefix)
+    throw std::invalid_argument("reassemble_blob: length prefix exceeds data");
+  return {framed.begin() + kLengthPrefix,
+          framed.begin() + static_cast<std::ptrdiff_t>(kLengthPrefix + len)};
+}
+
+TransferReport transfer_blob(std::span<const std::uint8_t> blob,
+                             const loss::LossModel& loss,
+                             std::size_t receivers,
+                             const protocol::NpConfig& config,
+                             std::uint64_t seed) {
+  auto groups = segment_blob(blob, config.k, config.packet_len);
+
+  TransferReport report;
+  report.groups = groups.size();
+  report.payload_bytes = blob.size();
+
+  protocol::NpSession session(loss, receivers, groups, config, seed);
+  report.protocol = session.run();
+  report.wire_bytes =
+      static_cast<std::size_t>(report.protocol.data_sent +
+                               report.protocol.parity_sent +
+                               report.protocol.proactive_sent) *
+      config.packet_len;
+
+  // Independent round-trip check of the framing itself.
+  const auto rebuilt = reassemble_blob(session.source_data());
+  report.blob_verified =
+      rebuilt.size() == blob.size() &&
+      std::memcmp(rebuilt.data(), blob.data(), blob.size()) == 0;
+  return report;
+}
+
+}  // namespace pbl::core

@@ -1,0 +1,48 @@
+// Byte-blob segmentation for reliable multicast file transfer.
+//
+// Protocol NP (Section 5.1) moves transmission groups of k fixed-size
+// packets; a file is neither.  segment_blob() frames an arbitrary byte
+// buffer into TGs — an 8-byte little-endian length prefix, then the
+// payload, zero-padded up to a whole number of groups — and
+// reassemble_blob() inverts it exactly.  transfer_blob() runs the real
+// protocol-NP session over the segmented file and reports whether every
+// receiver reconstructed every byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "loss/loss_model.hpp"
+#include "protocol/np_protocol.hpp"
+
+namespace pbl::core {
+
+using TgData = std::vector<std::vector<std::uint8_t>>;  ///< k packets
+
+/// Frames `blob` into transmission groups of k packets of `packet_len`
+/// bytes each.  Always produces at least one group.
+std::vector<TgData> segment_blob(std::span<const std::uint8_t> blob,
+                                 std::size_t k, std::size_t packet_len);
+
+/// Exact inverse of segment_blob(); throws std::invalid_argument on
+/// malformed framing (bad length prefix, inconsistent shapes).
+std::vector<std::uint8_t> reassemble_blob(const std::vector<TgData>& groups);
+
+struct TransferReport {
+  protocol::NpStats protocol;   ///< the NP session's statistics
+  bool blob_verified = false;   ///< segmentation round-trip re-checked
+  std::size_t groups = 0;
+  std::size_t payload_bytes = 0;
+  std::size_t wire_bytes = 0;   ///< payload bytes actually multicast
+};
+
+/// Segments `blob` and delivers it to `receivers` receivers with protocol
+/// NP under the given loss model.
+TransferReport transfer_blob(std::span<const std::uint8_t> blob,
+                             const loss::LossModel& loss,
+                             std::size_t receivers,
+                             const protocol::NpConfig& config,
+                             std::uint64_t seed = 1);
+
+}  // namespace pbl::core

@@ -1,0 +1,65 @@
+#include "core/planner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/integrated.hpp"
+#include "analysis/layered.hpp"
+#include "util/numerics.hpp"
+
+namespace pbl::core {
+
+std::optional<std::int64_t> plan_layered_parities(std::int64_t k, double p,
+                                                  double receivers,
+                                                  double target_em,
+                                                  std::int64_t h_max) {
+  if (target_em < 1.0)
+    throw std::invalid_argument("plan_layered_parities: target_em >= 1");
+  for (std::int64_t h = 0; h <= h_max; ++h) {
+    // Adding parities first helps, then the n/k overhead dominates; stop
+    // as soon as the overhead alone rules the target out.
+    const double overhead =
+        static_cast<double>(k + h) / static_cast<double>(k);
+    if (overhead > target_em) return std::nullopt;
+    if (analysis::expected_tx_layered(k, k + h, p, receivers) <= target_em)
+      return h;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> plan_proactive_parities(std::int64_t k, double p,
+                                                    double receivers,
+                                                    double confidence,
+                                                    std::int64_t a_max) {
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("plan_proactive_parities: confidence in (0,1)");
+  for (std::int64_t a = 0; a <= a_max; ++a) {
+    const double per_receiver = analysis::lr_cdf(k, a, p, 0);
+    if (per_receiver <= 0.0) continue;
+    const double all = std::exp(receivers * std::log(per_receiver));
+    if (all >= confidence) return a;
+  }
+  return std::nullopt;
+}
+
+double equivalent_independent_receivers(double p, double measured_em,
+                                        double r_max) {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("equivalent_independent_receivers: p in (0,1)");
+  if (measured_em <= analysis::expected_tx_nofec(p, 1.0)) return 1.0;
+  if (measured_em >= analysis::expected_tx_nofec(p, r_max)) return r_max;
+  // E[M] is monotone increasing in R: bisect on log10(R).
+  double lo = 0.0, hi = std::log10(r_max);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double em = analysis::expected_tx_nofec(p, std::pow(10.0, mid));
+    if (em < measured_em)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo < 1e-12) break;
+  }
+  return std::pow(10.0, 0.5 * (lo + hi));
+}
+
+}  // namespace pbl::core

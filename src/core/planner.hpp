@@ -1,0 +1,46 @@
+// Redundancy planning: the operational questions a deployer of this
+// library actually asks, answered with the paper's models.
+//
+//   * "How many parities must the FEC layer add so that reliable
+//     multicast to R receivers costs at most E[M] <= target?"
+//   * "How many proactive parities make a retransmission round unlikely?"
+//   * "My receivers' losses are shared (one lossy router upstream) — how
+//     many INDEPENDENT receivers is my population equivalent to?"
+//
+// The last one implements the paper's Section 4.1 observation that
+// shared-loss populations behave like smaller independent ones, and its
+// warning that loss-rate-based adaptation otherwise overestimates the
+// redundancy needed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace pbl::core {
+
+/// Smallest h such that layered FEC with (k, k+h) achieves
+/// E[M] <= target_em for R receivers at loss probability p; nullopt if no
+/// h <= h_max does (the n/k overhead itself may already exceed the
+/// target).
+std::optional<std::int64_t> plan_layered_parities(std::int64_t k, double p,
+                                                  double receivers,
+                                                  double target_em,
+                                                  std::int64_t h_max = 255);
+
+/// Smallest number of proactive parities a such that, with probability at
+/// least `confidence`, NO receiver needs a retransmission round:
+/// P(Lr <= a)^R >= confidence.  nullopt if a_max is insufficient.
+std::optional<std::int64_t> plan_proactive_parities(std::int64_t k, double p,
+                                                    double receivers,
+                                                    double confidence,
+                                                    std::int64_t a_max = 255);
+
+/// The independent-receiver population whose no-FEC E[M] equals
+/// `measured_em` at per-receiver loss probability p (log-R bisection).
+/// Feeding a shared-loss measurement in gives the paper's R_indep <= R.
+/// Requires measured_em >= 1/(1-p) (the single-receiver value); values
+/// below return 1.
+double equivalent_independent_receivers(double p, double measured_em,
+                                        double r_max = 1e9);
+
+}  // namespace pbl::core

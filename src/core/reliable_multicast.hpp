@@ -1,0 +1,85 @@
+// Public facade of the library.
+//
+// One configuration struct selects the recovery scheme (no FEC, layered
+// FEC, integrated FEC 1/2), the loss environment (independent, bursty,
+// two-class heterogeneous, or shared loss over a multicast tree) and the
+// population size; simulate() runs the Monte-Carlo protocol model and
+// predict() returns the paper's closed form where one exists.  For a
+// packet-level, byte-accurate protocol run, use protocol::NpSession
+// (protocol/np_protocol.hpp) directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "protocol/rounds.hpp"
+
+namespace pbl::core {
+
+enum class RecoveryMode {
+  kNoFec,          ///< plain ARQ retransmission of originals
+  kLayeredFec,     ///< FEC layer below ARQ (Section 3.1)
+  kIntegratedFec1, ///< parity stream, receivers leave when done (Section 4.2)
+  kIntegratedFec2, ///< NAK-driven parity rounds / protocol NP (Sections 3.2, 5)
+};
+
+enum class LossKind {
+  kBernoulli, ///< i.i.d. loss with probability p at every receiver
+  kBurst,     ///< two-state Markov (Gilbert) loss, mean burst length b
+  kTwoClass,  ///< fraction alpha of receivers at p_high, rest at p
+  kTree,      ///< full binary tree with per-node loss (shared loss)
+};
+
+struct MulticastConfig {
+  std::int64_t k = 7;           ///< transmission-group size
+  std::int64_t h = 0;           ///< parities: per block (layered) / proactive (integrated)
+  std::size_t receivers = 1000; ///< R (for kTree, rounded down to 2^height)
+  RecoveryMode mode = RecoveryMode::kIntegratedFec2;
+
+  LossKind loss = LossKind::kBernoulli;
+  double p = 0.01;              ///< packet loss probability per receiver
+  double burst_len = 2.0;       ///< mean loss-burst length (kBurst)
+  double alpha = 0.0;           ///< high-loss fraction (kTwoClass)
+  double p_high = 0.25;         ///< high-loss probability (kTwoClass)
+
+  protocol::Timing timing{};    ///< packet spacing and feedback gap
+  std::int64_t num_tgs = 200;   ///< Monte-Carlo samples
+  std::uint64_t seed = 1;
+
+  /// kLayeredFec only: transmit this many FEC blocks interleaved
+  /// (Section 4.2's burst countermeasure); 1 = no interleaving.
+  std::size_t interleave_depth = 1;
+  /// kIntegratedFec2 only: treat h as a hard per-block parity budget
+  /// (packets overflowing it join a new TG) instead of h proactive
+  /// parities with an unlimited reactive supply.
+  bool finite_budget = false;
+
+  void validate() const;
+};
+
+struct MulticastReport {
+  double mean_tx = 0.0;      ///< measured E[M], packet transmissions per packet
+  double ci95 = 0.0;
+  double mean_rounds = 0.0;
+  double mean_time = 0.0;    ///< measured mean TG completion time [s]
+  std::uint64_t packets_sent = 0;
+  std::optional<double> predicted;          ///< closed-form E[M], when available
+  std::optional<double> predicted_latency;  ///< closed-form latency, when available
+};
+
+/// Runs the Monte-Carlo simulation for the configured scheme/loss.
+MulticastReport simulate(const MulticastConfig& config);
+
+/// The paper's closed-form E[M] for this configuration, if the combination
+/// has one (independent or two-class loss; burst and tree loss do not).
+std::optional<double> predict(const MulticastConfig& config);
+
+/// Expected TG delivery latency (analysis/latency.hpp) for independent
+/// loss; nullopt for the other loss kinds.
+std::optional<double> predict_latency(const MulticastConfig& config);
+
+std::string to_string(RecoveryMode mode);
+std::string to_string(LossKind kind);
+
+}  // namespace pbl::core

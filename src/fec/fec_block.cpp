@@ -1,0 +1,114 @@
+#include "fec/fec_block.hpp"
+
+#include <stdexcept>
+
+namespace pbl::fec {
+
+TgEncoder::TgEncoder(std::uint32_t tg_id, const RseCode& code,
+                     std::vector<std::vector<std::uint8_t>> data)
+    : tg_id_(tg_id), code_(&code), data_(std::move(data)),
+      parity_(code.h()) {
+  if (data_.size() != code_->k())
+    throw std::invalid_argument("TgEncoder: need exactly k data packets");
+  for (const auto& d : data_)
+    if (d.size() != data_[0].size())
+      throw std::invalid_argument("TgEncoder: packets must have equal length");
+}
+
+Packet TgEncoder::data_packet(std::size_t i) const {
+  if (i >= code_->k()) throw std::out_of_range("TgEncoder: data index");
+  Packet p;
+  p.header.type = PacketType::kData;
+  p.header.tg = tg_id_;
+  p.header.index = static_cast<std::uint16_t>(i);
+  p.header.k = static_cast<std::uint16_t>(code_->k());
+  p.header.n = static_cast<std::uint16_t>(code_->n());
+  p.payload = data_[i];
+  p.header.payload_len = static_cast<std::uint32_t>(p.payload.size());
+  return p;
+}
+
+Packet TgEncoder::parity_packet(std::size_t j) {
+  if (j >= code_->h()) throw std::out_of_range("TgEncoder: parity index");
+  if (!parity_[j]) {
+    std::vector<std::span<const std::uint8_t>> views(data_.begin(), data_.end());
+    std::vector<std::uint8_t> buf(data_.empty() ? 0 : data_[0].size());
+    code_->encode_parity(j, views, buf);
+    parity_[j] = std::move(buf);
+    ++encoded_count_;
+  }
+  Packet p;
+  p.header.type = PacketType::kParity;
+  p.header.tg = tg_id_;
+  p.header.index = static_cast<std::uint16_t>(code_->k() + j);
+  p.header.k = static_cast<std::uint16_t>(code_->k());
+  p.header.n = static_cast<std::uint16_t>(code_->n());
+  p.payload = *parity_[j];
+  p.header.payload_len = static_cast<std::uint32_t>(p.payload.size());
+  return p;
+}
+
+void TgEncoder::pre_encode() {
+  for (std::size_t j = 0; j < code_->h(); ++j) {
+    if (!parity_[j]) {
+      std::vector<std::span<const std::uint8_t>> views(data_.begin(), data_.end());
+      std::vector<std::uint8_t> buf(data_.empty() ? 0 : data_[0].size());
+      code_->encode_parity(j, views, buf);
+      parity_[j] = std::move(buf);
+      ++encoded_count_;
+    }
+  }
+}
+
+TgDecoder::TgDecoder(std::uint32_t tg_id, const RseCode& code,
+                     std::size_t packet_len)
+    : tg_id_(tg_id), code_(&code), packet_len_(packet_len),
+      shards_(code.n()) {}
+
+bool TgDecoder::add(const Packet& packet) {
+  if (packet.header.tg != tg_id_) return false;
+  if (packet.header.type != PacketType::kData &&
+      packet.header.type != PacketType::kParity)
+    return false;
+  const std::size_t idx = packet.header.index;
+  if (idx >= code_->n())
+    throw std::invalid_argument("TgDecoder: packet index out of range");
+  if (packet.payload.size() != packet_len_)
+    throw std::invalid_argument("TgDecoder: payload length mismatch");
+  if (shards_[idx] || result_) {
+    ++duplicates_;
+    return false;
+  }
+  shards_[idx] = packet.payload;
+  ++received_count_;
+  return true;
+}
+
+std::size_t TgDecoder::needed() const noexcept {
+  const std::size_t k = code_->k();
+  return received_count_ >= k ? 0 : k - received_count_;
+}
+
+const std::vector<std::vector<std::uint8_t>>& TgDecoder::reconstruct() {
+  if (result_) return *result_;
+  if (!decodable())
+    throw std::logic_error("TgDecoder: not enough packets to reconstruct");
+
+  std::vector<Shard> received;
+  received.reserve(received_count_);
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    if (shards_[i]) received.push_back({i, *shards_[i]});
+
+  std::vector<std::vector<std::uint8_t>> out(
+      code_->k(), std::vector<std::uint8_t>(packet_len_));
+  std::vector<std::span<std::uint8_t>> views(out.begin(), out.end());
+  code_->decode(received, views);
+
+  for (std::size_t i = 0; i < code_->k(); ++i)
+    if (!shards_[i]) ++decoded_packets_;
+
+  result_ = std::move(out);
+  return *result_;
+}
+
+}  // namespace pbl::fec

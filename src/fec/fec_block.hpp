@@ -1,0 +1,88 @@
+// Transmission-group encoder/decoder state machines.
+//
+// TgEncoder owns the k data packets of one transmission group and produces
+// DATA/PARITY packets on demand (lazily, or eagerly via pre_encode(), the
+// "pre-encoding" option evaluated in Fig 18).  TgDecoder accumulates any
+// packets of the block and reconstructs the group as soon as k distinct
+// packets have arrived (Section 2.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fec/packet.hpp"
+#include "fec/rse_code.hpp"
+
+namespace pbl::fec {
+
+class TgEncoder {
+ public:
+  /// `data` must contain exactly k equal-length packets.
+  TgEncoder(std::uint32_t tg_id, const RseCode& code,
+            std::vector<std::vector<std::uint8_t>> data);
+
+  std::uint32_t tg_id() const noexcept { return tg_id_; }
+  std::size_t k() const noexcept { return code_->k(); }
+  std::size_t n() const noexcept { return code_->n(); }
+
+  /// DATA packet for data index i < k.
+  Packet data_packet(std::size_t i) const;
+
+  /// PARITY packet for parity index j < h (block index k + j); encodes on
+  /// first use unless pre_encode() was called.
+  Packet parity_packet(std::size_t j);
+
+  /// Eagerly computes all h parities (sender-side pre-encoding).
+  void pre_encode();
+
+  /// Number of parities encoded so far (for processing-cost accounting).
+  std::size_t parities_encoded() const noexcept { return encoded_count_; }
+
+ private:
+  std::uint32_t tg_id_;
+  const RseCode* code_;
+  std::vector<std::vector<std::uint8_t>> data_;
+  std::vector<std::optional<std::vector<std::uint8_t>>> parity_;
+  std::size_t encoded_count_ = 0;
+};
+
+class TgDecoder {
+ public:
+  TgDecoder(std::uint32_t tg_id, const RseCode& code, std::size_t packet_len);
+
+  std::uint32_t tg_id() const noexcept { return tg_id_; }
+
+  /// Feeds a DATA or PARITY packet of this block.  Duplicate or foreign
+  /// packets are ignored (returns false); fresh packets return true.
+  bool add(const Packet& packet);
+
+  std::size_t received() const noexcept { return received_count_; }
+  /// Number of additional packets needed to reconstruct: max(0, k - received).
+  std::size_t needed() const noexcept;
+  bool decodable() const noexcept { return received_count_ >= code_->k(); }
+
+  /// Number of duplicate/ignored packets seen (unnecessary receptions,
+  /// a metric the paper tracks in Section 2.1).
+  std::size_t duplicates() const noexcept { return duplicates_; }
+
+  /// Reconstructs and returns the k data packets; requires decodable().
+  /// Idempotent; subsequent calls return the cached reconstruction.
+  const std::vector<std::vector<std::uint8_t>>& reconstruct();
+
+  /// Number of data packets that were actually rebuilt by RSE decoding
+  /// (l in the paper; the per-receiver decode cost is proportional to it).
+  std::size_t decoded_packets() const noexcept { return decoded_packets_; }
+
+ private:
+  std::uint32_t tg_id_;
+  const RseCode* code_;
+  std::size_t packet_len_;
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards_;  // size n
+  std::size_t received_count_ = 0;
+  std::size_t duplicates_ = 0;
+  std::size_t decoded_packets_ = 0;
+  std::optional<std::vector<std::vector<std::uint8_t>>> result_;
+};
+
+}  // namespace pbl::fec

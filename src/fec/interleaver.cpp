@@ -1,0 +1,33 @@
+#include "fec/interleaver.hpp"
+
+#include <stdexcept>
+
+namespace pbl::fec {
+
+Interleaver::Interleaver(std::size_t depth, std::size_t group_len)
+    : depth_(depth), group_len_(group_len) {
+  if (depth == 0 || group_len == 0)
+    throw std::invalid_argument("Interleaver: depth and group_len must be > 0");
+}
+
+std::pair<std::size_t, std::size_t> Interleaver::slot_to_packet(
+    std::size_t slot) const {
+  if (slot >= window()) throw std::out_of_range("Interleaver: slot out of window");
+  return {slot % depth_, slot / depth_};
+}
+
+std::size_t Interleaver::packet_to_slot(std::size_t group,
+                                        std::size_t index) const {
+  if (group >= depth_ || index >= group_len_)
+    throw std::out_of_range("Interleaver: packet out of range");
+  return index * depth_ + group;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Interleaver::schedule() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(window());
+  for (std::size_t s = 0; s < window(); ++s) out.push_back(slot_to_packet(s));
+  return out;
+}
+
+}  // namespace pbl::fec

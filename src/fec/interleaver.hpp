@@ -1,0 +1,45 @@
+// Block interleaving of FEC-block transmissions (paper, Section 4.2).
+//
+// "Under interleaving the sender spreads the transmission of a FEC block
+// over an interval that is longer than the loss burst length ... packets
+// from different transmission groups can be sent simultaneously in an
+// interleaved manner."
+//
+// The Interleaver maps a linear send slot to a (group, packet-in-group)
+// pair: with depth D, packet j of group g is sent at slot j*D + g, i.e.
+// consecutive slots cycle through D different groups, stretching each
+// group's transmission by a factor D in time.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pbl::fec {
+
+class Interleaver {
+ public:
+  /// depth = number of groups interleaved together (D >= 1; D == 1 means
+  /// no interleaving); group_len = packets per group (n of the block).
+  Interleaver(std::size_t depth, std::size_t group_len);
+
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t group_len() const noexcept { return group_len_; }
+  /// Slots in one full interleaving window (= depth * group_len).
+  std::size_t window() const noexcept { return depth_ * group_len_; }
+
+  /// (group, index) sent at the given slot within a window.
+  std::pair<std::size_t, std::size_t> slot_to_packet(std::size_t slot) const;
+
+  /// Inverse mapping: slot at which (group, index) is sent.
+  std::size_t packet_to_slot(std::size_t group, std::size_t index) const;
+
+  /// Full send schedule for one window, in slot order.
+  std::vector<std::pair<std::size_t, std::size_t>> schedule() const;
+
+ private:
+  std::size_t depth_;
+  std::size_t group_len_;
+};
+
+}  // namespace pbl::fec

@@ -1,0 +1,84 @@
+#include "fec/packet.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+
+namespace pbl::fec {
+
+std::string to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kParity: return "PARITY";
+    case PacketType::kPoll: return "POLL";
+    case PacketType::kNak: return "NAK";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>(b[off] | (b[off + 1] << 8));
+}
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Packet& packet) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderWireSize + packet.payload.size());
+  out.push_back(static_cast<std::uint8_t>(packet.header.type));
+  out.push_back(0);  // reserved / alignment
+  put_u32(out, packet.header.tg);
+  put_u16(out, packet.header.index);
+  put_u16(out, packet.header.k);
+  put_u16(out, packet.header.n);
+  put_u16(out, packet.header.count);
+  put_u32(out, packet.header.seq);
+  put_u32(out, static_cast<std::uint32_t>(packet.payload.size()));
+  out.insert(out.end(), packet.payload.begin(), packet.payload.end());
+  put_u32(out, crc32(out));
+  return out;
+}
+
+Packet deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderWireSize + kCrcWireSize)
+    throw std::invalid_argument("packet: truncated header");
+  const std::size_t body = bytes.size() - kCrcWireSize;
+  const std::uint32_t stored = get_u32(bytes, body);
+  if (crc32(bytes.subspan(0, body)) != stored)
+    throw std::invalid_argument("packet: CRC mismatch");
+  bytes = bytes.subspan(0, body);
+  Packet p;
+  const std::uint8_t type = bytes[0];
+  if (type > static_cast<std::uint8_t>(PacketType::kNak))
+    throw std::invalid_argument("packet: unknown type");
+  p.header.type = static_cast<PacketType>(type);
+  p.header.tg = get_u32(bytes, 2);
+  p.header.index = get_u16(bytes, 6);
+  p.header.k = get_u16(bytes, 8);
+  p.header.n = get_u16(bytes, 10);
+  p.header.count = get_u16(bytes, 12);
+  p.header.seq = get_u32(bytes, 14);
+  p.header.payload_len = get_u32(bytes, 18);
+  if (bytes.size() != kHeaderWireSize + p.header.payload_len)
+    throw std::invalid_argument("packet: payload length mismatch");
+  p.payload.assign(bytes.begin() + kHeaderWireSize, bytes.end());
+  return p;
+}
+
+}  // namespace pbl::fec

@@ -1,0 +1,61 @@
+// Wire-level packet representation shared by the simulated channel and the
+// UDP transport.
+//
+// A transmission group (TG) of k data packets plus its h = n - k parities
+// forms an FEC block (paper, Section 2.1).  DATA and PARITY packets carry
+// (tg, index) addressing within the block: index < k for data, index in
+// [k, n) for parity.  POLL and NAK implement protocol NP's feedback
+// (Section 5.1): POLL(i, s) solicits feedback after s packets were sent
+// for TG i; NAK(i, l) reports that l more packets are needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pbl::fec {
+
+enum class PacketType : std::uint8_t {
+  kData = 0,
+  kParity = 1,
+  kPoll = 2,
+  kNak = 3,
+};
+
+std::string to_string(PacketType t);
+
+struct PacketHeader {
+  PacketType type = PacketType::kData;
+  std::uint32_t tg = 0;      ///< transmission-group id
+  std::uint16_t index = 0;   ///< position in the FEC block (data: <k, parity: [k,n))
+  std::uint16_t k = 0;       ///< TG size
+  std::uint16_t n = 0;       ///< FEC block size
+  std::uint16_t count = 0;   ///< POLL: packets sent this round (s); NAK: packets needed (l)
+  std::uint32_t seq = 0;     ///< global send sequence number
+  std::uint32_t payload_len = 0;
+
+  bool operator==(const PacketHeader&) const = default;
+};
+
+struct Packet {
+  PacketHeader header;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const Packet&) const = default;
+};
+
+inline constexpr std::size_t kHeaderWireSize = 22;
+inline constexpr std::size_t kCrcWireSize = 4;
+
+/// Serialises header + payload + CRC-32 trailer into a flat byte buffer
+/// (fixed-layout little-endian; the UDP transport's wire format).
+std::vector<std::uint8_t> serialize(const Packet& packet);
+
+/// Parses a buffer produced by serialize(); throws std::invalid_argument
+/// on truncated, inconsistent or corrupted (CRC mismatch) input.  The
+/// erasure code can only repair MISSING packets, so corruption must be
+/// turned into loss here.
+Packet deserialize(std::span<const std::uint8_t> bytes);
+
+}  // namespace pbl::fec

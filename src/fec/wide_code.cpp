@@ -1,0 +1,115 @@
+#include "fec/wide_code.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace pbl::fec {
+
+RseCodeWide::RseCodeWide(std::size_t k, std::size_t n)
+    : k_(k), n_(n), field_(16),
+      generator_(gf::Matrix::systematic_generator(field_, n, k)) {
+  if (k == 0 || k > n) throw std::invalid_argument("RseCodeWide: 0 < k <= n");
+  if (n > 65535)
+    throw std::invalid_argument("RseCodeWide: GF(2^16) limits n <= 65535");
+}
+
+void RseCodeWide::mul_add_u16(std::uint8_t* dst, const std::uint8_t* src,
+                              std::size_t bytes, gf::Sym c) const {
+  if (c == 0) return;
+  for (std::size_t i = 0; i + 1 < bytes; i += 2) {
+    const gf::Sym s = static_cast<gf::Sym>(src[i]) |
+                      (static_cast<gf::Sym>(src[i + 1]) << 8);
+    if (s == 0) continue;
+    const gf::Sym prod = field_.mul(c, s);
+    dst[i] ^= static_cast<std::uint8_t>(prod);
+    dst[i + 1] ^= static_cast<std::uint8_t>(prod >> 8);
+  }
+}
+
+namespace {
+void check_even_equal(std::span<const std::span<const std::uint8_t>> data) {
+  for (const auto& d : data) {
+    if (d.size() % 2 != 0)
+      throw std::invalid_argument(
+          "RseCodeWide: packet length must be a multiple of 2");
+    if (d.size() != data[0].size())
+      throw std::invalid_argument("RseCodeWide: packets must have equal length");
+  }
+}
+}  // namespace
+
+void RseCodeWide::encode_parity(
+    std::size_t j, std::span<const std::span<const std::uint8_t>> data,
+    std::span<std::uint8_t> out) const {
+  if (j >= h()) throw std::invalid_argument("RseCodeWide: parity index");
+  if (data.size() != k_)
+    throw std::invalid_argument("RseCodeWide: need k data packets");
+  check_even_equal(data);
+  if (!data.empty() && out.size() != data[0].size())
+    throw std::invalid_argument("RseCodeWide: output length mismatch");
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  const auto row = generator_.row(k_ + j);
+  for (std::size_t i = 0; i < k_; ++i)
+    mul_add_u16(out.data(), data[i].data(), out.size(), row[i]);
+}
+
+void RseCodeWide::decode(std::span<const WideShard> received,
+                         std::span<const std::span<std::uint8_t>> out) const {
+  if (out.size() != k_)
+    throw std::invalid_argument("RseCodeWide: need k output buffers");
+  if (received.size() < k_)
+    throw std::invalid_argument("RseCodeWide: need at least k shards");
+
+  std::vector<bool> index_seen(n_, false);
+  for (const auto& s : received) {
+    if (s.index >= n_)
+      throw std::invalid_argument("RseCodeWide: shard index out of range");
+    if (index_seen[s.index])
+      throw std::invalid_argument("RseCodeWide: duplicate shard");
+    index_seen[s.index] = true;
+    if (s.data.size() % 2 != 0)
+      throw std::invalid_argument(
+          "RseCodeWide: packet length must be a multiple of 2");
+  }
+
+  std::vector<const WideShard*> chosen;
+  chosen.reserve(k_);
+  for (const auto& s : received)
+    if (s.index < k_ && chosen.size() < k_) chosen.push_back(&s);
+  for (const auto& s : received)
+    if (s.index >= k_ && chosen.size() < k_) chosen.push_back(&s);
+
+  const std::size_t len = chosen[0]->data.size();
+  for (const auto* s : chosen)
+    if (s->data.size() != len)
+      throw std::invalid_argument("RseCodeWide: packets must have equal length");
+  for (const auto& o : out)
+    if (o.size() != len)
+      throw std::invalid_argument("RseCodeWide: output length mismatch");
+
+  std::vector<bool> have_data(k_, false);
+  for (const auto* s : chosen) {
+    if (s->index >= k_) continue;
+    have_data[s->index] = true;
+    auto dst = out[s->index];
+    if (dst.data() != s->data.data())
+      std::memcpy(dst.data(), s->data.data(), len);
+  }
+  if (std::all_of(have_data.begin(), have_data.end(), [](bool b) { return b; }))
+    return;
+
+  std::vector<std::size_t> rows(k_);
+  for (std::size_t i = 0; i < k_; ++i) rows[i] = chosen[i]->index;
+  const gf::Matrix dec = generator_.select_rows(rows).inverted();
+
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (have_data[i]) continue;
+    auto dst = out[i];
+    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    for (std::size_t j = 0; j < k_; ++j)
+      mul_add_u16(dst.data(), chosen[j]->data.data(), len, dec.at(i, j));
+  }
+}
+
+}  // namespace pbl::fec

@@ -1,0 +1,57 @@
+// Wide-symbol RSE codec over GF(2^m) for FEC blocks larger than the
+// GF(2^8) limit of n <= 255 (Section 2.2: "the symbol size m must be
+// picked sufficiently large such that n < 2^m").
+//
+// With m = 16, blocks up to n = 65535 are possible: a k = 1000 group with
+// hundreds of parities, which the narrow codec cannot express.  The
+// trade-off is speed — symbols go through the log/antilog tables instead
+// of a dense product table — matching the paper's observation that larger
+// symbols are harder to implement efficiently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gf/gf.hpp"
+#include "gf/matrix.hpp"
+
+namespace pbl::fec {
+
+/// A received fragment of a wide block (same shape as fec::Shard).
+struct WideShard {
+  std::size_t index = 0;
+  std::span<const std::uint8_t> data{};  ///< length must be a multiple of 2
+};
+
+class RseCodeWide {
+ public:
+  /// (k, n) systematic code over GF(2^16); 0 < k <= n <= 65535.
+  RseCodeWide(std::size_t k, std::size_t n);
+
+  std::size_t k() const noexcept { return k_; }
+  std::size_t n() const noexcept { return n_; }
+  std::size_t h() const noexcept { return n_ - k_; }
+
+  /// Parity j from the k data packets (equal even lengths; out overwritten).
+  void encode_parity(std::size_t j,
+                     std::span<const std::span<const std::uint8_t>> data,
+                     std::span<std::uint8_t> out) const;
+
+  /// Reconstructs the k data packets from >= k distinct shards.
+  void decode(std::span<const WideShard> received,
+              std::span<const std::span<std::uint8_t>> out) const;
+
+ private:
+  /// out[s] ^= c * src[s] over 16-bit little-endian symbols.
+  void mul_add_u16(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t bytes, gf::Sym c) const;
+
+  std::size_t k_;
+  std::size_t n_;
+  gf::GaloisField field_;
+  gf::Matrix generator_;
+};
+
+}  // namespace pbl::fec

@@ -1,0 +1,99 @@
+#include "gf/gf.hpp"
+
+#include <stdexcept>
+
+namespace pbl::gf {
+
+std::uint32_t primitive_polynomial(unsigned m) {
+  // Standard primitive polynomials (lowest-weight convention); index = m.
+  static constexpr std::uint32_t polys[] = {
+      0,       0,       0x7,     0xB,     0x13,    0x25,   0x43,
+      0x89,    0x11D,   0x211,   0x409,   0x805,   0x1053, 0x201B,
+      0x4443,  0x8003,  0x1100B,
+  };
+  if (m < 2 || m > 16) throw std::invalid_argument("GF(2^m): m must be in [2,16]");
+  return polys[m];
+}
+
+GaloisField::GaloisField(unsigned m)
+    : m_(m), size_(Sym{1} << m), exp_(std::size_t{2} * (Sym{1} << m)),
+      log_(Sym{1} << m) {
+  const std::uint32_t poly = primitive_polynomial(m);
+  Sym x = 1;
+  for (Sym i = 0; i < order(); ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & size_) x ^= poly;
+  }
+  if (x != 1) throw std::logic_error("GF table generation: alpha is not primitive");
+  // Duplicate the exp table so mul() can index log a + log b (< 2*order)
+  // without a modulo.
+  for (std::size_t i = order(); i < exp_.size(); ++i)
+    exp_[i] = exp_[i - order()];
+  log_[0] = 0;  // unused sentinel; mul() short-circuits on zero
+}
+
+Sym GaloisField::div(Sym a, Sym b) const {
+  if (b == 0) throw std::domain_error("GF division by zero");
+  if (a == 0) return 0;
+  return exp_[log_[a] + order() - log_[b]];
+}
+
+Sym GaloisField::inv(Sym a) const {
+  if (a == 0) throw std::domain_error("GF inverse of zero");
+  return exp_[order() - log_[a]];
+}
+
+Sym GaloisField::poly_eval(std::span<const Sym> coeffs, Sym x) const noexcept {
+  Sym acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = add(mul(acc, x), coeffs[i]);
+  return acc;
+}
+
+const Gf256& Gf256::instance() {
+  static const Gf256 gf;
+  return gf;
+}
+
+Gf256::Gf256() : field_(8) {
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b)
+      mul_[a][b] = static_cast<std::uint8_t>(field_.mul(a, b));
+}
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) const {
+  return static_cast<std::uint8_t>(field_.div(a, b));
+}
+
+std::uint8_t Gf256::inv(std::uint8_t a) const {
+  return static_cast<std::uint8_t>(field_.inv(a));
+}
+
+void Gf256::mul_add(std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t len, std::uint8_t c) const noexcept {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& row = mul_[c];
+  for (std::size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+}
+
+void Gf256::mul_assign(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t len, std::uint8_t c) const noexcept {
+  if (c == 0) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    if (dst != src)
+      for (std::size_t i = 0; i < len; ++i) dst[i] = src[i];
+    return;
+  }
+  const auto& row = mul_[c];
+  for (std::size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace pbl::gf

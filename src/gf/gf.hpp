@@ -1,0 +1,110 @@
+// Galois-field arithmetic GF(2^m) for Reed-Solomon erasure coding.
+//
+// The paper (Section 2) codes over GF(2^m) with symbol size m = 8 following
+// McAuley [12] and Rizzo [14]: packets of P bits are coded as S = P/m
+// parallel streams of m-bit symbols.  This module provides:
+//   * GaloisField    — generic GF(2^m), 2 <= m <= 16, log/antilog tables
+//   * Gf256          — specialised GF(2^8) with a full 64 KiB product table
+//                      and fused multiply-add over byte buffers (the codec
+//                      hot loop)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pbl::gf {
+
+using Sym = std::uint32_t;  ///< field element; valid values < 2^m
+
+/// Returns the conventional primitive polynomial for GF(2^m) (bit i of the
+/// result is the coefficient of x^i, including the leading x^m term).
+std::uint32_t primitive_polynomial(unsigned m);
+
+/// Generic GF(2^m) built from exp/log tables at construction time.
+///
+/// Addition is XOR.  Multiplication/division go through the discrete
+/// logarithm with respect to the primitive element alpha = x.
+class GaloisField {
+ public:
+  explicit GaloisField(unsigned m);
+
+  unsigned m() const noexcept { return m_; }
+  /// Number of field elements, 2^m.
+  Sym size() const noexcept { return size_; }
+  /// Size of the multiplicative group, 2^m - 1.
+  Sym order() const noexcept { return size_ - 1; }
+
+  static Sym add(Sym a, Sym b) noexcept { return a ^ b; }
+  static Sym sub(Sym a, Sym b) noexcept { return a ^ b; }
+
+  Sym mul(Sym a, Sym b) const noexcept {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  Sym div(Sym a, Sym b) const;  ///< throws std::domain_error on b == 0
+  Sym inv(Sym a) const;         ///< throws std::domain_error on a == 0
+
+  /// alpha^i for any integer i >= 0 (reduced mod the group order).
+  Sym exp(std::uint64_t i) const noexcept {
+    return exp_[static_cast<std::size_t>(i % order())];
+  }
+  /// Discrete log; precondition a != 0.
+  Sym log(Sym a) const noexcept { return log_[a]; }
+
+  /// a^e by repeated squaring through the log table.
+  Sym pow(Sym a, std::uint64_t e) const noexcept {
+    if (a == 0) return e == 0 ? 1 : 0;
+    return exp_[(static_cast<std::uint64_t>(log_[a]) * (e % order())) % order()];
+  }
+
+  /// Horner evaluation of F(X) = c[0] + c[1] X + ... + c[n-1] X^(n-1),
+  /// the polynomial of Eq. (1) in the paper.
+  Sym poly_eval(std::span<const Sym> coeffs, Sym x) const noexcept;
+
+ private:
+  unsigned m_;
+  Sym size_;
+  std::vector<Sym> exp_;  // size 2*(2^m), doubled to avoid a mod in mul()
+  std::vector<Sym> log_;  // size 2^m
+};
+
+/// Specialised GF(2^8) arithmetic with precomputed 256x256 product table.
+///
+/// Thread-safe after first use (tables are built once, immutably).
+class Gf256 {
+ public:
+  static const Gf256& instance();
+
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+    return a ^ b;
+  }
+  std::uint8_t mul(std::uint8_t a, std::uint8_t b) const noexcept {
+    return mul_[a][b];
+  }
+  std::uint8_t div(std::uint8_t a, std::uint8_t b) const;
+  std::uint8_t inv(std::uint8_t a) const;
+  std::uint8_t exp(std::uint64_t i) const noexcept {
+    return static_cast<std::uint8_t>(field_.exp(i));
+  }
+
+  /// dst[i] ^= c * src[i] for i in [0, len): the encode/decode hot loop.
+  void mul_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t len,
+               std::uint8_t c) const noexcept;
+
+  /// dst[i] = c * src[i].
+  void mul_assign(std::uint8_t* dst, const std::uint8_t* src, std::size_t len,
+                  std::uint8_t c) const noexcept;
+
+  const GaloisField& field() const noexcept { return field_; }
+
+ private:
+  Gf256();
+  GaloisField field_;
+  std::array<std::array<std::uint8_t, 256>, 256> mul_{};
+};
+
+}  // namespace pbl::gf

@@ -1,0 +1,126 @@
+#include "gf/matrix.hpp"
+
+#include <stdexcept>
+
+namespace pbl::gf {
+
+Matrix::Matrix(const GaloisField& field, std::size_t rows, std::size_t cols)
+    : field_(&field), rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Matrix Matrix::identity(const GaloisField& field, std::size_t n) {
+  Matrix m(field, n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(const GaloisField& field, std::size_t n,
+                           std::size_t k) {
+  if (n > field.order())
+    throw std::invalid_argument(
+        "vandermonde: need n <= 2^m - 1 for distinct evaluation points");
+  Matrix m(field, n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sym x = field.exp(i);  // alpha^i, all distinct for i < 2^m - 1
+    Sym pw = 1;
+    for (std::size_t j = 0; j < k; ++j) {
+      m.at(i, j) = pw;
+      pw = field.mul(pw, x);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::systematic_generator(const GaloisField& field, std::size_t n,
+                                    std::size_t k) {
+  if (k == 0 || k > n) throw std::invalid_argument("generator: need 0 < k <= n");
+  const Matrix v = vandermonde(field, n, k);
+  // Top k x k block of a Vandermonde with distinct points is invertible.
+  std::vector<std::size_t> top(k);
+  for (std::size_t i = 0; i < k; ++i) top[i] = i;
+  const Matrix vtop_inv = v.select_rows(top).inverted();
+  Matrix g = v.mul(vtop_inv);
+  // Snap the top block to an exact identity (it already is, numerically
+  // exactly, but make the invariant explicit and cheap to verify).
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      if (g.at(i, j) != (i == j ? 1u : 0u))
+        throw std::logic_error("systematic generator: top block not identity");
+  return g;
+}
+
+Matrix Matrix::mul(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("matrix mul: shape");
+  Matrix out(*field_, rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t l = 0; l < cols_; ++l) {
+      const Sym a = at(i, l);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) =
+            GaloisField::add(out.at(i, j), field_->mul(a, other.at(l, j)));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Sym> Matrix::mul_vec(std::span<const Sym> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("matrix mul_vec: shape");
+  std::vector<Sym> y(rows_, 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    Sym acc = 0;
+    for (std::size_t j = 0; j < cols_; ++j)
+      acc = GaloisField::add(acc, field_->mul(at(i, j), x[j]));
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::inverted() const {
+  if (rows_ != cols_) throw std::invalid_argument("inverse: not square");
+  const std::size_t n = rows_;
+  Matrix a(*this);
+  Matrix inv = identity(*field_, n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a nonzero pivot (any nonzero works in a field; no stability
+    // concerns in exact arithmetic).
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) throw std::domain_error("matrix is singular");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a.at(pivot, j), a.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    const Sym d = field_->inv(a.at(col, col));
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(col, j) = field_->mul(a.at(col, j), d);
+      inv.at(col, j) = field_->mul(inv.at(col, j), d);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const Sym f = a.at(r, col);
+      if (f == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(r, j) = GaloisField::add(a.at(r, j), field_->mul(f, a.at(col, j)));
+        inv.at(r, j) =
+            GaloisField::add(inv.at(r, j), field_->mul(f, inv.at(col, j)));
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> row_indices) const {
+  Matrix out(*field_, row_indices.size(), cols_);
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    if (row_indices[i] >= rows_)
+      throw std::out_of_range("select_rows: index out of range");
+    for (std::size_t j = 0; j < cols_; ++j)
+      out.at(i, j) = at(row_indices[i], j);
+  }
+  return out;
+}
+
+}  // namespace pbl::gf

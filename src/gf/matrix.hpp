@@ -1,0 +1,73 @@
+// Dense matrix algebra over GF(2^m): construction of Vandermonde-based
+// systematic generator matrices and Gauss-Jordan inversion, as used by the
+// RSE encoder/decoder (Rizzo '97, McAuley '90).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gf/gf.hpp"
+
+namespace pbl::gf {
+
+/// Row-major matrix of field symbols.  The field is referenced, not owned;
+/// it must outlive the matrix.
+class Matrix {
+ public:
+  Matrix(const GaloisField& field, std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  Sym& at(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  Sym at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  std::span<const Sym> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<Sym> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  const GaloisField& field() const noexcept { return *field_; }
+
+  static Matrix identity(const GaloisField& field, std::size_t n);
+
+  /// n x k Vandermonde matrix V[i][j] = x_i^j with x_i = alpha^i.
+  /// All x_i are distinct while n <= 2^m - 1, which makes every k-row
+  /// subset invertible — the property erasure decoding relies on.
+  static Matrix vandermonde(const GaloisField& field, std::size_t n,
+                            std::size_t k);
+
+  /// Systematic RSE generator: G = V * V_top^{-1}, an n x k matrix whose
+  /// top k x k block is the identity and any k rows of which are
+  /// invertible.  Encoding c = G * d maps k data symbols to n coded
+  /// symbols whose first k equal the data (Section 2.1 of the paper).
+  static Matrix systematic_generator(const GaloisField& field, std::size_t n,
+                                     std::size_t k);
+
+  Matrix mul(const Matrix& other) const;
+
+  /// Matrix-vector product y = A * x.
+  std::vector<Sym> mul_vec(std::span<const Sym> x) const;
+
+  /// Gauss-Jordan inverse; throws std::domain_error if singular.
+  Matrix inverted() const;
+
+  /// Sub-matrix made of the given rows (in order).
+  Matrix select_rows(std::span<const std::size_t> row_indices) const;
+
+  bool operator==(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  const GaloisField* field_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Sym> data_;
+};
+
+}  // namespace pbl::gf

@@ -1,0 +1,32 @@
+#include <stdexcept>
+
+#include "loss/loss_model.hpp"
+
+namespace pbl::loss {
+
+namespace {
+
+class BernoulliProcess final : public LossProcess {
+ public:
+  BernoulliProcess(Rng rng, double p) : rng_(rng), p_(p) {}
+  bool lost(double /*time*/) override { return rng_.bernoulli(p_); }
+  double loss_probability() const override { return p_; }
+
+ private:
+  Rng rng_;
+  double p_;
+};
+
+}  // namespace
+
+BernoulliLossModel::BernoulliLossModel(double p) : p_(p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("BernoulliLossModel: p in [0,1]");
+}
+
+std::unique_ptr<LossProcess> BernoulliLossModel::make_process(
+    Rng rng, std::size_t /*receiver*/) const {
+  return std::make_unique<BernoulliProcess>(rng, p_);
+}
+
+}  // namespace pbl::loss

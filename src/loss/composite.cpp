@@ -1,0 +1,41 @@
+#include <stdexcept>
+
+#include "loss/loss_model.hpp"
+
+namespace pbl::loss {
+
+CompositeLossModel::CompositeLossModel(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty())
+    throw std::invalid_argument("CompositeLossModel: need >= 1 component");
+  for (const auto& c : components_) {
+    if (!c.model)
+      throw std::invalid_argument("CompositeLossModel: null component model");
+    if (c.count == 0)
+      throw std::invalid_argument("CompositeLossModel: component count >= 1");
+    total_ += c.count;
+  }
+}
+
+const LossModel& CompositeLossModel::component_for(std::size_t receiver) const {
+  std::size_t offset = 0;
+  for (const auto& c : components_) {
+    if (receiver < offset + c.count) return *c.model;
+    offset += c.count;
+  }
+  throw std::out_of_range("CompositeLossModel: receiver index");
+}
+
+std::unique_ptr<LossProcess> CompositeLossModel::make_process(
+    Rng rng, std::size_t receiver) const {
+  return component_for(receiver).make_process(rng, receiver);
+}
+
+double CompositeLossModel::mean_loss_probability() const {
+  double sum = 0.0;
+  for (const auto& c : components_)
+    sum += c.model->mean_loss_probability() * static_cast<double>(c.count);
+  return sum / static_cast<double>(total_);
+}
+
+}  // namespace pbl::loss

@@ -1,0 +1,42 @@
+#include "loss/estimator.hpp"
+
+#include <stdexcept>
+
+namespace pbl::loss {
+
+LossEstimator::LossEstimator(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw std::invalid_argument("LossEstimator: alpha in (0,1]");
+}
+
+void LossEstimator::observe(bool lost) {
+  ++observed_;
+  ewma_ += alpha_ * ((lost ? 1.0 : 0.0) - ewma_);
+  if (lost) {
+    ++losses_;
+    ++current_run_;
+  } else if (current_run_ > 0) {
+    ++bursts_;
+    burst_losses_ += current_run_;
+    current_run_ = 0;
+  }
+}
+
+double LossEstimator::loss_rate() const noexcept {
+  return observed_ == 0
+             ? 0.0
+             : static_cast<double>(losses_) / static_cast<double>(observed_);
+}
+
+double LossEstimator::mean_burst_length() const noexcept {
+  return bursts_ == 0 ? 1.0
+                      : static_cast<double>(burst_losses_) /
+                            static_cast<double>(bursts_);
+}
+
+void LossEstimator::reset() {
+  ewma_ = 0.0;
+  observed_ = losses_ = bursts_ = burst_losses_ = current_run_ = 0;
+}
+
+}  // namespace pbl::loss

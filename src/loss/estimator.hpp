@@ -1,0 +1,51 @@
+// Online loss-characteristics estimation from an observed packet stream:
+// the measurement half of an adaptive FEC controller (the paper's
+// Section 4.1 discussion of "adaptive transport mechanisms that are based
+// on measurements of receiver loss rates").
+//
+// Tracks the cumulative and exponentially-weighted loss rate and the mean
+// length of loss bursts — exactly the (p, b) pair that parameterises the
+// models and the Gilbert process.
+#pragma once
+
+#include <cstdint>
+
+namespace pbl::loss {
+
+class LossEstimator {
+ public:
+  /// alpha: EWMA weight of a new observation (0 < alpha <= 1).
+  explicit LossEstimator(double alpha = 0.01);
+
+  /// Feeds the outcome of one packet slot, in stream order.
+  void observe(bool lost);
+
+  std::uint64_t observed() const noexcept { return observed_; }
+  std::uint64_t losses() const noexcept { return losses_; }
+
+  /// Cumulative loss fraction over everything observed.
+  double loss_rate() const noexcept;
+
+  /// Exponentially-weighted loss rate (tracks drift).
+  double ewma_loss_rate() const noexcept { return ewma_; }
+
+  /// Mean length of completed runs of consecutive losses; 1.0 until a
+  /// burst has completed.
+  double mean_burst_length() const noexcept;
+
+  /// Number of completed loss bursts.
+  std::uint64_t bursts() const noexcept { return bursts_; }
+
+  void reset();
+
+ private:
+  double alpha_;
+  double ewma_ = 0.0;
+  std::uint64_t observed_ = 0;
+  std::uint64_t losses_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t burst_losses_ = 0;  // losses inside completed bursts
+  std::uint64_t current_run_ = 0;
+};
+
+}  // namespace pbl::loss

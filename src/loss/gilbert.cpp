@@ -1,0 +1,93 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "loss/loss_model.hpp"
+
+namespace pbl::loss {
+
+namespace {
+
+/// Lazily-advanced two-state CTMC.  Between queries dt apart, the exact
+/// transition probability of the 2-state chain is used:
+///   P(X_{t+dt} = 1 | X_t = i) = pi1 + (1{i=1} - pi1) * exp(-(lambda+mu) dt)
+class GilbertProcess final : public LossProcess {
+ public:
+  GilbertProcess(Rng rng, double enter_rate, double exit_rate)
+      : rng_(rng), sum_(enter_rate + exit_rate),
+        pi1_(enter_rate / (enter_rate + exit_rate)) {
+    state_lost_ = rng_.bernoulli(pi1_);  // start in stationarity
+  }
+
+  bool lost(double time) override {
+    const double dt = time - last_time_;
+    last_time_ = time;
+    if (dt > 0.0) {
+      const double decay = decay_for(dt);
+      const double p1 = pi1_ + ((state_lost_ ? 1.0 : 0.0) - pi1_) * decay;
+      state_lost_ = rng_.bernoulli(p1);
+    }
+    return state_lost_;
+  }
+
+  double loss_probability() const override { return pi1_; }
+
+ private:
+  // Simulations query at a near-constant spacing (delta, or delta + T at
+  // round boundaries), so a two-entry memo for exp(-sum*dt) removes the
+  // exp() from the hot path.
+  double decay_for(double dt) {
+    if (dt == memo_dt_[0]) return memo_decay_[0];
+    if (dt == memo_dt_[1]) return memo_decay_[1];
+    const double d = std::exp(-sum_ * dt);
+    memo_dt_[next_slot_] = dt;
+    memo_decay_[next_slot_] = d;
+    next_slot_ ^= 1;
+    return d;
+  }
+
+  Rng rng_;
+  double sum_;
+  double pi1_;
+  bool state_lost_ = false;
+  double last_time_ = 0.0;
+  double memo_dt_[2] = {-1.0, -1.0};
+  double memo_decay_[2] = {0.0, 0.0};
+  int next_slot_ = 0;
+};
+
+}  // namespace
+
+GilbertLossModel::GilbertLossModel(double enter_rate, double exit_rate)
+    : enter_rate_(enter_rate), exit_rate_(exit_rate) {
+  if (enter_rate <= 0.0 || exit_rate <= 0.0)
+    throw std::invalid_argument("GilbertLossModel: rates must be positive");
+}
+
+GilbertLossModel GilbertLossModel::from_packet_stats(double p,
+                                                     double mean_burst,
+                                                     double delta) {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("GilbertLossModel: p in (0,1)");
+  if (mean_burst <= 1.0)
+    throw std::invalid_argument(
+        "GilbertLossModel: mean_burst must exceed 1 packet");
+  if (delta <= 0.0)
+    throw std::invalid_argument("GilbertLossModel: delta must be positive");
+  // Mean run of consecutive lost packets at spacing delta is geometric
+  // with continuation probability exp(-exit_rate * delta):
+  //   mean_burst = 1 / (1 - exp(-exit_rate * delta))
+  const double exit_rate = -std::log1p(-1.0 / mean_burst) / delta;
+  const double enter_rate = exit_rate * p / (1.0 - p);
+  return GilbertLossModel(enter_rate, exit_rate);
+}
+
+std::unique_ptr<LossProcess> GilbertLossModel::make_process(
+    Rng rng, std::size_t /*receiver*/) const {
+  return std::make_unique<GilbertProcess>(rng, enter_rate_, exit_rate_);
+}
+
+double GilbertLossModel::mean_loss_probability() const {
+  return enter_rate_ / (enter_rate_ + exit_rate_);
+}
+
+}  // namespace pbl::loss

@@ -1,0 +1,42 @@
+#include <stdexcept>
+
+#include "loss/loss_model.hpp"
+
+namespace pbl::loss {
+
+HeterogeneousLossModel::HeterogeneousLossModel(std::size_t receivers,
+                                               double alpha, double p_low,
+                                               double p_high)
+    : receivers_(receivers), p_low_(p_low), p_high_(p_high) {
+  if (receivers == 0)
+    throw std::invalid_argument("HeterogeneousLossModel: need receivers >= 1");
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("HeterogeneousLossModel: alpha in [0,1]");
+  if (p_low < 0.0 || p_low > 1.0 || p_high < 0.0 || p_high > 1.0)
+    throw std::invalid_argument("HeterogeneousLossModel: probabilities in [0,1]");
+  high_count_ = static_cast<std::size_t>(
+      static_cast<double>(receivers) * alpha + 0.5);
+  if (high_count_ > receivers_) high_count_ = receivers_;
+}
+
+double HeterogeneousLossModel::receiver_loss_probability(
+    std::size_t receiver) const {
+  if (receiver >= receivers_)
+    throw std::out_of_range("HeterogeneousLossModel: receiver index");
+  // High-loss receivers occupy the tail of the index range.
+  return receiver >= receivers_ - high_count_ ? p_high_ : p_low_;
+}
+
+std::unique_ptr<LossProcess> HeterogeneousLossModel::make_process(
+    Rng rng, std::size_t receiver) const {
+  return BernoulliLossModel(receiver_loss_probability(receiver))
+      .make_process(rng, receiver);
+}
+
+double HeterogeneousLossModel::mean_loss_probability() const {
+  const double hi = static_cast<double>(high_count_);
+  const double lo = static_cast<double>(receivers_ - high_count_);
+  return (lo * p_low_ + hi * p_high_) / static_cast<double>(receivers_);
+}
+
+}  // namespace pbl::loss

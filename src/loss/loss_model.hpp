@@ -1,0 +1,170 @@
+// Packet-loss models (paper Sections 3, 3.3 and 4.2).
+//
+// A LossModel is a factory of per-receiver LossProcess instances; each
+// process answers "is a packet transmitted at time t lost?" for
+// non-decreasing query times.  Time-independent models (Bernoulli) ignore
+// t; the Gilbert model advances a two-state continuous-time Markov chain
+// between queries, so query spacing — the Fig. 13 timing of each protocol
+// variant — shapes the effective correlation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl::loss {
+
+class LossProcess {
+ public:
+  virtual ~LossProcess() = default;
+
+  /// True if a packet sent at `time` is lost.  `time` must be
+  /// non-decreasing across calls on the same process.
+  virtual bool lost(double time) = 0;
+
+  /// Long-run loss probability of this process.
+  virtual double loss_probability() const = 0;
+};
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  /// Creates the loss process of receiver `receiver` (index only matters
+  /// for heterogeneous populations).  Processes of different receivers
+  /// are statistically independent.
+  virtual std::unique_ptr<LossProcess> make_process(Rng rng,
+                                                    std::size_t receiver) const = 0;
+
+  /// Population-average loss probability.
+  virtual double mean_loss_probability() const = 0;
+};
+
+/// Spatially and temporally independent loss with probability p.
+class BernoulliLossModel final : public LossModel {
+ public:
+  explicit BernoulliLossModel(double p);
+  std::unique_ptr<LossProcess> make_process(Rng rng,
+                                            std::size_t receiver) const override;
+  double mean_loss_probability() const override { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Two-state continuous-time Markov chain ("Gilbert") burst-loss model
+/// (Section 4.2).  State 1 = loss.  Parameterised either directly by the
+/// transition rates or from packet-level statistics: stationary loss
+/// probability p, mean burst length b (in packets), packet spacing delta.
+class GilbertLossModel final : public LossModel {
+ public:
+  /// enter_rate: 0 -> 1 transitions per second; exit_rate: 1 -> 0.
+  GilbertLossModel(double enter_rate, double exit_rate);
+
+  /// The paper's parameterisation: choose rates so the chain has
+  /// stationary loss probability `p` and, when sampled every `delta`
+  /// seconds, a mean run of consecutive losses of `mean_burst` packets:
+  ///   exit_rate  = -ln(1 - 1/mean_burst) / delta
+  ///   enter_rate = exit_rate * p / (1 - p)
+  /// (The printed Section 4.2 formulas attach the burst-sojourn rate to
+  /// the wrong state for their generator convention; see DESIGN.md.)
+  static GilbertLossModel from_packet_stats(double p, double mean_burst,
+                                            double delta);
+
+  std::unique_ptr<LossProcess> make_process(Rng rng,
+                                            std::size_t receiver) const override;
+  double mean_loss_probability() const override;
+
+  double enter_rate() const noexcept { return enter_rate_; }
+  double exit_rate() const noexcept { return exit_rate_; }
+
+ private:
+  double enter_rate_;  // lambda_01
+  double exit_rate_;   // lambda_10
+};
+
+/// Heterogeneous population (Section 3.3): the first (1-alpha)*R receivers
+/// lose independently at p_low, the remainder at p_high.
+class HeterogeneousLossModel final : public LossModel {
+ public:
+  HeterogeneousLossModel(std::size_t receivers, double alpha, double p_low,
+                         double p_high);
+  std::unique_ptr<LossProcess> make_process(Rng rng,
+                                            std::size_t receiver) const override;
+  double mean_loss_probability() const override;
+
+  std::size_t high_loss_count() const noexcept { return high_count_; }
+  double receiver_loss_probability(std::size_t receiver) const;
+
+ private:
+  std::size_t receivers_;
+  std::size_t high_count_;
+  double p_low_;
+  double p_high_;
+};
+
+/// Arbitrary class mixture: receivers are assigned to classes by index
+/// ranges in declaration order (class 0 owns indices [0, count_0), class
+/// 1 the next count_1, ...).  Generalises HeterogeneousLossModel beyond
+/// two classes; the analytical counterpart is analysis::Population.
+class MultiClassLossModel final : public LossModel {
+ public:
+  struct Class {
+    double loss_prob = 0.0;
+    std::size_t count = 0;
+  };
+  explicit MultiClassLossModel(std::vector<Class> classes);
+
+  std::unique_ptr<LossProcess> make_process(Rng rng,
+                                            std::size_t receiver) const override;
+  double mean_loss_probability() const override;
+
+  std::size_t receivers() const noexcept { return total_; }
+  double receiver_loss_probability(std::size_t receiver) const;
+
+ private:
+  std::vector<Class> classes_;
+  std::size_t total_ = 0;
+};
+
+/// Mixture of arbitrary loss MODELS: receivers are assigned to component
+/// models by index ranges in declaration order, so e.g. part of the
+/// population can be bursty (Gilbert) while the rest loses independently.
+/// Generalises MultiClassLossModel from probabilities to whole models.
+class CompositeLossModel final : public LossModel {
+ public:
+  struct Component {
+    std::shared_ptr<const LossModel> model;
+    std::size_t count = 0;
+  };
+  explicit CompositeLossModel(std::vector<Component> components);
+
+  std::unique_ptr<LossProcess> make_process(Rng rng,
+                                            std::size_t receiver) const override;
+  double mean_loss_probability() const override;
+
+  std::size_t receivers() const noexcept { return total_; }
+  /// The component model serving the given receiver index.
+  const LossModel& component_for(std::size_t receiver) const;
+
+ private:
+  std::vector<Component> components_;
+  std::size_t total_ = 0;
+};
+
+/// Deterministic scripted loss for tests: packet t_i is lost iff the i-th
+/// entry of the pattern is true (pattern repeats; time is ignored).
+class TraceLossModel final : public LossModel {
+ public:
+  explicit TraceLossModel(std::vector<bool> pattern);
+  std::unique_ptr<LossProcess> make_process(Rng rng,
+                                            std::size_t receiver) const override;
+  double mean_loss_probability() const override;
+
+ private:
+  std::vector<bool> pattern_;
+};
+
+}  // namespace pbl::loss

@@ -1,0 +1,43 @@
+#include <stdexcept>
+
+#include "loss/loss_model.hpp"
+
+namespace pbl::loss {
+
+MultiClassLossModel::MultiClassLossModel(std::vector<Class> classes)
+    : classes_(std::move(classes)) {
+  if (classes_.empty())
+    throw std::invalid_argument("MultiClassLossModel: need at least one class");
+  for (const auto& c : classes_) {
+    if (c.loss_prob < 0.0 || c.loss_prob > 1.0)
+      throw std::invalid_argument("MultiClassLossModel: loss_prob in [0,1]");
+    if (c.count == 0)
+      throw std::invalid_argument("MultiClassLossModel: class count >= 1");
+    total_ += c.count;
+  }
+}
+
+double MultiClassLossModel::receiver_loss_probability(
+    std::size_t receiver) const {
+  std::size_t offset = 0;
+  for (const auto& c : classes_) {
+    if (receiver < offset + c.count) return c.loss_prob;
+    offset += c.count;
+  }
+  throw std::out_of_range("MultiClassLossModel: receiver index");
+}
+
+std::unique_ptr<LossProcess> MultiClassLossModel::make_process(
+    Rng rng, std::size_t receiver) const {
+  return BernoulliLossModel(receiver_loss_probability(receiver))
+      .make_process(rng, receiver);
+}
+
+double MultiClassLossModel::mean_loss_probability() const {
+  double sum = 0.0;
+  for (const auto& c : classes_)
+    sum += c.loss_prob * static_cast<double>(c.count);
+  return sum / static_cast<double>(total_);
+}
+
+}  // namespace pbl::loss

@@ -1,0 +1,46 @@
+#include <stdexcept>
+
+#include "loss/loss_model.hpp"
+
+namespace pbl::loss {
+
+namespace {
+
+class TraceProcess final : public LossProcess {
+ public:
+  TraceProcess(const std::vector<bool>* pattern, double p)
+      : pattern_(pattern), p_(p) {}
+
+  bool lost(double /*time*/) override {
+    const bool l = (*pattern_)[pos_];
+    pos_ = (pos_ + 1) % pattern_->size();
+    return l;
+  }
+  double loss_probability() const override { return p_; }
+
+ private:
+  const std::vector<bool>* pattern_;
+  std::size_t pos_ = 0;
+  double p_;
+};
+
+}  // namespace
+
+TraceLossModel::TraceLossModel(std::vector<bool> pattern)
+    : pattern_(std::move(pattern)) {
+  if (pattern_.empty())
+    throw std::invalid_argument("TraceLossModel: pattern must be non-empty");
+}
+
+std::unique_ptr<LossProcess> TraceLossModel::make_process(
+    Rng /*rng*/, std::size_t /*receiver*/) const {
+  return std::make_unique<TraceProcess>(&pattern_, mean_loss_probability());
+}
+
+double TraceLossModel::mean_loss_probability() const {
+  std::size_t losses = 0;
+  for (const bool b : pattern_) losses += b ? 1 : 0;
+  return static_cast<double>(losses) / static_cast<double>(pattern_.size());
+}
+
+}  // namespace pbl::loss

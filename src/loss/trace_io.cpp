@@ -1,0 +1,45 @@
+#include "loss/trace_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace pbl::loss {
+
+std::vector<bool> record_trace(LossProcess& process, std::size_t packets,
+                               double delta) {
+  std::vector<bool> trace(packets);
+  for (std::size_t i = 0; i < packets; ++i)
+    trace[i] = process.lost(static_cast<double>(i) * delta);
+  return trace;
+}
+
+void save_trace(const std::string& path, const std::vector<bool>& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    out.put(trace[i] ? '1' : '0');
+    if ((i + 1) % 80 == 0) out.put('\n');
+  }
+  if (trace.size() % 80 != 0) out.put('\n');
+  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+std::vector<bool> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::vector<bool> trace;
+  char c = 0;
+  while (in.get(c)) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '0')
+      trace.push_back(false);
+    else if (c == '1')
+      trace.push_back(true);
+    else
+      throw std::runtime_error("load_trace: unexpected character in " + path);
+  }
+  return trace;
+}
+
+}  // namespace pbl::loss

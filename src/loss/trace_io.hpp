@@ -1,0 +1,30 @@
+// Recording, persisting and replaying loss traces.
+//
+// A trace turns any stochastic loss process into a reproducible fixture:
+// record it once (e.g. from a Gilbert process calibrated to a measured
+// path, or from a real packet capture converted offline), save it as a
+// compact text file, and replay it through TraceLossModel in simulations
+// and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loss/loss_model.hpp"
+
+namespace pbl::loss {
+
+/// Samples `packets` slots of `process` at `delta` spacing starting at
+/// time 0; true = lost.
+std::vector<bool> record_trace(LossProcess& process, std::size_t packets,
+                               double delta);
+
+/// Writes a trace as lines of '0'/'1' characters (80 per line, trailing
+/// newline).  Throws std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const std::vector<bool>& trace);
+
+/// Reads a file written by save_trace() (whitespace ignored).  Throws
+/// std::runtime_error on I/O failure or characters other than 0/1.
+std::vector<bool> load_trace(const std::string& path);
+
+}  // namespace pbl::loss

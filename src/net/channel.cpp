@@ -1,0 +1,68 @@
+#include "net/channel.hpp"
+
+#include <stdexcept>
+
+namespace pbl::net {
+
+MulticastChannel::MulticastChannel(sim::Simulator& sim,
+                                   const loss::LossModel& model,
+                                   std::size_t receivers, double delay,
+                                   bool lossless_control)
+    : sim_(&sim), delay_(delay), lossless_control_(lossless_control) {
+  if (receivers == 0)
+    throw std::invalid_argument("MulticastChannel: need at least one receiver");
+  if (delay < 0.0)
+    throw std::invalid_argument("MulticastChannel: negative delay");
+  processes_.reserve(receivers);
+  for (std::size_t r = 0; r < receivers; ++r)
+    processes_.push_back(model.make_process(sim.rng().split(r), r));
+}
+
+void MulticastChannel::multicast_down(const fec::Packet& packet) {
+  if (tap_) tap_(packet);
+  ++stats_.data_multicasts;
+  const double t = sim_->now();
+  for (std::size_t r = 0; r < processes_.size(); ++r) {
+    if (processes_[r]->lost(t)) {
+      ++stats_.data_drops;
+      continue;
+    }
+    ++stats_.data_deliveries;
+    sim_->schedule_in(delay_, [this, r, packet] {
+      if (on_receiver_) on_receiver_(r, packet);
+    });
+  }
+}
+
+void MulticastChannel::multicast_control_down(const fec::Packet& packet) {
+  if (tap_) tap_(packet);
+  ++stats_.feedback_multicasts;
+  const double t = sim_->now();
+  for (std::size_t r = 0; r < processes_.size(); ++r) {
+    if (!lossless_control_ && processes_[r]->lost(t)) continue;
+    sim_->schedule_in(delay_, [this, r, packet] {
+      if (on_receiver_) on_receiver_(r, packet);
+    });
+  }
+}
+
+void MulticastChannel::multicast_up(std::size_t from,
+                                    const fec::Packet& packet) {
+  if (from >= processes_.size())
+    throw std::out_of_range("MulticastChannel: bad receiver index");
+  if (tap_) tap_(packet);
+  ++stats_.feedback_multicasts;
+  const double t = sim_->now();
+  sim_->schedule_in(delay_, [this, from, packet] {
+    if (on_sender_) on_sender_(from, packet);
+  });
+  for (std::size_t r = 0; r < processes_.size(); ++r) {
+    if (r == from) continue;
+    if (!lossless_control_ && processes_[r]->lost(t)) continue;
+    sim_->schedule_in(delay_, [this, r, packet] {
+      if (on_receiver_) on_receiver_(r, packet);
+    });
+  }
+}
+
+}  // namespace pbl::net

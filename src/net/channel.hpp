@@ -1,0 +1,78 @@
+// Lossy multicast channel for the discrete-event simulator.
+//
+// Forward direction (sender -> receivers): every receiver has an
+// independent LossProcess drawn from the configured LossModel; a multicast
+// delivers to each receiver that does not lose the packet, after a fixed
+// propagation delay.  Feedback direction (receiver -> group): NAKs are
+// multicast to the sender AND all other receivers (needed for NAK
+// suppression); the paper's analysis assumes control packets are never
+// lost, which is the default here but can be disabled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fec/packet.hpp"
+#include "loss/loss_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace pbl::net {
+
+struct ChannelStats {
+  std::uint64_t data_multicasts = 0;     ///< packets the sender put on the wire
+  std::uint64_t data_deliveries = 0;     ///< per-receiver successful deliveries
+  std::uint64_t data_drops = 0;          ///< per-receiver losses
+  std::uint64_t feedback_multicasts = 0; ///< NAK/POLL transmissions
+};
+
+class MulticastChannel {
+ public:
+  /// receiver_handler(receiver, packet) runs at delivery time;
+  /// sender_handler(from_receiver, packet) runs when feedback reaches the
+  /// sender.  Handlers are installed after construction.
+  MulticastChannel(sim::Simulator& sim, const loss::LossModel& model,
+                   std::size_t receivers, double delay,
+                   bool lossless_control = true);
+
+  using ReceiverHandler =
+      std::function<void(std::size_t receiver, const fec::Packet&)>;
+  using SenderHandler =
+      std::function<void(std::size_t from, const fec::Packet&)>;
+
+  void set_receiver_handler(ReceiverHandler h) { on_receiver_ = std::move(h); }
+  void set_sender_handler(SenderHandler h) { on_sender_ = std::move(h); }
+
+  /// Observes every packet put on the wire, in transmission order and
+  /// before any loss is applied — for protocol-invariant tests and
+  /// debugging.  Pass nullptr to remove.
+  using WireTap = std::function<void(const fec::Packet&)>;
+  void set_wire_tap(WireTap tap) { tap_ = std::move(tap); }
+
+  std::size_t receivers() const noexcept { return processes_.size(); }
+
+  /// Sender -> all receivers, subject to per-receiver loss.
+  void multicast_down(const fec::Packet& packet);
+
+  /// Sender -> all receivers on the control path (POLLs).  Lossless when
+  /// lossless_control is set (the paper's assumption), lossy otherwise.
+  void multicast_control_down(const fec::Packet& packet);
+
+  /// Receiver `from` -> sender and all other receivers (feedback path).
+  void multicast_up(std::size_t from, const fec::Packet& packet);
+
+  const ChannelStats& stats() const noexcept { return stats_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<loss::LossProcess>> processes_;
+  double delay_;
+  bool lossless_control_;
+  ReceiverHandler on_receiver_;
+  SenderHandler on_sender_;
+  WireTap tap_;
+  ChannelStats stats_;
+};
+
+}  // namespace pbl::net

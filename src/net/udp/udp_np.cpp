@@ -1,0 +1,158 @@
+#include "net/udp/udp_np.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "fec/fec_block.hpp"
+
+namespace pbl::net {
+
+UdpNpSender::UdpNpSender(UdpSocket socket, UdpGroup group,
+                         const UdpNpConfig& config)
+    : socket_(std::move(socket)), group_(std::move(group)), cfg_(config),
+      code_(config.k, config.k + config.h) {
+  if (config.k + config.h > 255)
+    throw std::invalid_argument("UdpNpSender: k + h must be <= 255");
+  if (group_.size() == 0)
+    throw std::invalid_argument("UdpNpSender: empty group");
+}
+
+UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
+  UdpNpSenderStats stats;
+  std::uint32_t round_id = 0;
+
+  for (std::uint32_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].size() != cfg_.k)
+      throw std::invalid_argument("UdpNpSender: each TG needs k packets");
+    fec::TgEncoder encoder(i, code_, groups[i]);
+
+    for (std::size_t j = 0; j < cfg_.k; ++j) {
+      group_.multicast(socket_, encoder.data_packet(j));
+      ++stats.data_sent;
+    }
+
+    std::size_t parities_used = 0;
+    for (int round = 0; round < cfg_.max_rounds; ++round) {
+      fec::Packet poll;
+      poll.header.type = fec::PacketType::kPoll;
+      poll.header.tg = i;
+      poll.header.k = static_cast<std::uint16_t>(cfg_.k);
+      poll.header.seq = ++round_id;
+      group_.multicast(socket_, poll);
+      ++stats.polls_sent;
+
+      // Collect this round's NAKs; serve the maximum request.
+      std::size_t l = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      double remaining = cfg_.poll_window;
+      while (remaining > 0.0) {
+        if (auto nak = socket_.receive(remaining)) {
+          if (nak->header.type == fec::PacketType::kNak &&
+              nak->header.tg == i && nak->header.seq == round_id) {
+            ++stats.naks_received;
+            l = std::max(l, static_cast<std::size_t>(nak->header.count));
+          }
+        }
+        remaining =
+            cfg_.poll_window -
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+      }
+      if (l == 0) break;  // silence: all receivers reconstructed TG i
+      l = std::min(l, cfg_.h - parities_used);
+      if (l == 0) {
+        ++stats.tgs_exhausted;
+        break;
+      }
+      for (std::size_t j = 0; j < l; ++j) {
+        group_.multicast(socket_, encoder.parity_packet(parities_used + j));
+        ++stats.parity_sent;
+      }
+      parities_used += l;
+    }
+  }
+
+  fec::Packet end;
+  end.header.type = fec::PacketType::kPoll;
+  end.header.tg = kUdpEndOfSession;
+  group_.multicast(socket_, end);
+
+  if (!groups.empty()) {
+    stats.tx_per_packet =
+        static_cast<double>(stats.data_sent + stats.parity_sent) /
+        (static_cast<double>(cfg_.k) * static_cast<double>(groups.size()));
+  }
+  return stats;
+}
+
+UdpNpReceiver::UdpNpReceiver(UdpSocket socket, std::uint16_t sender_port,
+                             std::size_t num_tgs, const UdpNpConfig& config,
+                             double inject_loss, Rng rng)
+    : socket_(std::move(socket)), sender_port_(sender_port),
+      num_tgs_(num_tgs), cfg_(config), inject_loss_(inject_loss), rng_(rng),
+      code_(config.k, config.k + config.h) {
+  if (inject_loss < 0.0 || inject_loss >= 1.0)
+    throw std::invalid_argument("UdpNpReceiver: inject_loss in [0,1)");
+}
+
+UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
+  UdpNpReceiverResult result;
+  std::vector<fec::TgDecoder> decoders;
+  decoders.reserve(num_tgs_);
+  for (std::uint32_t i = 0; i < num_tgs_; ++i)
+    decoders.emplace_back(i, code_, cfg_.packet_len);
+  std::vector<bool> done(num_tgs_, false);
+  std::size_t done_count = 0;
+
+  while (true) {
+    auto packet = socket_.receive(idle_timeout);
+    if (!packet) break;  // sender gone
+    const auto& hdr = packet->header;
+    if (hdr.type == fec::PacketType::kPoll && hdr.tg == kUdpEndOfSession)
+      break;
+    if (hdr.tg >= num_tgs_) continue;  // foreign traffic
+
+    switch (hdr.type) {
+      case fec::PacketType::kData:
+      case fec::PacketType::kParity: {
+        if (inject_loss_ > 0.0 && rng_.bernoulli(inject_loss_)) {
+          ++result.dropped;
+          break;
+        }
+        ++result.received;
+        auto& dec = decoders[hdr.tg];
+        if (dec.add(*packet) && dec.decodable() && !done[hdr.tg]) {
+          (void)dec.reconstruct();
+          result.decoded += dec.decoded_packets();
+          done[hdr.tg] = true;
+          ++done_count;
+        }
+        break;
+      }
+      case fec::PacketType::kPoll: {
+        const std::size_t l = decoders[hdr.tg].needed();
+        if (l == 0) break;
+        fec::Packet nak;
+        nak.header.type = fec::PacketType::kNak;
+        nak.header.tg = hdr.tg;
+        nak.header.count = static_cast<std::uint16_t>(l);
+        nak.header.seq = hdr.seq;  // answer this round
+        socket_.send_to(sender_port_, nak);
+        ++result.naks_sent;
+        break;
+      }
+      case fec::PacketType::kNak:
+        break;  // unicast topology: receivers do not overhear NAKs
+    }
+  }
+
+  result.groups.resize(num_tgs_);
+  for (std::uint32_t i = 0; i < num_tgs_; ++i)
+    if (done[i]) result.groups[i] = decoders[i].reconstruct();
+  result.complete = done_count == num_tgs_;
+  return result;
+}
+
+}  // namespace pbl::net

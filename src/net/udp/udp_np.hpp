@@ -1,0 +1,100 @@
+// Protocol NP over real (loopback) UDP sockets: a blocking sender and
+// receiver pair suitable for one thread each.
+//
+// Multicast is emulated by unicast fan-out (net/udp/udp_transport.hpp);
+// NAK feedback is unicast to the sender, which performs the suppression
+// itself by serving only the round's maximum request — the semantics of
+// Section 5.1's slotting-and-damping, adapted to a topology where
+// receivers cannot overhear each other.  Rounds are tagged (POLL/NAK
+// carry a round id) so stale feedback cannot trigger spurious repair.
+//
+// Loss is injected at each receiver with a configurable probability,
+// which keeps the demo independent of real network impairments while
+// exercising the full wire path: serialisation, sockets, RSE repair,
+// reassembly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fec/rse_code.hpp"
+#include "net/udp/udp_transport.hpp"
+#include "util/rng.hpp"
+
+namespace pbl::net {
+
+using TgBytes = std::vector<std::vector<std::uint8_t>>;  ///< k packets
+
+struct UdpNpConfig {
+  std::size_t k = 8;
+  std::size_t h = 64;            ///< parity budget (k + h <= 255)
+  std::size_t packet_len = 512;
+  double poll_window = 0.08;     ///< seconds the sender collects NAKs per round
+  int max_rounds = 200;          ///< per-TG round cap (safety against livelock)
+};
+
+struct UdpNpSenderStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t parity_sent = 0;
+  std::uint64_t polls_sent = 0;
+  std::uint64_t naks_received = 0;
+  std::uint64_t tgs_exhausted = 0;  ///< parity budget ran out
+  double tx_per_packet = 0.0;
+};
+
+/// Blocking sender: transfers the groups, then multicasts an end-of-
+/// session marker.
+class UdpNpSender {
+ public:
+  UdpNpSender(UdpSocket socket, UdpGroup group, const UdpNpConfig& config);
+
+  /// Every TG must hold exactly k packets of packet_len bytes.
+  UdpNpSenderStats transfer(const std::vector<TgBytes>& groups);
+
+  std::uint16_t port() const noexcept { return socket_.port(); }
+
+ private:
+  UdpSocket socket_;
+  UdpGroup group_;
+  UdpNpConfig cfg_;
+  fec::RseCode code_;
+};
+
+struct UdpNpReceiverResult {
+  std::vector<TgBytes> groups;     ///< reconstructed data, in TG order
+  bool complete = false;           ///< every TG reconstructed
+  std::uint64_t received = 0;      ///< packets accepted off the wire
+  std::uint64_t dropped = 0;       ///< packets discarded by injected loss
+  std::uint64_t decoded = 0;       ///< packets rebuilt by RSE decoding
+  std::uint64_t naks_sent = 0;
+};
+
+/// Blocking receiver: processes packets until the end-of-session marker
+/// (or `idle_timeout` seconds of silence).
+class UdpNpReceiver {
+ public:
+  /// `inject_loss`: probability of silently dropping each received
+  /// DATA/PARITY packet (simulated network loss); 0 disables.
+  UdpNpReceiver(UdpSocket socket, std::uint16_t sender_port,
+                std::size_t num_tgs, const UdpNpConfig& config,
+                double inject_loss = 0.0, Rng rng = Rng(1));
+
+  UdpNpReceiverResult run(double idle_timeout = 10.0);
+
+  std::uint16_t port() const noexcept { return socket_.port(); }
+
+ private:
+  UdpSocket socket_;
+  std::uint16_t sender_port_;
+  std::size_t num_tgs_;
+  UdpNpConfig cfg_;
+  double inject_loss_;
+  Rng rng_;
+  fec::RseCode code_;
+};
+
+/// The end-of-session marker the sender multicasts when done.
+inline constexpr std::uint32_t kUdpEndOfSession = 0xFFFFFFFFu;
+
+}  // namespace pbl::net

@@ -1,0 +1,102 @@
+#include "net/udp/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace pbl::net {
+
+namespace {
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0)
+    throw std::system_error(errno, std::generic_category(), "socket");
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(err, std::generic_category(), "bind");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(err, std::generic_category(), "getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void UdpSocket::send_to(std::uint16_t dest_port, const fec::Packet& packet) {
+  const auto bytes = fec::serialize(packet);
+  const sockaddr_in dest = loopback(dest_port);
+  const ssize_t sent =
+      ::sendto(fd_, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  if (sent < 0)
+    throw std::system_error(errno, std::generic_category(), "sendto");
+}
+
+std::optional<fec::Packet> UdpSocket::receive(double timeout_s) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ms = timeout_s < 0 ? -1 : static_cast<int>(timeout_s * 1000.0);
+  const int ready = ::poll(&pfd, 1, ms);
+  if (ready <= 0) return std::nullopt;
+  std::uint8_t buf[65536];
+  const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+  if (got < 0) return std::nullopt;
+  try {
+    return fec::deserialize({buf, static_cast<std::size_t>(got)});
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // malformed datagram: drop
+  }
+}
+
+void UdpGroup::multicast(UdpSocket& from, const fec::Packet& packet,
+                         std::optional<std::uint16_t> exclude) const {
+  for (const std::uint16_t port : members_) {
+    if (exclude && *exclude == port) continue;
+    from.send_to(port, packet);
+  }
+}
+
+}  // namespace pbl::net

@@ -1,0 +1,59 @@
+// Minimal loopback UDP transport for running the protocols over real
+// sockets (examples/udp_multicast_demo).
+//
+// Multicast is emulated by unicast fan-out on 127.0.0.1: a UdpGroup holds
+// the member ports and replicates each send.  This keeps the demo
+// independent of kernel multicast support while exercising the real wire
+// encoding (fec/packet.hpp) end to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fec/packet.hpp"
+
+namespace pbl::net {
+
+class UdpSocket {
+ public:
+  /// Binds a UDP socket to 127.0.0.1:port (0 picks an ephemeral port).
+  /// Throws std::system_error on failure.
+  explicit UdpSocket(std::uint16_t port = 0);
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Sends a packet to 127.0.0.1:dest_port.
+  void send_to(std::uint16_t dest_port, const fec::Packet& packet);
+
+  /// Waits up to `timeout_s` for a datagram; returns std::nullopt on
+  /// timeout.  Malformed datagrams are dropped (returns nullopt).
+  std::optional<fec::Packet> receive(double timeout_s);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Emulated multicast group: fan-out over member ports.
+class UdpGroup {
+ public:
+  void add_member(std::uint16_t port) { members_.push_back(port); }
+  std::size_t size() const noexcept { return members_.size(); }
+
+  /// Replicates the packet to every member (optionally excluding one,
+  /// e.g. the NAK's own sender).
+  void multicast(UdpSocket& from, const fec::Packet& packet,
+                 std::optional<std::uint16_t> exclude = std::nullopt) const;
+
+ private:
+  std::vector<std::uint16_t> members_;
+};
+
+}  // namespace pbl::net

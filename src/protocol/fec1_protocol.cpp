@@ -1,0 +1,174 @@
+#include "protocol/fec1_protocol.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "fec/fec_block.hpp"
+#include "fec/rse_code.hpp"
+#include "sim/simulator.hpp"
+
+namespace pbl::protocol {
+
+struct Fec1Session::Impl {
+  Impl(const loss::LossModel& loss, std::size_t receivers, std::size_t num_tgs,
+       const Fec1Config& config, std::uint64_t seed)
+      : cfg(config), num_tgs(num_tgs), sim(seed),
+        code(config.k, config.k + config.h) {
+    if (receivers == 0) throw std::invalid_argument("Fec1Session: receivers >= 1");
+    if (num_tgs == 0) throw std::invalid_argument("Fec1Session: num_tgs >= 1");
+    if (config.k + config.h > 255)
+      throw std::invalid_argument("Fec1Session: k + h must be <= 255");
+    if (config.leave_latency < 0.0)
+      throw std::invalid_argument("Fec1Session: leave_latency >= 0");
+
+    Rng data_rng(seed ^ 0x5eed5eedULL);
+    source.resize(num_tgs);
+    encoders.reserve(num_tgs);
+    for (std::size_t i = 0; i < num_tgs; ++i) {
+      source[i].resize(cfg.k);
+      for (auto& pkt : source[i]) {
+        pkt.resize(cfg.packet_len);
+        for (auto& b : pkt) b = static_cast<std::uint8_t>(data_rng());
+      }
+      encoders.emplace_back(static_cast<std::uint32_t>(i), code, source[i]);
+    }
+
+    rx.resize(receivers);
+    for (std::size_t r = 0; r < receivers; ++r) {
+      rx[r].process = loss.make_process(Rng(seed).split(0x3000 + r), r);
+      rx[r].done.assign(num_tgs, false);
+    }
+  }
+
+  struct Receiver {
+    std::unique_ptr<loss::LossProcess> process;
+    std::optional<fec::TgDecoder> decoder;  // for the current TG
+    bool member = false;                    // receiving the current stream
+    std::vector<bool> done;
+    std::size_t done_count = 0;
+  };
+
+  void start_tg(std::size_t tg) {
+    current_tg = tg;
+    next_index = 0;
+    members = rx.size();
+    for (auto& r : rx) {
+      r.member = true;
+      r.decoder.emplace(static_cast<std::uint32_t>(tg), code, cfg.packet_len);
+    }
+    sim.schedule_in(0.0, [this] { send_next(); });
+  }
+
+  void send_next() {
+    if (members == 0) {
+      advance_tg();
+      return;
+    }
+    if (next_index >= cfg.k + cfg.h) {
+      // Parity budget exhausted.  Remaining members that already decoded
+      // are merely slow to leave; only undecoded ones mean failure.
+      bool any_needy = false;
+      for (const auto& r : rx)
+        if (r.member && !r.done[current_tg]) any_needy = true;
+      if (any_needy) ++stats.tgs_failed;
+      advance_tg();
+      return;
+    }
+    fec::Packet packet = next_index < cfg.k
+                             ? encoders[current_tg].data_packet(next_index)
+                             : encoders[current_tg].parity_packet(next_index - cfg.k);
+    if (next_index < cfg.k)
+      ++stats.data_sent;
+    else
+      ++stats.parity_sent;
+    ++next_index;
+
+    const double t = sim.now();
+    for (std::size_t r = 0; r < rx.size(); ++r) {
+      if (!rx[r].member) continue;  // routing already pruned this receiver
+      if (rx[r].process->lost(t)) continue;
+      sim.schedule_in(cfg.delay, [this, r, packet] { deliver(r, packet); });
+    }
+    sim.schedule_in(cfg.delta, [this] { send_next(); });
+  }
+
+  void deliver(std::size_t r, const fec::Packet& packet) {
+    auto& rec = rx[r];
+    // The leave is processed by the receiver's last-hop router: once it
+    // has taken effect, packets are pruned there and never reach the
+    // receiver (checked at delivery time, not send time).
+    if (!rec.member) return;
+    if (!rec.decoder || rec.decoder->tg_id() != packet.header.tg) return;
+    if (rec.done[packet.header.tg]) {
+      // Landed inside the leave window [decode, decode + leave_latency]:
+      // an unnecessary reception in the paper's sense.
+      ++stats.duplicate_receptions;
+      return;
+    }
+    rec.decoder->add(packet);
+    if (!rec.decoder->decodable()) return;
+
+    const auto& rebuilt = rec.decoder->reconstruct();
+    stats.packets_decoded += rec.decoder->decoded_packets();
+    if (rebuilt != source[packet.header.tg]) corrupted = true;
+    rec.done[packet.header.tg] = true;
+    if (++rec.done_count == num_tgs)
+      stats.completion_time = std::max(stats.completion_time, sim.now());
+    // Leave the group; routing stops deliveries after leave_latency.  The
+    // event is tagged with the TG it belongs to so that a slow leave does
+    // not evict the receiver from the NEXT group's stream.
+    const std::size_t leave_tg = packet.header.tg;
+    sim.schedule_in(cfg.leave_latency, [this, r, leave_tg] {
+      if (leave_tg == current_tg && rx[r].member) {
+        rx[r].member = false;
+        --members;
+      }
+    });
+  }
+
+  void advance_tg() {
+    if (current_tg + 1 < num_tgs) {
+      start_tg(current_tg + 1);
+    }
+  }
+
+  Fec1Stats run() {
+    start_tg(0);
+    sim.run();
+    bool all = !corrupted;
+    for (const auto& r : rx)
+      if (r.done_count != num_tgs) all = false;
+    stats.all_delivered = all;
+    stats.tx_per_packet =
+        static_cast<double>(stats.data_sent + stats.parity_sent) /
+        (static_cast<double>(cfg.k) * static_cast<double>(num_tgs));
+    return stats;
+  }
+
+  Fec1Config cfg;
+  std::size_t num_tgs;
+  sim::Simulator sim;
+  fec::RseCode code;
+
+  std::vector<std::vector<std::vector<std::uint8_t>>> source;
+  std::vector<fec::TgEncoder> encoders;
+  std::vector<Receiver> rx;
+
+  std::size_t current_tg = 0;
+  std::size_t next_index = 0;
+  std::size_t members = 0;
+  bool corrupted = false;
+  Fec1Stats stats;
+};
+
+Fec1Session::Fec1Session(const loss::LossModel& loss, std::size_t receivers,
+                         std::size_t num_tgs, const Fec1Config& config,
+                         std::uint64_t seed)
+    : impl_(std::make_unique<Impl>(loss, receivers, num_tgs, config, seed)) {}
+
+Fec1Session::~Fec1Session() = default;
+
+Fec1Stats Fec1Session::run() { return impl_->run(); }
+
+}  // namespace pbl::protocol

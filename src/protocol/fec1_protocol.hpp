@@ -1,0 +1,70 @@
+// Integrated FEC 1 (paper Section 4.2) on the discrete-event simulator:
+// the sender transmits the k data packets followed by a continuous parity
+// stream, all at rate 1/delta, with NO feedback for loss recovery.  A
+// receiver leaves the multicast group the moment it can reconstruct the
+// TG; the sender stops the stream when the group is empty (modelling a
+// multicast-routing leave that takes `leave_latency` to take effect).
+//
+// The paper claims "no unnecessary delivery and reception of parity
+// packets, provided that the time needed to depart from the group is
+// smaller than the packet inter-arrival time" — this implementation makes
+// that claim testable: duplicate receptions are exactly the packets that
+// land during a receiver's leave window (after it the last-hop router has
+// pruned the receiver and packets never reach it).
+//
+// The sender observes group membership through the (idealised) routing
+// state: it stops streaming once everyone has left.  Packets already in
+// the pipeline when the last receiver decodes still count as
+// transmissions, so the E[M] = (k + L)/k bound of Eq. (6) is attained
+// exactly only when `delay` (+ leave_latency) is below the packet spacing
+// `delta` — the same proviso the paper attaches to the scheme.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "loss/loss_model.hpp"
+
+namespace pbl::protocol {
+
+struct Fec1Config {
+  std::size_t k = 20;           ///< data packets per TG
+  std::size_t h = 200;          ///< parity budget (k + h <= 255)
+  std::size_t packet_len = 256;
+  double delta = 0.001;         ///< packet spacing [s]
+  double delay = 0.010;         ///< one-way propagation delay [s]
+  double leave_latency = 0.0;   ///< time for a group leave to take effect [s]
+};
+
+struct Fec1Stats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t parity_sent = 0;
+  std::uint64_t duplicate_receptions = 0;  ///< packets landing after decode
+  std::uint64_t packets_decoded = 0;
+  std::uint64_t tgs_failed = 0;            ///< parity budget exhausted
+  double completion_time = 0.0;
+  bool all_delivered = false;
+  double tx_per_packet = 0.0;
+};
+
+/// One sender, `receivers` receivers, `num_tgs` groups of random data,
+/// transmitted sequentially (one group's stream ends before the next
+/// starts — FEC 1 has no feedback to interleave around).
+class Fec1Session {
+ public:
+  Fec1Session(const loss::LossModel& loss, std::size_t receivers,
+              std::size_t num_tgs, const Fec1Config& config,
+              std::uint64_t seed = 1);
+  ~Fec1Session();
+
+  Fec1Session(const Fec1Session&) = delete;
+  Fec1Session& operator=(const Fec1Session&) = delete;
+
+  Fec1Stats run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pbl::protocol

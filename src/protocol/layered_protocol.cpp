@@ -1,0 +1,358 @@
+#include "protocol/layered_protocol.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "fec/fec_block.hpp"
+#include "fec/rse_code.hpp"
+#include "net/channel.hpp"
+#include "protocol/nak_suppression.hpp"
+#include "sim/simulator.hpp"
+
+namespace pbl::protocol {
+
+using fec::Packet;
+using fec::PacketType;
+
+namespace {
+
+constexpr std::uint64_t kPadSeq = ~std::uint64_t{0};
+
+void put_seq(std::vector<std::uint8_t>& frame, std::uint64_t seq) {
+  for (int i = 0; i < 8; ++i)
+    frame.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+}
+
+std::uint64_t read_seq(const std::vector<std::uint8_t>& frame) {
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i)
+    seq |= static_cast<std::uint64_t>(frame[static_cast<std::size_t>(i)])
+           << (8 * i);
+  return seq;
+}
+
+std::vector<std::uint8_t> bitmap_of(const std::vector<bool>& missing) {
+  std::vector<std::uint8_t> bytes((missing.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < missing.size(); ++i)
+    if (missing[i]) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  return bytes;
+}
+
+bool bit_at(const std::vector<std::uint8_t>& bytes, std::size_t i) {
+  return i / 8 < bytes.size() && (bytes[i / 8] >> (i % 8)) & 1u;
+}
+
+}  // namespace
+
+struct LayeredSession::Impl {
+  Impl(const loss::LossModel& loss, std::size_t receivers,
+       std::size_t num_packets, const LayeredConfig& config,
+       std::uint64_t seed)
+      : cfg(config), num_packets(num_packets), sim(seed),
+        code(config.k, config.k + config.h),
+        channel(sim, loss, receivers, config.delay, config.lossless_control) {
+    if (receivers == 0)
+      throw std::invalid_argument("LayeredSession: receivers >= 1");
+    if (num_packets == 0)
+      throw std::invalid_argument("LayeredSession: num_packets >= 1");
+    if (config.k + config.h > 255)
+      throw std::invalid_argument("LayeredSession: k + h must be <= 255");
+
+    Rng data_rng(seed ^ 0x1a7e6edULL);
+    originals.resize(num_packets);
+    for (auto& pkt : originals) {
+      pkt.resize(cfg.packet_len);
+      for (auto& b : pkt) b = static_cast<std::uint8_t>(data_rng());
+    }
+
+    queued_flag.assign(num_packets, true);
+    for (std::uint64_t s = 0; s < num_packets; ++s) queue.push_back(s);
+
+    rx.resize(receivers);
+    for (std::size_t r = 0; r < receivers; ++r) {
+      rx[r].delivered.assign(num_packets, false);
+      rx[r].rng = Rng(seed).split(0x4000 + r);
+    }
+
+    channel.set_receiver_handler(
+        [this](std::size_t r, const Packet& p) { on_receiver_packet(r, p); });
+    channel.set_sender_handler(
+        [this](std::size_t r, const Packet& p) { on_sender_feedback(r, p); });
+  }
+
+  // ---- sender ------------------------------------------------------------
+
+  struct BlockState {
+    std::vector<std::uint64_t> seqs;        // slot -> original seq (or kPadSeq)
+    std::vector<std::uint8_t> nak_union;    // union of this round's bitmaps
+    bool closed = false;
+  };
+
+  /// Sends the next block if enough packets are queued — or a padded
+  /// final block once nothing more can arrive.
+  void try_form_block() {
+    if (sending) return;
+    if (queue.empty()) return;
+    if (queue.size() < cfg.k && outstanding_blocks > 0) return;  // wait
+
+    BlockState block;
+    block.seqs.reserve(cfg.k);
+    std::vector<std::vector<std::uint8_t>> framed;
+    framed.reserve(cfg.k);
+    Rng pad_rng(blocks.size() ^ 0x9a9ULL);
+    for (std::size_t i = 0; i < cfg.k; ++i) {
+      std::uint64_t seq = kPadSeq;
+      if (!queue.empty()) {
+        seq = queue.front();
+        queue.pop_front();
+        queued_flag[seq] = false;
+      }
+      block.seqs.push_back(seq);
+      std::vector<std::uint8_t> frame;
+      frame.reserve(8 + cfg.packet_len);
+      put_seq(frame, seq);
+      if (seq != kPadSeq) {
+        frame.insert(frame.end(), originals[seq].begin(), originals[seq].end());
+      } else {
+        frame.resize(8 + cfg.packet_len, 0);
+        ++stats.padding_sent;  // counted at formation; sent exactly once
+      }
+      framed.push_back(std::move(frame));
+    }
+    const auto block_id = static_cast<std::uint32_t>(blocks.size());
+    blocks.push_back(std::move(block));
+    encoders.emplace_back(block_id, code, std::move(framed));
+    ++outstanding_blocks;
+    ++stats.blocks_sent;
+    sending = true;
+    send_slot(block_id, 0);
+  }
+
+  void send_slot(std::uint32_t block_id, std::size_t slot) {
+    const std::size_t n = cfg.k + cfg.h;
+    if (slot < n) {
+      Packet p = slot < cfg.k ? encoders[block_id].data_packet(slot)
+                              : encoders[block_id].parity_packet(slot - cfg.k);
+      if (slot < cfg.k) {
+        if (blocks[block_id].seqs[slot] != kPadSeq) ++stats.data_sent;
+      } else {
+        ++stats.parity_sent;
+      }
+      channel.multicast_down(p);
+      sim.schedule_in(cfg.delta, [this, block_id, slot] {
+        send_slot(block_id, slot + 1);
+      });
+      return;
+    }
+    // Block done: poll (manifest rides in the control payload).
+    Packet poll;
+    poll.header.type = PacketType::kPoll;
+    poll.header.tg = block_id;
+    poll.header.k = static_cast<std::uint16_t>(cfg.k);
+    poll.header.n = static_cast<std::uint16_t>(n);
+    poll.header.count = static_cast<std::uint16_t>(n);
+    for (const std::uint64_t seq : blocks[block_id].seqs)
+      put_seq(poll.payload, seq);
+    poll.header.payload_len = static_cast<std::uint32_t>(poll.payload.size());
+    channel.multicast_control_down(poll);
+
+    const double window = 2.0 * cfg.delay +
+                          (static_cast<double>(n) + 1.0) * cfg.slot;
+    sim.schedule_in(window, [this, block_id] { close_block(block_id); });
+
+    sending = false;
+    sim.schedule_in(cfg.delta, [this] { try_form_block(); });
+  }
+
+  void close_block(std::uint32_t block_id) {
+    auto& block = blocks[block_id];
+    block.closed = true;
+    --outstanding_blocks;
+    // Re-enqueue every original the round's NAKs named.
+    for (std::size_t i = 0; i < cfg.k; ++i) {
+      if (!bit_at(block.nak_union, i)) continue;
+      const std::uint64_t seq = block.seqs[i];
+      if (seq == kPadSeq || queued_flag[seq]) continue;
+      queued_flag[seq] = true;
+      queue.push_back(seq);
+    }
+    try_form_block();
+  }
+
+  void on_sender_feedback(std::size_t /*from*/, const Packet& p) {
+    if (p.header.type != PacketType::kNak) return;
+    auto& block = blocks[p.header.tg];
+    if (block.closed) return;  // stale
+    if (block.nak_union.size() < p.payload.size())
+      block.nak_union.resize(p.payload.size(), 0);
+    for (std::size_t i = 0; i < p.payload.size(); ++i)
+      block.nak_union[i] |= p.payload[i];
+  }
+
+  // ---- receivers ----------------------------------------------------------
+
+  struct Receiver {
+    std::vector<std::optional<fec::TgDecoder>> decoders;  // per block
+    std::vector<bool> delivered;
+    std::size_t delivered_count = 0;
+    std::vector<std::unique_ptr<NakTimer>> timers;        // per block
+    std::vector<std::vector<std::uint8_t>> pending_bitmap;  // per block
+    Rng rng;
+  };
+
+  fec::TgDecoder& decoder(std::size_t r, std::uint32_t block_id) {
+    auto& rec = rx[r];
+    if (rec.decoders.size() <= block_id) rec.decoders.resize(block_id + 1);
+    if (!rec.decoders[block_id])
+      rec.decoders[block_id].emplace(block_id, code, 8 + cfg.packet_len);
+    return *rec.decoders[block_id];
+  }
+
+  void deliver(std::size_t r, const std::vector<std::uint8_t>& frame) {
+    const std::uint64_t seq = read_seq(frame);
+    if (seq == kPadSeq) return;
+    auto& rec = rx[r];
+    if (rec.delivered[seq]) {
+      ++stats.duplicate_deliveries;
+      return;
+    }
+    // Byte-exact verification of the delivered content.
+    if (!std::equal(frame.begin() + 8, frame.end(), originals[seq].begin(),
+                    originals[seq].end()))
+      corrupted = true;
+    rec.delivered[seq] = true;
+    if (++rec.delivered_count == num_packets)
+      stats.completion_time = std::max(stats.completion_time, sim.now());
+  }
+
+  void on_receiver_packet(std::size_t r, const Packet& p) {
+    switch (p.header.type) {
+      case PacketType::kData:
+      case PacketType::kParity: {
+        auto& dec = decoder(r, p.header.tg);
+        const bool was_decodable = dec.decodable();
+        if (!dec.add(p)) return;
+        if (p.header.type == PacketType::kData) deliver(r, p.payload);
+        if (!was_decodable && dec.decodable()) {
+          const auto& rebuilt = dec.reconstruct();
+          stats.packets_decoded += dec.decoded_packets();
+          for (const auto& frame : rebuilt) deliver(r, frame);
+        }
+        break;
+      }
+      case PacketType::kPoll:
+        on_poll(r, p);
+        break;
+      case PacketType::kNak: {
+        // Damping: cancel our pending NAK iff the overheard bitmap covers
+        // everything we miss from this block.
+        auto& rec = rx[r];
+        const std::uint32_t b = p.header.tg;
+        if (rec.timers.size() <= b || !rec.timers[b] ||
+            !rec.timers[b]->pending())
+          return;
+        bool covered = true;
+        const auto& mine = rec.pending_bitmap[b];
+        for (std::size_t i = 0; i < cfg.k && covered; ++i)
+          if (bit_at(mine, i) && !bit_at(p.payload, i)) covered = false;
+        if (covered) {
+          rec.timers[b]->disarm();
+          ++stats.naks_suppressed;
+        }
+        break;
+      }
+    }
+  }
+
+  void on_poll(std::size_t r, const Packet& poll) {
+    auto& rec = rx[r];
+    const std::uint32_t b = poll.header.tg;
+    // Missing = data slots whose CONTENT (by the manifest) we lack.
+    std::vector<bool> missing(cfg.k, false);
+    std::size_t count = 0;
+    auto& dec = decoder(r, b);
+    const bool decoded = dec.decodable();
+    for (std::size_t i = 0; i < cfg.k; ++i) {
+      std::uint64_t seq = 0;
+      for (int byte = 0; byte < 8; ++byte)
+        seq |= static_cast<std::uint64_t>(
+                   poll.payload[i * 8 + static_cast<std::size_t>(byte)])
+               << (8 * byte);
+      if (seq == kPadSeq) continue;
+      if (decoded || rec.delivered[seq]) continue;
+      missing[i] = true;
+      ++count;
+    }
+    if (count == 0) return;
+
+    if (rec.timers.size() <= b) {
+      rec.timers.resize(b + 1);
+      rec.pending_bitmap.resize(b + 1);
+    }
+    rec.pending_bitmap[b] = bitmap_of(missing);
+    if (!rec.timers[b]) {
+      rec.timers[b] = std::make_unique<NakTimer>(sim, [this, r, b](std::size_t) {
+        ++stats.naks_sent;
+        Packet nak;
+        nak.header.type = PacketType::kNak;
+        nak.header.tg = b;
+        nak.payload = rx[r].pending_bitmap[b];
+        nak.header.count = 0;
+        nak.header.payload_len = static_cast<std::uint32_t>(nak.payload.size());
+        channel.multicast_up(r, nak);
+      });
+    }
+    rec.timers[b]->arm(count,
+                       nak_backoff(poll.header.count, count, cfg.slot, rec.rng));
+  }
+
+  // ---- run ----------------------------------------------------------------
+
+  LayeredStats run() {
+    try_form_block();
+    sim.run();
+    bool all = !corrupted;
+    for (const auto& rec : rx)
+      if (rec.delivered_count != num_packets) all = false;
+    stats.all_delivered = all;
+    const auto n = static_cast<double>(num_packets);
+    stats.tx_per_packet =
+        static_cast<double>(stats.data_sent + stats.parity_sent +
+                            stats.padding_sent) /
+        n;
+    stats.rm_tx_per_packet = static_cast<double>(stats.data_sent) / n;
+    return stats;
+  }
+
+  LayeredConfig cfg;
+  std::size_t num_packets;
+  sim::Simulator sim;
+  fec::RseCode code;
+  net::MulticastChannel channel;
+
+  std::vector<std::vector<std::uint8_t>> originals;
+  std::deque<std::uint64_t> queue;
+  std::vector<bool> queued_flag;
+  std::vector<BlockState> blocks;
+  std::vector<fec::TgEncoder> encoders;
+  std::size_t outstanding_blocks = 0;
+  bool sending = false;
+
+  std::vector<Receiver> rx;
+  bool corrupted = false;
+  LayeredStats stats;
+};
+
+LayeredSession::LayeredSession(const loss::LossModel& loss,
+                               std::size_t receivers, std::size_t num_packets,
+                               const LayeredConfig& config, std::uint64_t seed)
+    : impl_(std::make_unique<Impl>(loss, receivers, num_packets, config,
+                                   seed)) {}
+
+LayeredSession::~LayeredSession() = default;
+
+LayeredStats LayeredSession::run() { return impl_->run(); }
+
+}  // namespace pbl::protocol

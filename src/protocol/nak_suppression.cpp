@@ -1,0 +1,44 @@
+#include "protocol/nak_suppression.hpp"
+
+#include <stdexcept>
+
+namespace pbl::protocol {
+
+double nak_backoff(std::size_t s, std::size_t l, double slot_size, Rng& rng) {
+  if (slot_size < 0.0)
+    throw std::invalid_argument("nak_backoff: slot_size must be >= 0");
+  if (l == 0) throw std::invalid_argument("nak_backoff: l must be > 0");
+  const std::size_t slot = l >= s ? 0 : s - l;
+  return (static_cast<double>(slot) + rng.uniform()) * slot_size;
+}
+
+NakTimer::NakTimer(sim::Simulator& sim, std::function<void(std::size_t)> send)
+    : sim_(&sim), send_(std::move(send)) {}
+
+NakTimer::~NakTimer() { cancel(); }
+
+void NakTimer::cancel() {
+  if (event_ != sim::kInvalidEvent) {
+    sim_->cancel(event_);
+    event_ = sim::kInvalidEvent;
+  }
+}
+
+void NakTimer::arm(std::size_t l, double delay) {
+  cancel();
+  l_ = l;
+  event_ = sim_->schedule_in(delay, [this] {
+    event_ = sim::kInvalidEvent;
+    send_(l_);
+  });
+}
+
+bool NakTimer::on_heard(std::size_t m) {
+  if (event_ == sim::kInvalidEvent) return false;
+  if (m < l_) return false;  // the heard NAK asks for less than we need
+  cancel();
+  ++suppressed_;
+  return true;
+}
+
+}  // namespace pbl::protocol

@@ -1,0 +1,57 @@
+// Slotting-and-damping NAK suppression (paper Section 5.1, following SRM).
+//
+// After a POLL(i, s), a receiver needing l more packets schedules its
+// NAK(i, l) uniformly inside the slot [(s-l) Ts, (s-l+1) Ts]: the more
+// packets a receiver misses, the earlier it speaks, so the worst-off
+// receiver's NAK tends to go out first and — because NAKs are multicast —
+// suppresses everyone needing m <= l.  Ideally one NAK per round reaches
+// the sender.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace pbl::protocol {
+
+/// Backoff delay for a receiver needing l of the s packets just polled:
+/// uniform in [(s-l) Ts, (s-l+1) Ts], clamped below at slot 0 when l > s.
+double nak_backoff(std::size_t s, std::size_t l, double slot_size, Rng& rng);
+
+/// Per-(receiver, TG) pending-NAK state machine.
+class NakTimer {
+ public:
+  /// send(l) is invoked when the timer fires (the NAK goes out).
+  NakTimer(sim::Simulator& sim, std::function<void(std::size_t)> send);
+  ~NakTimer();
+
+  NakTimer(const NakTimer&) = delete;
+  NakTimer& operator=(const NakTimer&) = delete;
+
+  /// Arms (or re-arms) the timer to send NAK(l) after `delay`.
+  void arm(std::size_t l, double delay);
+
+  /// Another receiver's NAK(m) was heard: cancels the pending NAK if
+  /// m >= l (damping).  Returns true if a pending NAK was suppressed.
+  bool on_heard(std::size_t m);
+
+  /// Cancels any pending NAK without counting it as suppressed (used when
+  /// the receiver completes the TG on its own).
+  void disarm() { cancel(); }
+
+  bool pending() const noexcept { return event_ != sim::kInvalidEvent; }
+  std::size_t suppressed_count() const noexcept { return suppressed_; }
+
+ private:
+  void cancel();
+
+  sim::Simulator* sim_;
+  std::function<void(std::size_t)> send_;
+  sim::EventId event_ = sim::kInvalidEvent;
+  std::size_t l_ = 0;
+  std::size_t suppressed_ = 0;
+};
+
+}  // namespace pbl::protocol

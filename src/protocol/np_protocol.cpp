@@ -1,0 +1,446 @@
+#include "protocol/np_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "util/numerics.hpp"
+
+namespace pbl::protocol {
+
+using fec::Packet;
+using fec::PacketType;
+
+struct NpSession::Impl {
+  Impl(const loss::LossModel& loss, std::size_t receivers, std::size_t num_tgs,
+       const NpConfig& config, std::uint64_t seed,
+       std::vector<std::vector<std::vector<std::uint8_t>>> provided)
+      : cfg(config), num_receivers(receivers), num_tgs(num_tgs), sim(seed),
+        code(config.k, config.k + config.h),
+        channel(sim, loss, receivers, config.delay, config.lossless_control) {
+    if (receivers == 0) throw std::invalid_argument("NpSession: receivers >= 1");
+    if (num_tgs == 0) throw std::invalid_argument("NpSession: num_tgs >= 1");
+    if (config.k + config.h > 255)
+      throw std::invalid_argument("NpSession: k + h must be <= 255");
+
+    if (provided.empty()) {
+      // Random source data, one TG at a time.
+      Rng data_rng(seed ^ 0xabcdef12345ULL);
+      source.resize(num_tgs);
+      for (std::size_t i = 0; i < num_tgs; ++i) {
+        source[i].resize(cfg.k);
+        for (auto& pkt : source[i]) {
+          pkt.resize(cfg.packet_len);
+          for (auto& b : pkt) b = static_cast<std::uint8_t>(data_rng());
+        }
+      }
+    } else {
+      for (const auto& tg : provided) {
+        if (tg.size() != cfg.k)
+          throw std::invalid_argument("NpSession: each TG needs exactly k packets");
+        for (const auto& pkt : tg)
+          if (pkt.size() != cfg.packet_len)
+            throw std::invalid_argument(
+                "NpSession: packets must be packet_len bytes");
+      }
+      source = std::move(provided);
+    }
+    encoders.reserve(num_tgs);
+    for (std::size_t i = 0; i < num_tgs; ++i) {
+      encoders.emplace_back(static_cast<std::uint32_t>(i), code, source[i]);
+      if (cfg.pre_encode) encoders.back().pre_encode();
+    }
+
+    tg_state.resize(num_tgs);
+    current_proactive = std::min(cfg.proactive, cfg.h);
+    rx.resize(receivers);
+    for (std::size_t r = 0; r < receivers; ++r) {
+      rx[r].decoders.resize(num_tgs);
+      rx[r].timers.resize(num_tgs);
+      rx[r].poll_round.assign(num_tgs, 0);
+      rx[r].done.assign(num_tgs, false);
+      rx[r].rng = Rng(seed).split(0x1000 + r);
+    }
+
+    channel.set_receiver_handler(
+        [this](std::size_t r, const Packet& p) { on_receiver_packet(r, p); });
+    channel.set_sender_handler(
+        [this](std::size_t r, const Packet& p) { on_sender_feedback(r, p); });
+  }
+
+  // ---- sender ----------------------------------------------------------
+
+  struct TgState {
+    std::size_t parities_used = 0;     // parities transmitted so far
+    std::size_t proactive = 0;         // parities sent with the data
+    double first_send = -1.0;          // when the TG's first data packet left
+    std::size_t receivers_done = 0;    // receivers that reconstructed the TG
+    double latency = -1.0;             // set once receivers_done == R
+    std::uint32_t round = 0;           // feedback round (POLLs and NAKs carry it)
+    sim::EventId deadline = sim::kInvalidEvent;
+    bool serving = false;              // parities queued, ignore further NAKs
+    bool failed = false;
+    bool round1_observed = false;      // fed the adaptive loss estimator
+  };
+
+  void start() {
+    schedule_send();
+  }
+
+  void schedule_send() {
+    if (send_scheduled) return;
+    if (urgent.empty() && next_tg >= num_tgs) return;  // nothing to send
+    const double at = std::max(sim.now(), last_send_time + cfg.delta);
+    send_scheduled = true;
+    sim.schedule_at(at, [this] {
+      send_scheduled = false;
+      send_next();
+    });
+  }
+
+  void send_next() {
+    last_send_time = sim.now();
+    if (!urgent.empty()) {
+      Packet p = std::move(urgent.front());
+      urgent.pop_front();
+      emit(p);
+    } else if (next_tg < num_tgs) {
+      const std::size_t i = next_tg;
+      if (next_data_index < cfg.k) {
+        emit(encoders[i].data_packet(next_data_index));
+        ++next_data_index;
+        if (next_data_index == cfg.k) {
+          // TG data done: append the proactive parities (the "a" of
+          // Section 3.2), then poll, then move on to the next TG.
+          auto& st = tg_state[i];
+          st.proactive = std::min(current_proactive, cfg.h);
+          for (std::size_t j = 0; j < st.proactive; ++j) {
+            Packet parity = encoders[i].parity_packet(j);
+            parity.header.count = 1;  // marks a proactive parity
+            urgent.push_back(std::move(parity));
+          }
+          st.parities_used = st.proactive;
+          urgent.push_back(make_poll(i, cfg.k + st.proactive));
+          next_data_index = 0;
+          ++next_tg;
+        }
+      }
+    }
+    schedule_send();
+  }
+
+  void emit(const Packet& p) {
+    switch (p.header.type) {
+      case PacketType::kData:
+        if (tg_state[p.header.tg].first_send < 0.0)
+          tg_state[p.header.tg].first_send = sim.now();
+        ++stats.data_sent;
+        channel.multicast_down(p);
+        break;
+      case PacketType::kParity:
+        if (p.header.count)
+          ++stats.proactive_sent;
+        else
+          ++stats.parity_sent;
+        channel.multicast_down(p);
+        break;
+      case PacketType::kPoll: {
+        ++stats.polls_sent;
+        channel.multicast_control_down(p);
+        arm_poll_deadline(p.header.tg, p.header.count);
+        break;
+      }
+      case PacketType::kNak:
+        throw std::logic_error("sender does not emit NAKs");
+    }
+  }
+
+  Packet make_poll(std::size_t tg, std::size_t s) {
+    Packet p;
+    p.header.type = PacketType::kPoll;
+    p.header.tg = static_cast<std::uint32_t>(tg);
+    p.header.k = static_cast<std::uint16_t>(cfg.k);
+    p.header.n = static_cast<std::uint16_t>(cfg.k + cfg.h);
+    p.header.count = static_cast<std::uint16_t>(s);
+    // A fresh feedback round opens with every POLL; stale NAKs answering
+    // an earlier round are recognisable by their round id and ignored.
+    p.header.seq = ++tg_state[tg].round;
+    return p;
+  }
+
+  void arm_poll_deadline(std::size_t tg, std::size_t s) {
+    auto& st = tg_state[tg];
+    st.serving = false;
+    if (st.deadline != sim::kInvalidEvent) sim.cancel(st.deadline);
+    // Worst-case NAK backoff is s * Ts (a receiver needing l = 1); add the
+    // poll's downlink and the NAK's uplink propagation.
+    const double window =
+        2.0 * cfg.delay + static_cast<double>(s) * cfg.slot + cfg.slot;
+    st.deadline = sim.schedule_in(window, [this, tg] {
+      tg_state[tg].deadline = sim::kInvalidEvent;
+      ++stats.tgs_completed;  // silence after a poll means the TG is done
+      observe_round1(tg, 0);  // nobody needed anything this round
+    });
+  }
+
+  /// Feeds the adaptive controller with the maximum missing-count the
+  /// first feedback round of `tg` revealed (0 = silence).  The NAK
+  /// reports losses BEYOND the a proactive parities, so the worst
+  /// receiver's loss count is max_missing + a when a NAK arrived;
+  /// silence only says the maximum was <= a (censored) — the estimate is
+  /// then decayed gently so an improving channel sheds redundancy.
+  void observe_round1(std::size_t tg, std::size_t max_missing) {
+    auto& st = tg_state[tg];
+    if (st.round1_observed || st.round != 1) return;
+    st.round1_observed = true;
+    if (!cfg.adaptive) return;
+    if (max_missing > 0) {
+      const double sample =
+          static_cast<double>(max_missing + st.proactive);
+      ewma_max_missing += 0.3 * (sample - ewma_max_missing);
+    } else {
+      ewma_max_missing =
+          std::min(ewma_max_missing * 0.9,
+                   static_cast<double>(st.proactive));
+    }
+    replan_proactive();
+  }
+
+  /// Inverts E[max over R of Bin(n1, p) losses] = ewma_max_missing for p,
+  /// then picks the smallest a with P(no receiver needs a round) >= the
+  /// configured confidence.  Requires the sender to know (roughly) R —
+  /// reasonable for provisioned sessions; see NpConfig::adaptive.
+  void replan_proactive() {
+    // The estimator's samples are (uncensored) maxima of losses over the
+    // k + a packets of round 1; invert against that block size.
+    const auto n1 = static_cast<std::int64_t>(cfg.k + current_proactive);
+    const double receivers = static_cast<double>(num_receivers);
+    const auto expected_max = [&](double p) {
+      double cdf = 0.0, sum = 0.0;
+      for (std::int64_t j = 0; j < n1; ++j) {
+        cdf += binomial_pmf(n1, j, p);
+        sum += one_minus_pow_one_minus(1.0 - std::min(cdf, 1.0), receivers);
+      }
+      return sum;
+    };
+    double p_hat = 0.0;
+    if (ewma_max_missing > 1e-9) {
+      double lo = 1e-9, hi = 0.9;
+      for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        (expected_max(mid) < ewma_max_missing ? lo : hi) = mid;
+      }
+      p_hat = 0.5 * (lo + hi);
+    }
+    // Smallest a with P(Lr <= a)^R >= confidence.
+    std::size_t a = 0;
+    for (; a < cfg.h; ++a) {
+      const double per =
+          binomial_cdf(static_cast<std::int64_t>(cfg.k + a),
+                       static_cast<std::int64_t>(a), p_hat);
+      if (per > 0.0 &&
+          std::exp(receivers * std::log(per)) >= cfg.adaptive_confidence)
+        break;
+    }
+    current_proactive = a;
+  }
+
+  void on_sender_feedback(std::size_t /*from*/, const Packet& p) {
+    if (p.header.type != PacketType::kNak) return;
+    const std::size_t tg = p.header.tg;
+    auto& st = tg_state[tg];
+    if (st.serving || st.failed) return;  // already reacting to this round
+    if (p.header.seq != st.round) return; // stale NAK from an earlier round
+    observe_round1(tg, p.header.count);
+    if (st.deadline != sim::kInvalidEvent) {
+      sim.cancel(st.deadline);
+      st.deadline = sim::kInvalidEvent;
+    }
+    std::size_t l = p.header.count;
+    const std::size_t available = cfg.h - st.parities_used;
+    if (available == 0) {
+      st.failed = true;
+      ++stats.tgs_failed;
+      return;
+    }
+    l = std::min(l, available);
+    st.serving = true;
+    for (std::size_t j = 0; j < l; ++j)
+      urgent.push_back(encoders[tg].parity_packet(st.parities_used + j));
+    st.parities_used += l;
+    urgent.push_back(make_poll(tg, l));
+    schedule_send();
+  }
+
+  // ---- receivers -------------------------------------------------------
+
+  struct Receiver {
+    std::vector<std::optional<fec::TgDecoder>> decoders;
+    std::vector<std::unique_ptr<NakTimer>> timers;
+    std::vector<std::uint32_t> poll_round;  // round id of the latest POLL per TG
+    std::vector<bool> done;
+    std::size_t done_count = 0;
+    Rng rng;
+  };
+
+  fec::TgDecoder& decoder(std::size_t r, std::size_t tg) {
+    auto& slot = rx[r].decoders[tg];
+    if (!slot)
+      slot.emplace(static_cast<std::uint32_t>(tg), code, cfg.packet_len);
+    return *slot;
+  }
+
+  void on_receiver_packet(std::size_t r, const Packet& p) {
+    switch (p.header.type) {
+      case PacketType::kData:
+      case PacketType::kParity: {
+        auto& dec = decoder(r, p.header.tg);
+        const bool was_done = rx[r].done[p.header.tg];
+        if (!dec.add(p)) {
+          ++stats.duplicate_receptions;
+          return;
+        }
+        if (!was_done && dec.decodable()) complete_tg(r, p.header.tg);
+        break;
+      }
+      case PacketType::kPoll:
+        rx[r].poll_round[p.header.tg] = p.header.seq;
+        on_poll(r, p.header.tg, p.header.count);
+        break;
+      case PacketType::kNak:
+        // Another receiver's NAK: damping.
+        if (auto& timer = rx[r].timers[p.header.tg])
+          timer->on_heard(p.header.count);
+        break;
+    }
+  }
+
+  void on_poll(std::size_t r, std::size_t tg, std::size_t s) {
+    auto& dec = decoder(r, tg);
+    const std::size_t l = dec.needed();
+    if (l == 0) return;
+    auto& timer = rx[r].timers[tg];
+    if (!timer) {
+      timer = std::make_unique<NakTimer>(sim, [this, r, tg](std::size_t need) {
+        ++stats.naks_sent;
+        Packet nak;
+        nak.header.type = PacketType::kNak;
+        nak.header.tg = static_cast<std::uint32_t>(tg);
+        nak.header.count = static_cast<std::uint16_t>(need);
+        nak.header.seq = rx[r].poll_round[tg];  // answers this round's POLL
+        channel.multicast_up(r, nak);
+      });
+    }
+    timer->arm(l, nak_backoff(s, l, cfg.slot, rx[r].rng));
+  }
+
+  void complete_tg(std::size_t r, std::size_t tg) {
+    auto& dec = *rx[r].decoders[tg];
+    const auto& rebuilt = dec.reconstruct();
+    stats.packets_decoded += dec.decoded_packets();
+    if (rebuilt != source[tg]) corrupted = true;
+    rx[r].done[tg] = true;
+    auto& st = tg_state[tg];
+    if (++st.receivers_done == num_receivers)
+      st.latency = sim.now() - st.first_send;
+    if (++rx[r].done_count == num_tgs)
+      stats.completion_time = std::max(stats.completion_time, sim.now());
+    // A pending NAK for this TG is moot now.
+    if (auto& timer = rx[r].timers[tg]) timer->disarm();
+  }
+
+  // ---- run -------------------------------------------------------------
+
+  NpStats run() {
+    start();
+    sim.run();
+    for (std::size_t i = 0; i < num_tgs; ++i)
+      stats.parities_encoded += encoders[i].parities_encoded();
+    std::uint64_t suppressed = 0;
+    bool all = !corrupted;
+    for (auto& rec : rx) {
+      if (rec.done_count != num_tgs) all = false;
+      for (auto& t : rec.timers)
+        if (t) suppressed += t->suppressed_count();
+    }
+    stats.packet_deliveries = channel.stats().data_deliveries;
+    stats.naks_suppressed = suppressed;
+    std::vector<double> latencies;
+    latencies.reserve(tg_state.size());
+    double latency_sum = 0.0;
+    for (const auto& st : tg_state) {
+      if (st.latency >= 0.0) {
+        latency_sum += st.latency;
+        latencies.push_back(st.latency);
+      }
+    }
+    if (!latencies.empty()) {
+      stats.mean_tg_latency =
+          latency_sum / static_cast<double>(latencies.size());
+      std::sort(latencies.begin(), latencies.end());
+      stats.p95_tg_latency =
+          latencies[std::min(latencies.size() - 1,
+                             static_cast<std::size_t>(
+                                 0.95 * static_cast<double>(latencies.size())))];
+    }
+    stats.all_delivered = all;
+    stats.final_proactive = static_cast<double>(current_proactive);
+    stats.tx_per_packet =
+        static_cast<double>(stats.data_sent + stats.parity_sent +
+                            stats.proactive_sent) /
+        (static_cast<double>(cfg.k) * static_cast<double>(num_tgs));
+    return stats;
+  }
+
+  NpConfig cfg;
+  std::size_t num_receivers;
+  std::size_t num_tgs;
+  sim::Simulator sim;
+  fec::RseCode code;
+  net::MulticastChannel channel;
+
+  std::vector<std::vector<std::vector<std::uint8_t>>> source;
+  std::vector<fec::TgEncoder> encoders;
+  std::vector<TgState> tg_state;
+  std::size_t current_proactive = 0;
+  double ewma_max_missing = 0.0;
+  std::deque<Packet> urgent;
+  std::size_t next_tg = 0;
+  std::size_t next_data_index = 0;
+  double last_send_time = -1e9;
+  bool send_scheduled = false;
+
+  std::vector<Receiver> rx;
+  bool corrupted = false;
+  NpStats stats;
+};
+
+NpSession::NpSession(const loss::LossModel& loss, std::size_t receivers,
+                     std::size_t num_tgs, const NpConfig& config,
+                     std::uint64_t seed)
+    : impl_(std::make_unique<Impl>(
+          loss, receivers, num_tgs, config, seed,
+          std::vector<std::vector<std::vector<std::uint8_t>>>{})) {}
+
+NpSession::NpSession(const loss::LossModel& loss, std::size_t receivers,
+                     std::vector<std::vector<std::vector<std::uint8_t>>> data,
+                     const NpConfig& config, std::uint64_t seed)
+    : impl_(std::make_unique<Impl>(loss, receivers, data.size(), config, seed,
+                                   std::move(data))) {}
+
+NpSession::~NpSession() = default;
+
+NpStats NpSession::run() { return impl_->run(); }
+
+void NpSession::set_wire_tap(std::function<void(const fec::Packet&)> tap) {
+  impl_->channel.set_wire_tap(std::move(tap));
+}
+
+const std::vector<std::vector<std::vector<std::uint8_t>>>&
+NpSession::source_data() const {
+  return impl_->source;
+}
+
+}  // namespace pbl::protocol

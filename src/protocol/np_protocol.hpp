@@ -1,0 +1,108 @@
+// Protocol NP: the paper's hybrid-ARQ reliable multicast protocol
+// (Section 5.1), implemented end-to-end on the discrete-event simulator.
+//
+// The sender multicasts the k data packets of each transmission group,
+// then a POLL(i, k).  Receivers that cannot yet reconstruct TG i schedule
+// a NAK(i, l) under slotting-and-damping (nak_suppression.hpp); NAKs are
+// multicast, so one NAK per round ideally survives.  On NAK(i, l) the
+// sender interrupts the current group, multicasts l parities of TG i
+// followed by POLL(i, l), and resumes.  A TG is complete when a POLL's
+// response window closes with no NAK.
+//
+// Unlike the idealised models, this runs the real RSE codec on real bytes
+// and verifies the reconstruction, counts duplicate receptions, encode/
+// decode operations, NAKs sent and suppressed, and completion time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fec/fec_block.hpp"
+#include "fec/rse_code.hpp"
+#include "loss/loss_model.hpp"
+#include "net/channel.hpp"
+#include "protocol/nak_suppression.hpp"
+#include "sim/simulator.hpp"
+
+namespace pbl::protocol {
+
+struct NpConfig {
+  std::size_t k = 20;          ///< data packets per TG
+  std::size_t h = 100;         ///< parity budget per TG (n = k + h <= 255)
+  std::size_t packet_len = 256;///< payload bytes per packet
+  double delta = 0.001;        ///< packet send spacing [s]
+  double slot = 0.005;         ///< Ts: NAK suppression slot size [s]
+  double delay = 0.010;        ///< one-way propagation delay [s]
+  bool pre_encode = false;     ///< compute all parities before sending
+  bool lossless_control = true;
+
+  /// Parities sent proactively with each TG's data ("a" in Section 3.2):
+  /// trades bandwidth for fewer feedback rounds and lower latency.
+  std::size_t proactive = 0;
+  /// Adapt `proactive` per TG from the losses the NAKs reveal: after each
+  /// completed TG the sender re-plans a so that, at the estimated loss
+  /// rate, a retransmission round is unlikely (adaptive hybrid ARQ; the
+  /// paper's Section 4.1 discussion of measurement-based adaptation).
+  bool adaptive = false;
+  double adaptive_confidence = 0.9;  ///< target P(no NAK round) when adapting
+};
+
+struct NpStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t parity_sent = 0;       ///< reactive (NAK-triggered) parities
+  std::uint64_t proactive_sent = 0;    ///< parities sent with the data
+  double final_proactive = 0.0;        ///< `a` in use after the last TG
+  std::uint64_t polls_sent = 0;
+  std::uint64_t naks_sent = 0;
+  std::uint64_t naks_suppressed = 0;
+  std::uint64_t duplicate_receptions = 0;  ///< across all receivers
+  std::uint64_t packet_deliveries = 0;     ///< data/parity receptions, all receivers
+  std::uint64_t parities_encoded = 0;      ///< sender-side encode operations
+  std::uint64_t packets_decoded = 0;       ///< receiver-side reconstructions
+  std::uint64_t tgs_completed = 0;
+  std::uint64_t tgs_failed = 0;            ///< parity budget exhausted
+  double completion_time = 0.0;            ///< when the last receiver finished
+  double mean_tg_latency = 0.0;            ///< mean time from a TG's first data
+                                           ///< packet to its last receiver decoding
+  double p95_tg_latency = 0.0;             ///< 95th percentile of the same
+  bool all_delivered = false;              ///< every receiver got every byte intact
+  double tx_per_packet = 0.0;              ///< (data+parity)/(k * num_tgs), E[M]
+};
+
+/// One sender, `receivers` receivers, `num_tgs` groups of random data —
+/// or caller-supplied groups (for real file transfer, see
+/// core/file_transfer.hpp).
+class NpSession {
+ public:
+  NpSession(const loss::LossModel& loss, std::size_t receivers,
+            std::size_t num_tgs, const NpConfig& config,
+            std::uint64_t seed = 1);
+
+  /// Transmits the given groups: data[i] must hold exactly config.k
+  /// packets of config.packet_len bytes.
+  NpSession(const loss::LossModel& loss, std::size_t receivers,
+            std::vector<std::vector<std::vector<std::uint8_t>>> data,
+            const NpConfig& config, std::uint64_t seed = 1);
+  ~NpSession();
+
+  NpSession(const NpSession&) = delete;
+  NpSession& operator=(const NpSession&) = delete;
+
+  /// Runs to quiescence and returns the collected statistics.
+  NpStats run();
+
+  /// Observes every packet the session puts on the wire, in order and
+  /// before loss (net::MulticastChannel::set_wire_tap); install before
+  /// run().  Used by the protocol-invariant tests.
+  void set_wire_tap(std::function<void(const fec::Packet&)> tap);
+
+  /// The data the sender transmitted (for external verification).
+  const std::vector<std::vector<std::vector<std::uint8_t>>>& source_data() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pbl::protocol

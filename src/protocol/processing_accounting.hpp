@@ -1,0 +1,57 @@
+// Bridges the DES protocol to the Fig. 17 processing model: maps the
+// event counts a completed NpSession reports onto the per-operation costs
+// of analysis::ProcessingCosts, yielding the session's total sender and
+// per-receiver CPU time under the paper's cost model.  Comparing the
+// per-packet quotient with Eqs. (13)-(16) validates the closed forms
+// against the protocol they describe.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/processing.hpp"
+#include "protocol/np_protocol.hpp"
+
+namespace pbl::protocol {
+
+struct SessionCpuTime {
+  double sender = 0.0;         ///< total sender CPU [s]
+  double receiver_mean = 0.0;  ///< mean per-receiver CPU [s]
+
+  /// Per-data-packet times, comparable to 1/EndHostRates::{sender,receiver}.
+  double sender_per_packet = 0.0;
+  double receiver_per_packet = 0.0;
+};
+
+/// Costs a finished session.  `k` and `num_tgs` must match the session's
+/// configuration; `receivers` the population size.
+inline SessionCpuTime np_session_cpu(const NpStats& stats,
+                                     std::size_t receivers, std::size_t k,
+                                     std::size_t num_tgs,
+                                     const analysis::ProcessingCosts& c = {}) {
+  SessionCpuTime t;
+  const double kd = static_cast<double>(k);
+  const auto packets_sent = static_cast<double>(
+      stats.data_sent + stats.parity_sent + stats.proactive_sent);
+  const auto encoded = static_cast<double>(stats.parities_encoded);
+  const auto naks = static_cast<double>(stats.naks_sent);
+  const double r = static_cast<double>(receivers);
+
+  // Sender: encoding (k*ce per parity, Eq. 15), packet transmission,
+  // NAK processing (control is lossless: every NAK arrives).
+  t.sender = encoded * kd * c.ce + packets_sent * c.xp + naks * c.xn;
+
+  // Receiver: packet reception, own NAKs sent, overheard NAKs, decoding
+  // (k*cd per reconstructed packet, Eq. 16) — averaged over receivers.
+  const double deliveries = static_cast<double>(stats.packet_deliveries);
+  const double decoded = static_cast<double>(stats.packets_decoded);
+  t.receiver_mean = (deliveries / r) * c.yp + (naks / r) * c.yn +
+                    naks * ((r - 1.0) / r) * c.yn2 +
+                    (decoded / r) * kd * c.cd;
+
+  const double data_packets = kd * static_cast<double>(num_tgs);
+  t.sender_per_packet = t.sender / data_packets;
+  t.receiver_per_packet = t.receiver_mean / data_packets;
+  return t;
+}
+
+}  // namespace pbl::protocol

@@ -1,0 +1,556 @@
+#include "protocol/rounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "fec/interleaver.hpp"
+
+namespace pbl::protocol {
+
+IidTransmitter::IidTransmitter(const loss::LossModel& model,
+                               std::size_t receivers, Rng rng) {
+  if (receivers == 0)
+    throw std::invalid_argument("IidTransmitter: need receivers >= 1");
+  processes_.reserve(receivers);
+  for (std::size_t r = 0; r < receivers; ++r)
+    processes_.push_back(model.make_process(rng.split(r), r));
+}
+
+void IidTransmitter::transmit(double t, std::span<const char> active,
+                              std::span<char> received) {
+  if (active.size() != processes_.size() || received.size() != processes_.size())
+    throw std::invalid_argument("IidTransmitter: span size mismatch");
+  for (std::size_t r = 0; r < processes_.size(); ++r) {
+    if (!active[r]) continue;
+    if (!processes_[r]->lost(t)) received[r] = 1;
+  }
+}
+
+TreeTransmitter::TreeTransmitter(const tree::MulticastTree& tree,
+                                 double p_node, Rng rng)
+    : tree_(&tree), p_node_(p_node), rng_(rng) {
+  if (p_node < 0.0 || p_node >= 1.0)
+    throw std::invalid_argument("TreeTransmitter: p_node in [0,1)");
+}
+
+void TreeTransmitter::transmit(double /*t*/, std::span<const char> active,
+                               std::span<char> received) {
+  tree_->multicast_once(p_node_, rng_, active, received);
+}
+
+namespace {
+
+/// Shared bookkeeping for the per-TG Monte-Carlo loops.
+struct Workspace {
+  explicit Workspace(std::size_t receivers)
+      : active(receivers, 0), received(receivers, 0) {}
+  std::vector<char> active;
+  std::vector<char> received;
+
+  void clear_received() {
+    std::fill(received.begin(), received.end(), char{0});
+  }
+};
+
+void validate(const McConfig& cfg) {
+  if (cfg.k < 1) throw std::invalid_argument("McConfig: need k >= 1");
+  if (cfg.h < 0) throw std::invalid_argument("McConfig: need h >= 0");
+  if (cfg.num_tgs < 1) throw std::invalid_argument("McConfig: need num_tgs >= 1");
+  cfg.timing.validate();
+}
+
+McResult finish(const RunningStats& tx_stats, const RunningStats& round_stats,
+                const RunningStats& time_stats, std::uint64_t sent) {
+  McResult res;
+  res.mean_tx = tx_stats.mean();
+  res.ci95 = tx_stats.ci95_halfwidth();
+  res.mean_rounds = round_stats.mean();
+  res.mean_time = time_stats.mean();
+  res.packets_sent = sent;
+  return res;
+}
+
+}  // namespace
+
+McResult sim_nofec(PacketTransmitter& tx, const McConfig& cfg) {
+  validate(cfg);
+  const std::size_t R = tx.receivers();
+  const std::size_t k = static_cast<std::size_t>(cfg.k);
+  Workspace ws(R);
+  // have[r * k + i]: receiver r holds packet i.
+  std::vector<char> have(R * k);
+  std::vector<std::size_t> miss_count(k);  // receivers missing packet i
+
+  RunningStats tx_stats, round_stats, time_stats;
+  std::uint64_t sent_total = 0;
+  double t = 0.0;
+
+  for (std::int64_t tg = 0; tg < cfg.num_tgs; ++tg) {
+    const double tg_start = t;
+    std::fill(have.begin(), have.end(), char{0});
+    std::fill(miss_count.begin(), miss_count.end(), R);
+    std::vector<std::size_t> pending(k);
+    for (std::size_t i = 0; i < k; ++i) pending[i] = i;
+
+    std::uint64_t sent = 0;
+    std::uint64_t rounds = 0;
+    while (!pending.empty()) {
+      ++rounds;
+      for (const std::size_t i : pending) {
+        for (std::size_t r = 0; r < R; ++r) ws.active[r] = !have[r * k + i];
+        ws.clear_received();
+        tx.transmit(t, ws.active, ws.received);
+        t += cfg.timing.delta;
+        ++sent;
+        for (std::size_t r = 0; r < R; ++r) {
+          if (ws.received[r]) {
+            have[r * k + i] = 1;
+            --miss_count[i];
+          }
+        }
+      }
+      std::vector<std::size_t> next;
+      for (const std::size_t i : pending)
+        if (miss_count[i] > 0) next.push_back(i);
+      pending = std::move(next);
+      if (!pending.empty()) t += cfg.timing.gap;
+    }
+    sent_total += sent;
+    tx_stats.add(static_cast<double>(sent) / static_cast<double>(k));
+    round_stats.add(static_cast<double>(rounds));
+    time_stats.add(t - tg_start);
+    t += cfg.timing.gap;  // spacing before the next TG
+  }
+  return finish(tx_stats, round_stats, time_stats, sent_total);
+}
+
+McResult sim_layered(PacketTransmitter& tx, const McConfig& cfg) {
+  validate(cfg);
+  const std::size_t R = tx.receivers();
+  const std::size_t k = static_cast<std::size_t>(cfg.k);
+  const std::size_t n = k + static_cast<std::size_t>(cfg.h);
+  Workspace ws(R);
+
+  std::vector<char> have(R * k);          // originals held, per receiver
+  std::vector<std::size_t> miss(R);       // originals still missing, per receiver
+  std::vector<std::uint16_t> slots(R);    // block slots received this round
+  std::vector<char> direct(R * k);        // originals received directly this round
+
+  RunningStats tx_stats, round_stats, time_stats;
+  std::uint64_t sent_total = 0;
+  double t = 0.0;
+
+  for (std::int64_t tg = 0; tg < cfg.num_tgs; ++tg) {
+    const double tg_start = t;
+    std::fill(have.begin(), have.end(), char{0});
+    std::fill(miss.begin(), miss.end(), k);
+    std::vector<char> pending(k, 1);  // originals carried by the next block
+    std::size_t pending_count = k;
+
+    double cost = 0.0;
+    std::uint64_t rounds = 0;
+    while (pending_count > 0) {
+      ++rounds;
+      // Cost attributed to this TG: each pending original is charged the
+      // n/k overhead of the block that carries it (Eq. (3) accounting).
+      cost += static_cast<double>(pending_count) * static_cast<double>(n) /
+              static_cast<double>(k);
+
+      for (std::size_t r = 0; r < R; ++r) ws.active[r] = miss[r] > 0;
+      std::fill(slots.begin(), slots.end(), std::uint16_t{0});
+      std::fill(direct.begin(), direct.end(), char{0});
+
+      // The block has n slots: slot i < k carries original i (a fresh
+      // packet of another group if i is not pending — it still counts
+      // towards decodability); slots >= k carry the block's parities.
+      for (std::size_t s = 0; s < n; ++s) {
+        ws.clear_received();
+        tx.transmit(t, ws.active, ws.received);
+        t += cfg.timing.delta;
+        sent_total += 1;
+        for (std::size_t r = 0; r < R; ++r) {
+          if (!ws.received[r]) continue;
+          ++slots[r];
+          if (s < k && pending[s] && !have[r * k + s]) direct[r * k + s] = 1;
+        }
+      }
+
+      for (std::size_t r = 0; r < R; ++r) {
+        if (miss[r] == 0) continue;
+        if (slots[r] >= k) {
+          // Block decodable: the receiver recovers every pending original.
+          for (std::size_t i = 0; i < k; ++i) {
+            if (pending[i] && !have[r * k + i]) {
+              have[r * k + i] = 1;
+              --miss[r];
+            }
+          }
+        } else {
+          for (std::size_t i = 0; i < k; ++i) {
+            if (direct[r * k + i]) {
+              have[r * k + i] = 1;
+              --miss[r];
+            }
+          }
+        }
+      }
+
+      // Originals still missing anywhere ride in the next block.
+      std::fill(pending.begin(), pending.end(), char{0});
+      pending_count = 0;
+      for (std::size_t r = 0; r < R; ++r) {
+        if (miss[r] == 0) continue;
+        for (std::size_t i = 0; i < k; ++i) {
+          if (!have[r * k + i] && !pending[i]) {
+            pending[i] = 1;
+            ++pending_count;
+          }
+        }
+      }
+      if (pending_count > 0) t += cfg.timing.gap;
+    }
+    tx_stats.add(cost / static_cast<double>(k));
+    round_stats.add(static_cast<double>(rounds));
+    time_stats.add(t - tg_start);
+    t += cfg.timing.gap;
+  }
+  return finish(tx_stats, round_stats, time_stats, sent_total);
+}
+
+
+McResult sim_layered_interleaved(PacketTransmitter& tx, const McConfig& cfg,
+                                 std::size_t depth) {
+  validate(cfg);
+  if (depth == 0)
+    throw std::invalid_argument("sim_layered_interleaved: depth >= 1");
+  const std::size_t R = tx.receivers();
+  const std::size_t k = static_cast<std::size_t>(cfg.k);
+  const std::size_t n = k + static_cast<std::size_t>(cfg.h);
+  const fec::Interleaver interleaver(depth, n);
+  Workspace ws(R);
+
+  // Per-group receiver state, group-major.
+  struct GroupState {
+    std::vector<char> have;          // R * k originals held
+    std::vector<std::size_t> miss;   // originals missing per receiver
+    std::vector<std::uint16_t> slots;// block slots received this round
+    std::vector<char> direct;        // R * k direct receptions this round
+    std::vector<char> pending;       // originals in the next block
+    std::size_t pending_count = 0;
+    double cost = 0.0;
+    std::uint64_t rounds = 0;
+    double start_time = 0.0;
+    bool finished = false;
+  };
+  std::vector<GroupState> groups(depth);
+  for (auto& g : groups) {
+    g.have.assign(R * k, 0);
+    g.miss.assign(R, k);
+    g.slots.assign(R, 0);
+    g.direct.assign(R * k, 0);
+    g.pending.assign(k, 1);
+  }
+
+  RunningStats tx_stats, round_stats, time_stats;
+  std::uint64_t sent_total = 0;
+  double t = 0.0;
+
+  // Process whole interleaving windows of `depth` groups at a time.
+  std::int64_t windows =
+      (cfg.num_tgs + static_cast<std::int64_t>(depth) - 1) /
+      static_cast<std::int64_t>(depth);
+  for (std::int64_t w = 0; w < windows; ++w) {
+    for (auto& g : groups) {
+      std::fill(g.have.begin(), g.have.end(), char{0});
+      std::fill(g.miss.begin(), g.miss.end(), k);
+      std::fill(g.pending.begin(), g.pending.end(), char{1});
+      g.pending_count = k;
+      g.cost = 0.0;
+      g.rounds = 0;
+      g.start_time = t;
+      g.finished = false;
+    }
+
+    std::size_t unfinished = depth;
+    while (unfinished > 0) {
+      // Round bookkeeping per still-active group.
+      for (auto& g : groups) {
+        if (g.finished) continue;
+        ++g.rounds;
+        g.cost += static_cast<double>(g.pending_count) *
+                  static_cast<double>(n) / static_cast<double>(k);
+        std::fill(g.slots.begin(), g.slots.end(), std::uint16_t{0});
+        std::fill(g.direct.begin(), g.direct.end(), char{0});
+      }
+
+      // One interleaved window: slot s carries packet (gi, idx).
+      for (std::size_t s = 0; s < interleaver.window(); ++s) {
+        const auto [gi, idx] = interleaver.slot_to_packet(s);
+        auto& g = groups[gi];
+        if (g.finished) {
+          // The slot is occupied by unrelated traffic; time still passes.
+          t += cfg.timing.delta;
+          continue;
+        }
+        for (std::size_t r = 0; r < R; ++r) ws.active[r] = g.miss[r] > 0;
+        ws.clear_received();
+        tx.transmit(t, ws.active, ws.received);
+        t += cfg.timing.delta;
+        sent_total += 1;
+        for (std::size_t r = 0; r < R; ++r) {
+          if (!ws.received[r]) continue;
+          ++g.slots[r];
+          if (idx < k && g.pending[idx] && !g.have[r * k + idx])
+            g.direct[r * k + idx] = 1;
+        }
+      }
+
+      // Block decode / bookkeeping, exactly as in sim_layered.
+      for (auto& g : groups) {
+        if (g.finished) continue;
+        for (std::size_t r = 0; r < R; ++r) {
+          if (g.miss[r] == 0) continue;
+          if (g.slots[r] >= k) {
+            for (std::size_t i = 0; i < k; ++i) {
+              if (g.pending[i] && !g.have[r * k + i]) {
+                g.have[r * k + i] = 1;
+                --g.miss[r];
+              }
+            }
+          } else {
+            for (std::size_t i = 0; i < k; ++i) {
+              if (g.direct[r * k + i]) {
+                g.have[r * k + i] = 1;
+                --g.miss[r];
+              }
+            }
+          }
+        }
+        std::fill(g.pending.begin(), g.pending.end(), char{0});
+        g.pending_count = 0;
+        for (std::size_t r = 0; r < R; ++r) {
+          if (g.miss[r] == 0) continue;
+          for (std::size_t i = 0; i < k; ++i) {
+            if (!g.have[r * k + i] && !g.pending[i]) {
+              g.pending[i] = 1;
+              ++g.pending_count;
+            }
+          }
+        }
+        if (g.pending_count == 0) {
+          g.finished = true;
+          --unfinished;
+          tx_stats.add(g.cost / static_cast<double>(k));
+          round_stats.add(static_cast<double>(g.rounds));
+          time_stats.add(t - g.start_time);
+        }
+      }
+      if (unfinished > 0) t += cfg.timing.gap;
+    }
+    t += cfg.timing.gap;
+  }
+  return finish(tx_stats, round_stats, time_stats, sent_total);
+}
+
+McResult sim_integrated_naks(PacketTransmitter& tx, const McConfig& cfg) {
+  validate(cfg);
+  const std::size_t R = tx.receivers();
+  const std::size_t k = static_cast<std::size_t>(cfg.k);
+  const std::size_t a = static_cast<std::size_t>(cfg.h);  // proactive parities
+  Workspace ws(R);
+  std::vector<std::size_t> cnt(R);  // distinct block packets held
+
+  RunningStats tx_stats, round_stats, time_stats;
+  std::uint64_t sent_total = 0;
+  double t = 0.0;
+
+  for (std::int64_t tg = 0; tg < cfg.num_tgs; ++tg) {
+    const double tg_start = t;
+    std::fill(cnt.begin(), cnt.end(), std::size_t{0});
+    std::uint64_t sent = 0;
+    std::uint64_t rounds = 0;
+    std::size_t burst = k + a;  // round 1: the TG plus a proactive parities
+    while (true) {
+      ++rounds;
+      for (std::size_t s = 0; s < burst; ++s) {
+        for (std::size_t r = 0; r < R; ++r) ws.active[r] = cnt[r] < k;
+        ws.clear_received();
+        tx.transmit(t, ws.active, ws.received);
+        t += cfg.timing.delta;
+        ++sent;
+        for (std::size_t r = 0; r < R; ++r)
+          if (ws.received[r]) ++cnt[r];
+      }
+      // Receiver feedback: the maximum number of packets anyone misses.
+      std::size_t l = 0;
+      for (std::size_t r = 0; r < R; ++r)
+        l = std::max(l, k - std::min(cnt[r], k));
+      if (l == 0) break;
+      burst = l;
+      t += cfg.timing.gap;
+    }
+    sent_total += sent;
+    tx_stats.add(static_cast<double>(sent) / static_cast<double>(k));
+    round_stats.add(static_cast<double>(rounds));
+    time_stats.add(t - tg_start);
+    t += cfg.timing.gap;
+  }
+  return finish(tx_stats, round_stats, time_stats, sent_total);
+}
+
+
+McResult sim_integrated_finite(PacketTransmitter& tx, const McConfig& cfg) {
+  validate(cfg);
+  const std::size_t R = tx.receivers();
+  const std::size_t k = static_cast<std::size_t>(cfg.k);
+  const std::size_t h = static_cast<std::size_t>(cfg.h);
+  Workspace ws(R);
+
+  // Per-block receiver state.
+  std::vector<char> slot_have(R * k);      // data slots received this block
+  std::vector<std::size_t> cnt(R);         // total distinct packets received
+  std::vector<char> have(R * k);           // ORIGINALS held across blocks
+  std::vector<std::size_t> miss(R);        // originals missing per receiver
+
+  RunningStats tx_stats, round_stats, time_stats;
+  std::uint64_t sent_total = 0;
+  double t = 0.0;
+
+  for (std::int64_t tg = 0; tg < cfg.num_tgs; ++tg) {
+    const double tg_start = t;
+    std::fill(have.begin(), have.end(), char{0});
+    std::fill(miss.begin(), miss.end(), k);
+    std::vector<char> pending(k, 1);  // originals carried by the next block
+    std::size_t pending_count = k;
+
+    double cost = 0.0;
+    std::uint64_t rounds = 0;
+    while (pending_count > 0) {
+      // ---- one FEC block: k data slots + up to h on-demand parities ----
+      const double share = static_cast<double>(pending_count) /
+                           static_cast<double>(k);
+      std::fill(slot_have.begin(), slot_have.end(), char{0});
+      std::fill(cnt.begin(), cnt.end(), std::size_t{0});
+      // A receiver participates while it misses one of OUR originals and
+      // cannot yet decode the block.
+      const auto wants_block = [&](std::size_t r) {
+        return miss[r] > 0 && cnt[r] < k;
+      };
+
+      // Round 1: the k data slots.
+      ++rounds;
+      for (std::size_t sidx = 0; sidx < k; ++sidx) {
+        for (std::size_t r = 0; r < R; ++r) ws.active[r] = wants_block(r);
+        ws.clear_received();
+        tx.transmit(t, ws.active, ws.received);
+        t += cfg.timing.delta;
+        ++sent_total;
+        cost += share;
+        for (std::size_t r = 0; r < R; ++r) {
+          if (!ws.received[r]) continue;
+          ++cnt[r];
+          slot_have[r * k + sidx] = 1;
+        }
+      }
+      // NAK-driven parity rounds, bounded by the budget h.
+      std::size_t parities_used = 0;
+      while (true) {
+        std::size_t l = 0;
+        for (std::size_t r = 0; r < R; ++r)
+          if (miss[r] > 0) l = std::max(l, k - std::min(cnt[r], k));
+        if (l == 0) break;
+        l = std::min(l, h - parities_used);
+        if (l == 0) break;  // budget exhausted
+        t += cfg.timing.gap;
+        ++rounds;
+        for (std::size_t j = 0; j < l; ++j) {
+          for (std::size_t r = 0; r < R; ++r) ws.active[r] = wants_block(r);
+          ws.clear_received();
+          tx.transmit(t, ws.active, ws.received);
+          t += cfg.timing.delta;
+          ++sent_total;
+          cost += share;
+          for (std::size_t r = 0; r < R; ++r)
+            if (ws.received[r]) ++cnt[r];
+        }
+        parities_used += l;
+      }
+
+      // Harvest: decodable receivers recover every pending original;
+      // others keep the data slots they caught directly.
+      for (std::size_t r = 0; r < R; ++r) {
+        if (miss[r] == 0) continue;
+        if (cnt[r] >= k) {
+          for (std::size_t i = 0; i < k; ++i) {
+            if (pending[i] && !have[r * k + i]) {
+              have[r * k + i] = 1;
+              --miss[r];
+            }
+          }
+        } else {
+          for (std::size_t i = 0; i < k; ++i) {
+            if (slot_have[r * k + i] && pending[i] && !have[r * k + i]) {
+              have[r * k + i] = 1;
+              --miss[r];
+            }
+          }
+        }
+      }
+      std::fill(pending.begin(), pending.end(), char{0});
+      pending_count = 0;
+      for (std::size_t r = 0; r < R; ++r) {
+        if (miss[r] == 0) continue;
+        for (std::size_t i = 0; i < k; ++i) {
+          if (!have[r * k + i] && !pending[i]) {
+            pending[i] = 1;
+            ++pending_count;
+          }
+        }
+      }
+      if (pending_count > 0) t += cfg.timing.gap;
+    }
+    tx_stats.add(cost / static_cast<double>(k));
+    round_stats.add(static_cast<double>(rounds));
+    time_stats.add(t - tg_start);
+    t += cfg.timing.gap;
+  }
+  return finish(tx_stats, round_stats, time_stats, sent_total);
+}
+
+McResult sim_integrated_stream(PacketTransmitter& tx, const McConfig& cfg) {
+  validate(cfg);
+  const std::size_t R = tx.receivers();
+  const std::size_t k = static_cast<std::size_t>(cfg.k);
+  Workspace ws(R);
+  std::vector<std::size_t> cnt(R);
+
+  RunningStats tx_stats, round_stats, time_stats;
+  std::uint64_t sent_total = 0;
+  double t = 0.0;
+
+  for (std::int64_t tg = 0; tg < cfg.num_tgs; ++tg) {
+    const double tg_start = t;
+    std::fill(cnt.begin(), cnt.end(), std::size_t{0});
+    std::uint64_t sent = 0;
+    std::size_t unfinished = R;
+    while (unfinished > 0) {
+      for (std::size_t r = 0; r < R; ++r) ws.active[r] = cnt[r] < k;
+      ws.clear_received();
+      tx.transmit(t, ws.active, ws.received);
+      t += cfg.timing.delta;
+      ++sent;
+      for (std::size_t r = 0; r < R; ++r) {
+        if (ws.received[r] && ++cnt[r] == k) --unfinished;
+      }
+    }
+    sent_total += sent;
+    tx_stats.add(static_cast<double>(sent) / static_cast<double>(k));
+    round_stats.add(1.0);
+    time_stats.add(t - tg_start);
+    t += cfg.timing.gap;
+  }
+  return finish(tx_stats, round_stats, time_stats, sent_total);
+}
+
+}  // namespace pbl::protocol

@@ -1,0 +1,124 @@
+// Round-based Monte-Carlo simulators for the four loss-recovery schemes,
+// generic over how packets reach receivers (i.i.d./burst processes or a
+// lossy multicast tree).  These regenerate the paper's simulation figures:
+// Fig. 11/12 (shared loss), Fig. 15/16 (burst loss), and cross-validate
+// the closed forms of Section 3.
+//
+// The metric is the paper's E[M]: mean packet transmissions per data
+// packet until every receiver can deliver it (network-bandwidth cost).
+// For layered FEC each RM-layer (re)transmission is charged the n/k parity
+// overhead of its FEC block, matching Eq. (3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "loss/loss_model.hpp"
+#include "protocol/timing.hpp"
+#include "tree/multicast_tree.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pbl::protocol {
+
+/// How one packet transmission reaches the receiver population.
+/// Implementations must tolerate non-decreasing transmit times.
+class PacketTransmitter {
+ public:
+  virtual ~PacketTransmitter() = default;
+
+  virtual std::size_t receivers() const = 0;
+
+  /// Transmits one packet at absolute time `t`.  `active[r]` marks the
+  /// receivers whose outcome matters; `received[r]` is set to 1 for every
+  /// active receiver that gets the packet (entries of inactive receivers
+  /// are left untouched).
+  virtual void transmit(double t, std::span<const char> active,
+                        std::span<char> received) = 0;
+};
+
+/// Spatially independent receivers, each with its own LossProcess (works
+/// with Bernoulli, Gilbert and heterogeneous models).
+class IidTransmitter final : public PacketTransmitter {
+ public:
+  IidTransmitter(const loss::LossModel& model, std::size_t receivers, Rng rng);
+  std::size_t receivers() const override { return processes_.size(); }
+  void transmit(double t, std::span<const char> active,
+                std::span<char> received) override;
+
+ private:
+  std::vector<std::unique_ptr<loss::LossProcess>> processes_;
+};
+
+/// Transmission over a multicast tree with per-node loss (Section 4.1);
+/// loss is spatially correlated between receivers sharing tree nodes.
+class TreeTransmitter final : public PacketTransmitter {
+ public:
+  TreeTransmitter(const tree::MulticastTree& tree, double p_node, Rng rng);
+  std::size_t receivers() const override { return tree_->num_leaves(); }
+  void transmit(double t, std::span<const char> active,
+                std::span<char> received) override;
+
+ private:
+  const tree::MulticastTree* tree_;
+  double p_node_;
+  Rng rng_;
+};
+
+struct McConfig {
+  std::int64_t k = 7;        ///< transmission-group size
+  std::int64_t h = 0;        ///< parities per FEC block (layered) / initial parities a (integrated)
+  std::int64_t num_tgs = 200;///< transmission groups to sample
+  Timing timing{};
+};
+
+struct McResult {
+  double mean_tx = 0.0;     ///< estimate of E[M]
+  double ci95 = 0.0;        ///< 95% confidence half-width on mean_tx
+  double mean_rounds = 0.0; ///< mean transmission rounds per TG
+  double mean_time = 0.0;   ///< mean TG completion time [s] (Fig. 13 timing)
+  std::uint64_t packets_sent = 0;
+};
+
+/// Plain ARQ: every packet is multicast-retransmitted until all receivers
+/// hold it; retransmissions of a packet are spaced delta + T.
+McResult sim_nofec(PacketTransmitter& tx, const McConfig& cfg);
+
+/// Layered FEC (Section 3.1): blocks of k data + h parities; receivers
+/// that get >= k of n recover everything; lost originals keep their block
+/// slot and ride in a fresh block next round (cost-shared n/k per packet).
+McResult sim_layered(PacketTransmitter& tx, const McConfig& cfg);
+
+/// Layered FEC with block interleaving (Section 4.2: "under interleaving
+/// the sender spreads the transmission of a FEC block over an interval
+/// that is longer than the loss burst length").  `depth` FEC blocks are
+/// transmitted simultaneously with their slots interleaved (fec::
+/// Interleaver order), so adjacent losses hit different blocks; depth = 1
+/// reduces exactly to sim_layered.  Useful only under temporally
+/// correlated loss — it exists to quantify how much interleaving repairs
+/// layered FEC's Fig. 15 burst-loss collapse.
+McResult sim_layered_interleaved(PacketTransmitter& tx, const McConfig& cfg,
+                                 std::size_t depth);
+
+/// Integrated FEC 2 / idealised protocol NP (Sections 3.2, 4.2): k data
+/// (+ cfg.h initial parities) are sent, then per round the sender
+/// multicasts max-over-receivers missing-count parity packets, rounds
+/// spaced delta + T, until every receiver has k distinct packets.  The
+/// parity supply is unlimited (the paper's n = infinity lower bound).
+McResult sim_integrated_naks(PacketTransmitter& tx, const McConfig& cfg);
+
+/// Integrated FEC with a FINITE parity budget (cfg.h = h): parities are
+/// served on demand as in sim_integrated_naks, but when the block's h
+/// parities are used up, the originals still missing anywhere join a new
+/// transmission group (with other data) and the process repeats — the
+/// protocol the corrected Fig. 6 formula (analysis::expected_tx_integrated)
+/// models.  Cost is attributed per carried original, like sim_layered.
+McResult sim_integrated_finite(PacketTransmitter& tx, const McConfig& cfg);
+
+/// Integrated FEC 1 (Section 4.2): data then a continuous parity stream,
+/// everything spaced delta with no feedback gaps; a receiver leaves the
+/// group once it holds k packets; the sender stops when all have left.
+McResult sim_integrated_stream(PacketTransmitter& tx, const McConfig& cfg);
+
+}  // namespace pbl::protocol

@@ -1,0 +1,3 @@
+// Timing is a plain parameter struct (see timing.hpp); this translation
+// unit anchors the library target.
+#include "protocol/timing.hpp"

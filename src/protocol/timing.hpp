@@ -1,0 +1,28 @@
+// Transmission timing of the four recovery schemes (paper Fig. 13).
+//
+// Packets within a round are spaced delta = 1/lambda apart; a feedback/
+// retransmission gap T separates a round from the next.  The paper's
+// burst-loss experiments use delta = 40 ms (25 packets/s, Bolot's loaded
+// Internet path) and T = 300 ms.
+//
+//   no FEC:          retransmissions of a packet spaced delta + T
+//   layered FEC:     FEC blocks (n slots at delta) spaced delta + T
+//   integrated FEC1: data then parities, all at delta; no feedback gaps
+//   integrated FEC2: parity rounds separated by delta + T (interleaving)
+#pragma once
+
+#include <stdexcept>
+
+namespace pbl::protocol {
+
+struct Timing {
+  double delta = 0.040;  ///< packet spacing within a round [s]
+  double gap = 0.300;    ///< T: extra spacing between rounds [s]
+
+  void validate() const {
+    if (delta <= 0.0) throw std::invalid_argument("Timing: delta must be > 0");
+    if (gap < 0.0) throw std::invalid_argument("Timing: gap must be >= 0");
+  }
+};
+
+}  // namespace pbl::protocol

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pbl::sim {
+
+EventId EventQueue::schedule(double when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_ids_.erase(id) == 0) return false;  // unknown or already fired
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+double EventQueue::next_time() const {
+  skip_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue: empty");
+  return heap_.top().when;
+}
+
+double EventQueue::run_next() {
+  skip_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue: empty");
+  // Move the callback out before popping so re-entrant schedule() calls
+  // from inside the callback are safe.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_ids_.erase(top.id);
+  top.fn();
+  return top.when;
+}
+
+}  // namespace pbl::sim

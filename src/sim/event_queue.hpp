@@ -1,0 +1,53 @@
+// Discrete-event scheduler: a time-ordered queue of callbacks with stable
+// FIFO ordering among simultaneous events and lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace pbl::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`; returns a handle usable with
+  /// cancel().  Events at equal times fire in scheduling order.
+  EventId schedule(double when, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown id is
+  /// a no-op.  Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  bool empty() const;
+  std::size_t pending() const { return pending_ids_.size(); }
+
+  /// Time of the earliest pending event; requires !empty().
+  double next_time() const;
+
+  /// Pops and runs the earliest event; returns its time.  Requires !empty().
+  double run_next();
+
+ private:
+  struct Entry {
+    double when;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      return when > o.when || (when == o.when && id > o.id);
+    }
+  };
+  /// Pops cancelled entries off the heap top.
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_ids_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace pbl::sim

@@ -1,0 +1,28 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace pbl::sim {
+
+EventId Simulator::schedule_in(double delay, std::function<void()> fn) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator: negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(double when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("Simulator: time in the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+std::uint64_t Simulator::run(double horizon) {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= horizon) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace pbl::sim

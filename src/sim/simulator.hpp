@@ -1,0 +1,43 @@
+// Simulation driver: owns the clock and the event queue and runs events
+// until quiescence, a time horizon, or an explicit stop.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace pbl::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  double now() const noexcept { return now_; }
+  Rng& rng() noexcept { return rng_; }
+  EventQueue& queue() noexcept { return queue_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(double delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `when` (when >= now()).
+  EventId schedule_at(double when, std::function<void()> fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue is empty or `horizon` is exceeded (events after
+  /// the horizon stay queued).  Returns the number of events executed.
+  std::uint64_t run(double horizon = std::numeric_limits<double>::infinity());
+
+  /// Requests run() to return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+
+ private:
+  double now_ = 0.0;
+  bool stopped_ = false;
+  EventQueue queue_;
+  Rng rng_;
+};
+
+}  // namespace pbl::sim

@@ -1,0 +1,34 @@
+#include "tree/multicast_tree.hpp"
+
+#include <stdexcept>
+
+namespace pbl::tree {
+
+MulticastTree MulticastTree::full_binary(unsigned height) {
+  if (height > 25)
+    throw std::invalid_argument("full_binary: height > 25 would not fit memory");
+  // Heap layout: node i has children 2i+1, 2i+2; parent (i-1)/2.
+  const std::size_t n = (std::size_t{1} << (height + 1)) - 1;
+  std::vector<std::size_t> parent(n, 0);
+  for (std::size_t i = 1; i < n; ++i) parent[i] = (i - 1) / 2;
+  return MulticastTree(std::move(parent));
+}
+
+MulticastTree MulticastTree::full_mary(unsigned height, std::size_t fanout) {
+  if (fanout < 2)
+    throw std::invalid_argument("full_mary: need fanout >= 2");
+  // Level-order (generalised heap) layout: the children of node i are
+  // f*i + 1 ... f*i + f; the parent of node i is (i-1)/f.
+  std::size_t nodes = 1, level = 1;
+  for (unsigned d = 0; d < height; ++d) {
+    level *= fanout;
+    nodes += level;
+    if (nodes > (std::size_t{1} << 26))
+      throw std::invalid_argument("full_mary: tree would not fit memory");
+  }
+  std::vector<std::size_t> parent(nodes, 0);
+  for (std::size_t i = 1; i < nodes; ++i) parent[i] = (i - 1) / fanout;
+  return MulticastTree(std::move(parent));
+}
+
+}  // namespace pbl::tree

@@ -1,0 +1,120 @@
+#include "tree/multicast_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pbl::tree {
+
+MulticastTree::MulticastTree(std::vector<std::size_t> parent)
+    : parent_(std::move(parent)) {
+  const std::size_t n = parent_.size();
+  if (n == 0) throw std::invalid_argument("MulticastTree: empty tree");
+  if (parent_[0] != 0)
+    throw std::invalid_argument("MulticastTree: node 0 must be the root");
+  for (std::size_t i = 1; i < n; ++i)
+    if (parent_[i] >= i)
+      throw std::invalid_argument(
+          "MulticastTree: parent[i] < i required (topological order)");
+
+  // CSR children lists.
+  std::vector<std::size_t> child_count(n, 0);
+  for (std::size_t i = 1; i < n; ++i) ++child_count[parent_[i]];
+  child_offset_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    child_offset_[i + 1] = child_offset_[i] + child_count[i];
+  child_list_.resize(n - 1);
+  std::vector<std::size_t> cursor(child_offset_.begin(), child_offset_.end() - 1);
+  for (std::size_t i = 1; i < n; ++i) child_list_[cursor[parent_[i]]++] = i;
+
+  // Depth.
+  depth_.assign(n, 0);
+  for (std::size_t i = 1; i < n; ++i) depth_[i] = depth_[parent_[i]] + 1;
+  height_ = *std::max_element(depth_.begin(), depth_.end());
+
+  // Leaf ranges in reverse topological order (children before parents).
+  leaf_begin_.assign(n, 0);
+  leaf_end_.assign(n, 0);
+  // First pass: assign leaf ids in DFS order.
+  std::size_t next_leaf = 0;
+  std::vector<std::size_t> stack{0};
+  std::vector<std::size_t> dfs_order;
+  dfs_order.reserve(n);
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    dfs_order.push_back(u);
+    const auto kids = children(u);
+    // Push in reverse so leftmost child is visited first.
+    for (std::size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+    if (kids.empty()) {
+      leaf_begin_[u] = next_leaf;
+      leaf_end_[u] = ++next_leaf;
+    }
+  }
+  num_leaves_ = next_leaf;
+  // Second pass: propagate ranges bottom-up (reverse DFS order works since
+  // children appear after their parent in dfs_order; walk it backwards).
+  for (std::size_t idx = dfs_order.size(); idx-- > 0;) {
+    const std::size_t u = dfs_order[idx];
+    const auto kids = children(u);
+    if (kids.empty()) continue;
+    leaf_begin_[u] = leaf_begin_[kids.front()];
+    leaf_end_[u] = leaf_end_[kids.back()];
+    for (const std::size_t c : kids) {
+      leaf_begin_[u] = std::min(leaf_begin_[u], leaf_begin_[c]);
+      leaf_end_[u] = std::max(leaf_end_[u], leaf_end_[c]);
+    }
+  }
+}
+
+std::span<const std::size_t> MulticastTree::children(std::size_t node) const {
+  return {child_list_.data() + child_offset_[node],
+          child_offset_[node + 1] - child_offset_[node]};
+}
+
+double MulticastTree::node_loss_for_leaf_loss(double p) const {
+  if (p < 0.0 || p >= 1.0)
+    throw std::invalid_argument("node_loss_for_leaf_loss: p in [0,1)");
+  const double path_nodes = static_cast<double>(height_ + 1);
+  return 1.0 - std::pow(1.0 - p, 1.0 / path_nodes);
+}
+
+void MulticastTree::multicast_once(double p_node, Rng& rng,
+                                   std::span<const char> active,
+                                   std::span<char> received) const {
+  if (active.size() != num_leaves_ || received.size() != num_leaves_)
+    throw std::invalid_argument("multicast_once: span sizes must equal #leaves");
+
+  // Prefix sums of active receivers for O(1) subtree-activity queries.
+  // (Rebuilt per transmission; the traversal below dominates.)
+  std::vector<std::size_t> prefix(num_leaves_ + 1, 0);
+  for (std::size_t i = 0; i < num_leaves_; ++i)
+    prefix[i + 1] = prefix[i] + (active[i] ? 1 : 0);
+  const auto active_in = [&](std::size_t node) {
+    return prefix[leaf_end_[node]] - prefix[leaf_begin_[node]];
+  };
+
+  if (active_in(0) == 0) return;
+  std::vector<std::size_t> stack{0};
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    if (rng.bernoulli(p_node)) continue;  // dropped at u: subtree cut
+    if (is_leaf(u)) {
+      received[leaf_id(u)] = 1;
+      continue;
+    }
+    for (const std::size_t c : children(u))
+      if (active_in(c) > 0) stack.push_back(c);
+  }
+}
+
+std::vector<char> MulticastTree::multicast_all(double p_node, Rng& rng) const {
+  std::vector<char> active(num_leaves_, 1);
+  std::vector<char> received(num_leaves_, 0);
+  multicast_once(p_node, rng, active, received);
+  return received;
+}
+
+}  // namespace pbl::tree

@@ -1,0 +1,86 @@
+// Multicast tree with per-node loss (paper Section 4.1, "FBT shared loss").
+//
+// The source is the root and the receivers are the leaves.  For each
+// multicast transmission, every node on the path root->leaf independently
+// drops the packet with probability p_node; a drop at an interior node cuts
+// the whole subtree, which is what makes losses spatially correlated
+// ("shared") among downstream receivers.
+//
+// Leaves are numbered contiguously in DFS order so that every node owns a
+// contiguous leaf range [leaf_begin, leaf_end); traversal prunes subtrees
+// that contain no still-active receiver, keeping per-transmission cost
+// proportional to the part of the tree that still matters.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl::tree {
+
+class MulticastTree {
+ public:
+  /// Builds a tree from a parent array: parent[0] == 0 designates the
+  /// root; parent[i] < i for all i > 0 (topological node order).
+  explicit MulticastTree(std::vector<std::size_t> parent);
+
+  /// Full binary tree of the given height: height 0 is a single node that
+  /// is both source and (one) receiver; height d has 2^d leaves.
+  static MulticastTree full_binary(unsigned height);
+
+  /// Full m-ary tree: every interior node has exactly `fanout` children;
+  /// height 0 is a single node.  full_mary(d, 2) == full_binary(d).
+  static MulticastTree full_mary(unsigned height, std::size_t fanout);
+
+  /// Random tree with EXACTLY `leaves` receivers, built by recursively
+  /// splitting the leaf range into 2..max_fanout random parts.  Shapes
+  /// range from path-like (splits of size 1 recurse deep) to bushy;
+  /// leaf depths are non-uniform, so per-receiver loss under a fixed
+  /// per-node probability is heterogeneous — like a real multicast tree.
+  static MulticastTree random_split(std::size_t leaves,
+                                    std::size_t max_fanout, Rng& rng);
+
+  std::size_t num_nodes() const noexcept { return parent_.size(); }
+  std::size_t num_leaves() const noexcept { return num_leaves_; }
+  std::size_t root() const noexcept { return 0; }
+
+  std::span<const std::size_t> children(std::size_t node) const;
+  bool is_leaf(std::size_t node) const { return children(node).empty(); }
+
+  /// Leaf index (receiver id) of a leaf node.
+  std::size_t leaf_id(std::size_t node) const { return leaf_begin_[node]; }
+
+  /// Depth of node (root = 0).
+  std::size_t depth(std::size_t node) const { return depth_[node]; }
+  std::size_t height() const noexcept { return height_; }
+
+  /// Per-node loss probability that yields end-to-end leaf loss `p` when
+  /// every node on the root->leaf path (both endpoints included, i.e.
+  /// height+1 nodes) drops independently:  p = 1 - (1-p_node)^(height+1).
+  double node_loss_for_leaf_loss(double p) const;
+
+  /// Simulates one multicast transmission.  `active[r]` says whether
+  /// receiver r still cares about this packet; `received[r]` is set to
+  /// true for every ACTIVE receiver that gets the packet (entries of
+  /// inactive receivers are left untouched).  Subtrees without active
+  /// receivers are not visited and not charged.
+  void multicast_once(double p_node, Rng& rng, std::span<const char> active,
+                      std::span<char> received) const;
+
+  /// Convenience for tests: transmission with every receiver active.
+  std::vector<char> multicast_all(double p_node, Rng& rng) const;
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> child_offset_;  // CSR layout into child_list_
+  std::vector<std::size_t> child_list_;
+  std::vector<std::size_t> leaf_begin_;    // leaf range [begin, end) per node
+  std::vector<std::size_t> leaf_end_;
+  std::vector<std::size_t> depth_;
+  std::size_t num_leaves_ = 0;
+  std::size_t height_ = 0;
+};
+
+}  // namespace pbl::tree

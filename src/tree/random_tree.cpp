@@ -1,0 +1,38 @@
+#include <stdexcept>
+
+#include "tree/multicast_tree.hpp"
+
+namespace pbl::tree {
+
+MulticastTree MulticastTree::random_split(std::size_t leaves,
+                                          std::size_t max_fanout, Rng& rng) {
+  if (leaves == 0)
+    throw std::invalid_argument("random_split: need at least one leaf");
+  if (max_fanout < 2)
+    throw std::invalid_argument("random_split: need max_fanout >= 2");
+
+  // Preorder construction keeps parent[i] < i automatically.
+  std::vector<std::size_t> parent{0};
+  // Work stack of (node, leaves to place under it).
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, leaves}};
+  while (!stack.empty()) {
+    const auto [node, count] = stack.back();
+    stack.pop_back();
+    if (count == 1) continue;  // `node` is a leaf
+    // Split `count` leaves into 2..min(max_fanout, count) nonempty parts.
+    const std::size_t parts =
+        2 + rng.below(std::min(max_fanout, count) - 1);
+    // Random composition: draw parts-1 distinct cut points.
+    std::vector<std::size_t> sizes(parts, 1);
+    for (std::size_t extra = count - parts; extra > 0; --extra)
+      ++sizes[rng.below(parts)];
+    for (const std::size_t sz : sizes) {
+      const std::size_t child = parent.size();
+      parent.push_back(node);
+      stack.emplace_back(child, sz);
+    }
+  }
+  return MulticastTree(std::move(parent));
+}
+
+}  // namespace pbl::tree

@@ -1,0 +1,98 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace pbl {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::optional<std::string> Cli::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Cli::record(const std::string& name, const std::string& def) {
+  defaults_seen_.emplace(name, def);
+}
+
+int Cli::get_int(const std::string& name, int def) {
+  record(name, std::to_string(def));
+  const auto v = raw(name);
+  return v ? std::stoi(*v) : def;
+}
+
+std::int64_t Cli::get_int64(const std::string& name, std::int64_t def) {
+  record(name, std::to_string(def));
+  const auto v = raw(name);
+  return v ? std::stoll(*v) : def;
+}
+
+double Cli::get_double(const std::string& name, double def) {
+  record(name, std::to_string(def));
+  const auto v = raw(name);
+  return v ? std::stod(*v) : def;
+}
+
+std::string Cli::get_string(const std::string& name, std::string def) {
+  record(name, def);
+  const auto v = raw(name);
+  return v ? *v : def;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) {
+  record(name, def ? "true" : "false");
+  const auto v = raw(name);
+  if (!v) return def;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+std::vector<double> Cli::get_doubles(const std::string& name,
+                                     std::vector<double> def) {
+  {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < def.size(); ++i)
+      os << (i ? "," : "") << def[i];
+    record(name, os.str());
+  }
+  const auto v = raw(name);
+  if (!v) return def;
+  std::vector<double> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, def] : defaults_seen_)
+    os << "  --" << name << " (default=" << def << ")\n";
+  return os.str();
+}
+
+}  // namespace pbl

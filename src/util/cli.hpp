@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Usage:
+//   pbl::Cli cli(argc, argv);
+//   const int k = cli.get_int("k", 7);
+//   const double p = cli.get_double("p", 0.01);
+// Flags are given as --name=value or --name value; --help prints all
+// registered flags and exits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pbl {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if a bare flag (e.g. --verbose) or any valued flag was passed.
+  bool has(const std::string& name) const;
+
+  int get_int(const std::string& name, int def);
+  std::int64_t get_int64(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  std::string get_string(const std::string& name, std::string def);
+  bool get_bool(const std::string& name, bool def);
+
+  /// Comma-separated list of doubles, e.g. --ks=7,20,100.
+  std::vector<double> get_doubles(const std::string& name,
+                                  std::vector<double> def);
+
+  /// Prints "--flag (default=...)" lines for all flags queried so far.
+  std::string usage() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+  void record(const std::string& name, const std::string& def);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> defaults_seen_;
+};
+
+}  // namespace pbl

@@ -1,0 +1,38 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for wire-level
+// integrity of serialised packets.  RSE is an erasure code: it can repair
+// packets that are MISSING but silently mis-decodes if a corrupted packet
+// is fed in, so the transport must turn corruption into erasure — that is
+// this checksum's job.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace pbl {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr auto kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 of `bytes`; chainable via the `seed` parameter (pass a previous
+/// result to continue a running checksum).
+constexpr std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                              std::uint32_t seed = 0) {
+  std::uint32_t c = ~seed;
+  for (const std::uint8_t b : bytes)
+    c = detail::kCrc32Table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace pbl

@@ -1,0 +1,90 @@
+// Numerically-stable helpers for the analytical models.
+//
+// The paper evaluates quantities such as (1 - q^i)^R for R up to 10^6 and
+// q down to 10^-6; naive evaluation underflows or loses all precision.
+// Everything here works in log space via log1p/expm1.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace pbl {
+
+/// (1 - x)^r for x in [0,1], r >= 0, without catastrophic cancellation.
+inline double pow_one_minus(double x, double r) noexcept {
+  if (x <= 0.0) return 1.0;
+  if (x >= 1.0) return r == 0.0 ? 1.0 : 0.0;
+  return std::exp(r * std::log1p(-x));
+}
+
+/// 1 - (1 - x)^r, accurate when x is tiny (uses expm1).
+inline double one_minus_pow_one_minus(double x, double r) noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return r == 0.0 ? 0.0 : 1.0;
+  return -std::expm1(r * std::log1p(-x));
+}
+
+/// log of the binomial coefficient C(n, k).
+inline double log_binomial(double n, double k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+/// Binomial pmf P[Bin(n, p) = j], computed in log space.
+inline double binomial_pmf(std::int64_t n, std::int64_t j, double p) {
+  if (j < 0 || j > n) return 0.0;
+  if (p <= 0.0) return j == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return j == n ? 1.0 : 0.0;
+  const double logp = log_binomial(static_cast<double>(n), static_cast<double>(j)) +
+                      static_cast<double>(j) * std::log(p) +
+                      static_cast<double>(n - j) * std::log1p(-p);
+  return std::exp(logp);
+}
+
+/// Binomial cdf P[Bin(n, p) <= j].
+inline double binomial_cdf(std::int64_t n, std::int64_t j, double p) {
+  if (j < 0) return 0.0;
+  if (j >= n) return 1.0;
+  double sum = 0.0;
+  for (std::int64_t i = 0; i <= j; ++i) sum += binomial_pmf(n, i, p);
+  return sum < 1.0 ? sum : 1.0;
+}
+
+/// Negative-binomial pmf: P[m extra trials are needed beyond the first
+/// k+a to collect k successes] with per-trial loss probability p:
+///   P(Lr = m) = C(k+a+m-1, k-1) p^(m+a) (1-p)^k     (paper, Section 3.2)
+inline double neg_binomial_extra_pmf(std::int64_t k, std::int64_t a,
+                                     std::int64_t m, double p) {
+  if (m < 0) return 0.0;
+  if (p <= 0.0) return m == 0 ? 1.0 : 0.0;
+  if (m == 0) {
+    // P(Lr = 0) = sum_{j=0}^{a} C(k+a, j) p^j (1-p)^(k+a-j)
+    return binomial_cdf(k + a, a, p);
+  }
+  const double logp =
+      log_binomial(static_cast<double>(k + a + m - 1), static_cast<double>(k - 1)) +
+      static_cast<double>(m + a) * std::log(p) +
+      static_cast<double>(k) * std::log1p(-p);
+  return std::exp(logp);
+}
+
+/// Sum an infinite non-negative series term(i) for i = i0, i0+1, ... until
+/// the term drops below tol (and at least min_terms are taken).
+template <typename Term>
+double sum_until_negligible(Term term, std::int64_t i0 = 0,
+                            double tol = 1e-14,
+                            std::int64_t min_terms = 4,
+                            std::int64_t max_terms = 100000000) {
+  double sum = 0.0;
+  std::int64_t taken = 0;
+  for (std::int64_t i = i0; taken < max_terms; ++i, ++taken) {
+    const double t = term(i);
+    sum += t;
+    if (taken >= min_terms && t < tol * (1.0 + sum)) break;
+  }
+  return sum;
+}
+
+}  // namespace pbl

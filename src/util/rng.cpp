@@ -1,0 +1,33 @@
+#include "util/rng.hpp"
+
+#ifdef __SIZEOF_INT128__
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+using uint128 = unsigned __int128;
+#pragma GCC diagnostic pop
+#endif
+
+namespace pbl {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+#ifdef __SIZEOF_INT128__
+  uint128 m = static_cast<uint128>((*this)()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<uint128>((*this)()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // Portable rejection sampling fallback.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t v = (*this)();
+  while (v >= limit) v = (*this)();
+  return v % bound;
+#endif
+}
+
+}  // namespace pbl

@@ -1,0 +1,77 @@
+// Streaming statistics and histograms for simulation outputs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pbl {
+
+/// Welford streaming mean/variance with confidence-interval helper.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double std_error() const noexcept {
+    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+  /// Half-width of an approximate 95% confidence interval on the mean.
+  double ci95_halfwidth() const noexcept { return 1.96 * std_error(); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integer-bucket histogram (e.g. burst-length occurrence counts, Fig 14).
+class Histogram {
+ public:
+  void add(std::size_t bucket, std::uint64_t weight = 1) {
+    if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+    counts_[bucket] += weight;
+    total_ += weight;
+  }
+
+  std::uint64_t count(std::size_t bucket) const noexcept {
+    return bucket < counts_.size() ? counts_[bucket] : 0;
+  }
+  std::size_t num_buckets() const noexcept { return counts_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+  double fraction(std::size_t bucket) const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(count(bucket)) /
+                             static_cast<double>(total_);
+  }
+  double mean() const noexcept {
+    if (total_ == 0) return 0.0;
+    double s = 0.0;
+    for (std::size_t b = 0; b < counts_.size(); ++b)
+      s += static_cast<double>(b) * static_cast<double>(counts_[b]);
+    return s / static_cast<double>(total_);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pbl

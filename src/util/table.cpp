@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pbl {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table row width does not match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+namespace {
+std::string cell_to_string(const Table::Cell& c, int precision) {
+  std::ostringstream os;
+  if (const auto* d = std::get_if<double>(&c)) {
+    os << std::setprecision(precision) << *d;
+  } else if (const auto* i = std::get_if<long long>(&c)) {
+    os << *i;
+  } else {
+    os << std::get<std::string>(c);
+  }
+  return os.str();
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(cell_to_string(row[c], precision_));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  os << "#";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << ' ' << std::setw(static_cast<int>(widths[c])) << headers_[c];
+  os << '\n';
+  for (const auto& row : rendered) {
+    os << ' ';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << row[c];
+    os << '\n';
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace pbl

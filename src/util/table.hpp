@@ -1,0 +1,35 @@
+// Column-aligned table printer used by the bench binaries to emit the
+// series of every paper figure in a plot-friendly, diff-friendly form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pbl {
+
+/// Accumulates rows of (double | int | string) cells and prints them with
+/// aligned columns plus a '#'-prefixed header, so output doubles as a
+/// gnuplot/np.loadtxt-compatible data file.
+class Table {
+ public:
+  using Cell = std::variant<double, long long, std::string>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  /// Number of significant digits used for double cells (default 6).
+  void set_precision(int digits) { precision_ = digits; }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 6;
+};
+
+}  // namespace pbl

@@ -1,0 +1,118 @@
+#include "analysis/heterogeneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/integrated.hpp"
+#include "analysis/layered.hpp"
+
+namespace pbl::analysis {
+namespace {
+
+TEST(TwoClassPopulation, Construction) {
+  const auto pop = two_class_population(1000, 0.05, 0.01, 0.25);
+  ASSERT_EQ(pop.size(), 2u);
+  EXPECT_DOUBLE_EQ(pop[0].loss_prob, 0.01);
+  EXPECT_DOUBLE_EQ(pop[0].count, 950.0);
+  EXPECT_DOUBLE_EQ(pop[1].loss_prob, 0.25);
+  EXPECT_DOUBLE_EQ(pop[1].count, 50.0);
+}
+
+TEST(TwoClassPopulation, DegenerateAlphas) {
+  const auto all_low = two_class_population(100, 0.0, 0.01, 0.25);
+  ASSERT_EQ(all_low.size(), 1u);
+  EXPECT_DOUBLE_EQ(all_low[0].loss_prob, 0.01);
+  const auto all_high = two_class_population(100, 1.0, 0.01, 0.25);
+  ASSERT_EQ(all_high.size(), 1u);
+  EXPECT_DOUBLE_EQ(all_high[0].loss_prob, 0.25);
+  EXPECT_THROW(two_class_population(100, -0.1, 0.01, 0.25),
+               std::invalid_argument);
+}
+
+TEST(HeteroLayered, ReducesToHomogeneousCase) {
+  const Population pop{{0.01, 1000.0}};
+  EXPECT_NEAR(expected_tx_layered_hetero(7, 9, pop),
+              expected_tx_layered(7, 9, 0.01, 1000.0), 1e-9);
+  EXPECT_NEAR(expected_tx_nofec_hetero(pop),
+              expected_tx_nofec(0.01, 1000.0), 1e-9);
+}
+
+TEST(HeteroLayered, SplitClassesEqualMergedClass) {
+  // Splitting one class into two with the same p must not change E[M].
+  const Population merged{{0.05, 1000.0}};
+  const Population split{{0.05, 400.0}, {0.05, 600.0}};
+  EXPECT_NEAR(expected_tx_layered_hetero(7, 9, merged),
+              expected_tx_layered_hetero(7, 9, split), 1e-9);
+}
+
+TEST(HeteroIntegrated, ReducesToHomogeneousCase) {
+  const Population pop{{0.01, 500.0}};
+  EXPECT_NEAR(expected_tx_integrated_hetero(7, 0, pop),
+              expected_tx_integrated_ideal(7, 0, 0.01, 500.0), 1e-9);
+}
+
+TEST(HeteroIntegrated, MonotoneInHighLossShare) {
+  // Figs. 9/10: more high-loss receivers cost more transmissions.
+  double prev = 0.0;
+  for (double alpha : {0.0, 0.01, 0.05, 0.25}) {
+    const auto pop = two_class_population(1e6, alpha, 0.01, 0.25);
+    const double m = expected_tx_integrated_hetero(7, 0, pop);
+    EXPECT_GT(m, prev) << "alpha=" << alpha;
+    prev = m;
+  }
+}
+
+TEST(HeteroNofec, PaperFigure9Anchor) {
+  // Fig. 9: with 1% high-loss receivers among 10^6, E[M] roughly doubles
+  // versus the homogeneous population.
+  const double base = expected_tx_nofec_hetero(
+      two_class_population(1e6, 0.0, 0.01, 0.25));
+  const double with_high = expected_tx_nofec_hetero(
+      two_class_population(1e6, 0.01, 0.01, 0.25));
+  EXPECT_GT(with_high, 1.6 * base);
+  EXPECT_LT(with_high, 3.0 * base);
+}
+
+TEST(HeteroNofec, SmallPopulationsBarelyAffected) {
+  // Fig. 9: one high-loss receiver in 100 has much less effect.
+  const double base =
+      expected_tx_nofec_hetero(two_class_population(100, 0.0, 0.01, 0.25));
+  const double with_high =
+      expected_tx_nofec_hetero(two_class_population(100, 0.01, 0.01, 0.25));
+  EXPECT_LT(with_high - base, 0.8);
+}
+
+TEST(HeteroIntegrated, HighLossDominatesAtScale) {
+  // The high-loss class controls the max, so a pure high-loss population
+  // of the same size as the high-loss subgroup is a good proxy at scale.
+  const auto mixed = two_class_population(1e6, 0.25, 0.01, 0.25);
+  const Population high_only{{0.25, 0.25e6}};
+  const double m_mixed = expected_tx_integrated_hetero(7, 0, mixed);
+  const double m_high = expected_tx_integrated_hetero(7, 0, high_only);
+  EXPECT_NEAR(m_mixed, m_high, 0.05 * m_high);
+}
+
+TEST(HeteroValidation, RejectsBadPopulations) {
+  EXPECT_THROW(expected_tx_nofec_hetero({}), std::invalid_argument);
+  EXPECT_THROW(expected_tx_nofec_hetero({{1.0, 10.0}}), std::invalid_argument);
+  EXPECT_THROW(expected_tx_nofec_hetero({{0.1, 0.0}}), std::invalid_argument);
+}
+
+class HeteroConsistency : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeteroConsistency, IntegratedBelowLayeredBelowNofec) {
+  // The paper's global ordering holds for heterogeneous populations too
+  // (for large populations where FEC pays off).
+  const double alpha = GetParam();
+  const auto pop = two_class_population(1e5, alpha, 0.01, 0.25);
+  const double nofec = expected_tx_nofec_hetero(pop);
+  const double layered = expected_tx_layered_hetero(7, 14, pop);
+  const double integrated = expected_tx_integrated_hetero(7, 0, pop);
+  EXPECT_LT(integrated, layered);
+  EXPECT_LT(layered, nofec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, HeteroConsistency,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.25));
+
+}  // namespace
+}  // namespace pbl::analysis

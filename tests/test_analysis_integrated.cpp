@@ -1,0 +1,179 @@
+#include "analysis/integrated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/layered.hpp"
+
+namespace pbl::analysis {
+namespace {
+
+TEST(LrDistribution, PmfSumsToOne) {
+  for (double p : {0.01, 0.1, 0.3}) {
+    for (int a : {0, 2}) {
+      double sum = 0.0;
+      for (int m = 0; m < 3000; ++m) sum += lr_pmf(7, a, p, m);
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "p=" << p << " a=" << a;
+    }
+  }
+}
+
+TEST(LrDistribution, ZeroExtrasWhenLossless) {
+  EXPECT_DOUBLE_EQ(lr_pmf(7, 0, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(lr_pmf(7, 0, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(lr_cdf(7, 0, 0.0, 0), 1.0);
+}
+
+TEST(LrDistribution, NoLossCaseMatchesBinomial) {
+  // P(Lr = 0) = (1-p)^k when a = 0: all k data packets arrive.
+  const double p = 0.15;
+  EXPECT_NEAR(lr_pmf(10, 0, p, 0), std::pow(1.0 - p, 10), 1e-12);
+}
+
+TEST(LrDistribution, ProactiveParitiesHelp) {
+  const double p = 0.1;
+  EXPECT_GT(lr_pmf(7, 2, p, 0), lr_pmf(7, 0, p, 0));
+  EXPECT_GT(lr_cdf(7, 2, p, 3), lr_cdf(7, 0, p, 3));
+}
+
+TEST(LrDistribution, CdfMonotoneBounded) {
+  double prev = 0.0;
+  for (int m = 0; m < 50; ++m) {
+    const double c = lr_cdf(20, 0, 0.1, m);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(lr_cdf(20, 0, 0.1, -1), 0.0);
+}
+
+TEST(ExpectedMaxExtra, SingleReceiverIsNegativeBinomialMean) {
+  // E[Lr] = k p / (1-p) for a = 0.
+  for (double p : {0.01, 0.1, 0.3}) {
+    for (int k : {1, 7, 20}) {
+      EXPECT_NEAR(expected_max_extra(k, 0, p, 1.0), k * p / (1.0 - p), 1e-8)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(ExpectedMaxExtra, MonotoneInReceivers) {
+  double prev = -1.0;
+  for (double r : {1.0, 10.0, 1e3, 1e6}) {
+    const double l = expected_max_extra(7, 0, 0.01, r);
+    EXPECT_GT(l, prev);
+    prev = l;
+  }
+}
+
+TEST(ExpectedTxIntegratedIdeal, SingleReceiverIsGeometric) {
+  // (E[L]+k)/k with E[L] = kp/(1-p) gives exactly 1/(1-p).
+  for (double p : {0.01, 0.1, 0.3}) {
+    EXPECT_NEAR(expected_tx_integrated_ideal(7, 0, p, 1.0), 1.0 / (1.0 - p),
+                1e-8);
+  }
+}
+
+TEST(ExpectedTxIntegratedIdeal, PaperFigure7Shape) {
+  // Fig. 7: at p = 0.01, k = 100 stays close to 1 even for 10^6 receivers,
+  // while k = 7 rises noticeably; all are far below no-FEC.
+  const double p = 0.01;
+  const double m7 = expected_tx_integrated_ideal(7, 0, p, 1e6);
+  const double m20 = expected_tx_integrated_ideal(20, 0, p, 1e6);
+  const double m100 = expected_tx_integrated_ideal(100, 0, p, 1e6);
+  EXPECT_GT(m7, m20);
+  EXPECT_GT(m20, m100);
+  EXPECT_LT(m100, 1.15);
+  EXPECT_GT(m7, 1.5);
+  EXPECT_LT(m7, 2.5);
+  EXPECT_LT(m7, expected_tx_nofec(p, 1e6));
+}
+
+TEST(ExpectedTxIntegratedIdeal, InsensitiveToLossForLargeK) {
+  // Fig. 8: k = 100 stays near 1+p even as p sweeps a decade.
+  const double r = 1000.0;
+  const double low = expected_tx_integrated_ideal(100, 0, 0.001, r);
+  const double high = expected_tx_integrated_ideal(100, 0, 0.05, r);
+  EXPECT_LT(high - low, 0.15);
+}
+
+TEST(ExpectedTxIntegratedIdeal, ProactiveParitiesTradeBandwidth) {
+  // Sending a > 0 parities up front costs (k+a)/k at R = 1...
+  EXPECT_NEAR(expected_tx_integrated_ideal(7, 3, 0.0, 1.0), 10.0 / 7.0, 1e-12);
+  // ...but reduces the retransmission term for huge populations.
+  const double m0 = expected_tx_integrated_ideal(7, 0, 0.05, 1e6);
+  const double m3 = expected_tx_integrated_ideal(7, 3, 0.05, 1e6);
+  EXPECT_LT(m3, m0 + 3.0 / 7.0);  // the extra parities are not pure waste
+}
+
+TEST(ExpectedTxIntegratedFinite, ValidatesArguments) {
+  EXPECT_THROW(expected_tx_integrated(7, 2, 3, 0.01, 10.0),
+               std::invalid_argument);  // a > h
+  EXPECT_THROW(expected_tx_integrated(0, 1, 0, 0.01, 10.0),
+               std::invalid_argument);
+}
+
+TEST(ExpectedTxIntegratedFinite, NoLossIsInitialBurstOnly) {
+  EXPECT_DOUBLE_EQ(expected_tx_integrated(7, 3, 0, 0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_tx_integrated(7, 3, 2, 0.0, 100.0), 9.0 / 7.0);
+}
+
+TEST(ExpectedTxIntegratedFinite, ConvergesToIdealAsParitiesGrow) {
+  // Fig. 6: (7,10) is already indistinguishable from (7,inf) for moderate
+  // R; the gap closes monotonically in h.
+  const double p = 0.01;
+  for (double r : {1.0, 100.0, 1e4}) {
+    const double ideal = expected_tx_integrated_ideal(7, 0, p, r);
+    const double h1 = expected_tx_integrated(7, 1, 0, p, r);
+    const double h3 = expected_tx_integrated(7, 3, 0, p, r);
+    const double h10 = expected_tx_integrated(7, 10, 0, p, r);
+    EXPECT_GE(h1 + 1e-9, h3);
+    EXPECT_GE(h3 + 1e-9, h10);
+    EXPECT_GE(h10 + 1e-9, ideal);
+    EXPECT_NEAR(h10, ideal, 0.02) << "r=" << r;
+  }
+}
+
+TEST(ExpectedTxIntegratedFinite, PaperFigure6Anchor) {
+  // Fig. 6: 3 parities suffice to attain the lower bound for populations
+  // up to ~10^5 at k = 7, p = 0.01.
+  const double p = 0.01;
+  const double ideal = expected_tx_integrated_ideal(7, 0, p, 1e5);
+  const double h3 = expected_tx_integrated(7, 3, 0, p, 1e5);
+  EXPECT_NEAR(h3, ideal, 0.1);
+}
+
+TEST(ExpectedTxIntegratedFinite, SingleReceiverAnchors) {
+  // At R = 1 every curve starts near 1/(1-p) ~ 1.0101 (Fig. 6).
+  const double p = 0.01;
+  for (int h : {1, 2, 3, 10}) {
+    const double m = expected_tx_integrated(7, h, 0, p, 1.0);
+    EXPECT_GT(m, 1.0);
+    EXPECT_LT(m, 1.03) << "h=" << h;
+  }
+}
+
+class IntegratedOrderingSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, double, double>> {};
+
+TEST_P(IntegratedOrderingSweep, IdealIsALowerBound) {
+  // The finite-h model combines a per-packet block-retry term with a
+  // success-conditioned final-round term, so it is an approximation that
+  // can undershoot the ideal by O(10^-3) at extreme R; allow that slack.
+  const auto [k, p, r] = GetParam();
+  const double ideal = expected_tx_integrated_ideal(k, 0, p, r);
+  for (std::int64_t h : {1, 2, 5, 20}) {
+    EXPECT_GE(expected_tx_integrated(k, h, 0, p, r) + 2e-3 * ideal, ideal)
+        << "k=" << k << " h=" << h << " p=" << p << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IntegratedOrderingSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(2, 7, 20),
+                       ::testing::Values(0.01, 0.1),
+                       ::testing::Values(1.0, 100.0, 1e5)));
+
+}  // namespace
+}  // namespace pbl::analysis

@@ -1,0 +1,113 @@
+#include "analysis/layered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/qfunc.hpp"
+
+namespace pbl::analysis {
+namespace {
+
+TEST(ExpectedTxArq, ValidatesArguments) {
+  EXPECT_THROW(expected_tx_arq(-0.1, 10), std::invalid_argument);
+  EXPECT_THROW(expected_tx_arq(1.0, 10), std::invalid_argument);
+  EXPECT_THROW(expected_tx_arq(0.1, 0.5), std::invalid_argument);
+}
+
+TEST(ExpectedTxArq, NoLossIsOneTransmission) {
+  EXPECT_DOUBLE_EQ(expected_tx_arq(0.0, 1e6), 1.0);
+}
+
+TEST(ExpectedTxArq, SingleReceiverIsGeometric) {
+  // E[M'] = 1/(1-q) for R = 1.
+  for (double q : {0.01, 0.1, 0.5}) {
+    EXPECT_NEAR(expected_tx_arq(q, 1.0), 1.0 / (1.0 - q), 1e-10) << q;
+  }
+}
+
+TEST(ExpectedTxArq, TwoReceiversClosedForm) {
+  // E[M'] = sum_i (1 - (1-q^i)^2) = 2/(1-q) - 1/(1-q^2).
+  const double q = 0.2;
+  EXPECT_NEAR(expected_tx_arq(q, 2.0),
+              2.0 / (1.0 - q) - 1.0 / (1.0 - q * q), 1e-10);
+}
+
+TEST(ExpectedTxArq, MonotoneInReceivers) {
+  const double q = 0.01;
+  double prev = 0.0;
+  for (double r : {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6}) {
+    const double m = expected_tx_arq(q, r);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(ExpectedTxArq, GrowsLogarithmically) {
+  // For large R, E[M'] ~ log(R)/log(1/q) + O(1): doubling R in the
+  // exponent adds a roughly constant increment.
+  const double q = 0.01;
+  const double d1 = expected_tx_arq(q, 1e4) - expected_tx_arq(q, 1e2);
+  const double d2 = expected_tx_arq(q, 1e6) - expected_tx_arq(q, 1e4);
+  EXPECT_NEAR(d1, d2, 0.1);
+  EXPECT_NEAR(d1, 2.0 / std::log10(1.0 / q), 0.2);  // ~1 per decade at q=0.01
+}
+
+TEST(ExpectedTxNofec, PaperFigure5Anchor) {
+  // Fig. 5: no-FEC at p = 0.01 rises from ~1.01 (R=1) to ~4 (R=10^6).
+  EXPECT_NEAR(expected_tx_nofec(0.01, 1.0), 1.0101, 1e-3);
+  const double m = expected_tx_nofec(0.01, 1e6);
+  EXPECT_GT(m, 3.4);
+  EXPECT_LT(m, 4.2);
+}
+
+TEST(ExpectedTxLayered, NoLossCostsOverheadOnly) {
+  EXPECT_DOUBLE_EQ(expected_tx_layered(7, 9, 0.0, 1000.0), 9.0 / 7.0);
+}
+
+TEST(ExpectedTxLayered, ReducesToArqTimesOverhead) {
+  const double p = 0.02, r = 500.0;
+  const double q = q_rm_loss(7, 9, p);
+  EXPECT_NEAR(expected_tx_layered(7, 9, p, r),
+              9.0 / 7.0 * expected_tx_arq(q, r), 1e-12);
+}
+
+TEST(ExpectedTxLayered, BeatsNoFecForLargePopulations) {
+  // Fig. 3: layered (k=7, h=2) crosses below no-FEC as R grows.
+  const double p = 0.01;
+  EXPECT_GT(expected_tx_layered(7, 9, p, 1.0),
+            expected_tx_nofec(p, 1.0));  // overhead dominates at R=1
+  EXPECT_LT(expected_tx_layered(7, 9, p, 1e5),
+            expected_tx_nofec(p, 1e5));  // repair efficiency wins at scale
+}
+
+TEST(ExpectedTxLayered, ParityMustMatchGroupSize) {
+  // Fig. 3: k=100 with only h=2 parities performs worse than k=7..20.
+  const double p = 0.01, r = 1e4;
+  EXPECT_GT(expected_tx_layered(100, 102, p, r),
+            expected_tx_layered(20, 22, p, r));
+  // Fig. 4: with h=7 parities, k=100 wins in the mid range.
+  EXPECT_LT(expected_tx_layered(100, 107, p, 1e4),
+            expected_tx_layered(7, 14, p, 1e4));
+}
+
+class LayeredSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, double>> {};
+
+TEST_P(LayeredSweep, AtLeastCodeOverheadAndFinite) {
+  const auto [k, h, p] = GetParam();
+  for (double r : {1.0, 100.0, 1e6}) {
+    const double m = expected_tx_layered(k, k + h, p, r);
+    EXPECT_GE(m, static_cast<double>(k + h) / static_cast<double>(k) - 1e-12);
+    EXPECT_LT(m, 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LayeredSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 7, 20, 100),
+                       ::testing::Values<std::int64_t>(0, 1, 2, 7),
+                       ::testing::Values(0.001, 0.01, 0.1)));
+
+}  // namespace
+}  // namespace pbl::analysis

@@ -1,0 +1,168 @@
+#include "analysis/processing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pbl::analysis {
+namespace {
+
+TEST(ExpectedRounds, NoLossIsOneRound) {
+  EXPECT_DOUBLE_EQ(expected_rounds_single(20, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_rounds(20, 0.0, 1e6), 1.0);
+}
+
+TEST(ExpectedRounds, SinglePacketSingleReceiverIsGeometric) {
+  // k = 1: P[Tr <= m] = 1 - p^m, so E[Tr] = 1/(1-p).
+  for (double p : {0.1, 0.3}) {
+    EXPECT_NEAR(expected_rounds_single(1, p), 1.0 / (1.0 - p), 1e-10);
+    EXPECT_NEAR(expected_rounds(1, p, 1.0), 1.0 / (1.0 - p), 1e-10);
+  }
+}
+
+TEST(ExpectedRounds, MonotoneInEverything) {
+  EXPECT_GT(expected_rounds_single(20, 0.1), expected_rounds_single(20, 0.01));
+  EXPECT_GT(expected_rounds_single(100, 0.01), expected_rounds_single(7, 0.01));
+  EXPECT_GT(expected_rounds(20, 0.01, 1e6), expected_rounds(20, 0.01, 10.0));
+  EXPECT_GE(expected_rounds(20, 0.01, 1.0),
+            expected_rounds_single(20, 0.01) - 1e-12);
+}
+
+TEST(N2Rates, ValidatesArguments) {
+  EXPECT_THROW(n2_rates(-0.1, 10.0), std::invalid_argument);
+  EXPECT_THROW(n2_rates(0.01, 0.0), std::invalid_argument);
+}
+
+TEST(N2Rates, NoLossMatchesRawPacketCost) {
+  const ProcessingCosts c;
+  const auto r = n2_rates(0.0, 100.0, c);
+  EXPECT_NEAR(r.sender, 1.0 / c.xp, 1e-6);
+  EXPECT_NEAR(r.receiver, 1.0 / c.yp, 1e-6);
+  EXPECT_DOUBLE_EQ(r.throughput, std::min(r.sender, r.receiver));
+}
+
+TEST(N2Rates, SenderAndReceiverNearlyIdentical) {
+  // Fig. 17: the N2 curves for sender and receiver almost coincide.
+  for (double receivers : {10.0, 1e3, 1e6}) {
+    const auto r = n2_rates(0.01, receivers);
+    EXPECT_NEAR(r.sender, r.receiver, 0.08 * r.sender) << receivers;
+  }
+}
+
+TEST(N2Rates, DecreaseWithPopulation) {
+  const auto small = n2_rates(0.01, 10.0);
+  const auto large = n2_rates(0.01, 1e6);
+  EXPECT_GT(small.sender, large.sender);
+  EXPECT_GT(small.receiver, large.receiver);
+}
+
+TEST(NpRates, SenderIsTheBottleneck) {
+  // Fig. 17 / Section 5.1: for NP the sender (which encodes) is slower
+  // than the receivers (which only decode k*p packets per TG).
+  for (double receivers : {100.0, 1e4, 1e6}) {
+    const auto r = np_rates(20, 0.01, receivers);
+    EXPECT_LT(r.sender, r.receiver) << receivers;
+    EXPECT_DOUBLE_EQ(r.throughput, r.sender);
+  }
+}
+
+TEST(NpRates, PreEncodingRemovesSenderEncodingCost) {
+  const auto online = np_rates(20, 0.01, 1e4, {}, false);
+  const auto pre = np_rates(20, 0.01, 1e4, {}, true);
+  EXPECT_GT(pre.sender, online.sender);
+  EXPECT_DOUBLE_EQ(pre.receiver, online.receiver);
+  EXPECT_GT(pre.throughput, online.throughput);
+}
+
+TEST(NpRates, PaperFigure18Shape) {
+  // Fig. 18: NP with pre-encoding beats N2 from small populations on
+  // (at R ~ 10 the two are within a few percent — the receiver's decode
+  // cost k*p*cd offsets the parity savings there) and by roughly 2-3x at
+  // 10^6 receivers.
+  {
+    const auto np_pre = np_rates(20, 0.01, 10.0, {}, true);
+    const auto n2 = n2_rates(0.01, 10.0);
+    EXPECT_NEAR(np_pre.throughput, n2.throughput, 0.1 * n2.throughput);
+  }
+  for (double receivers : {1e3, 1e6}) {
+    const auto np_pre = np_rates(20, 0.01, receivers, {}, true);
+    const auto n2 = n2_rates(0.01, receivers);
+    EXPECT_GT(np_pre.throughput, n2.throughput) << receivers;
+  }
+  const double ratio = np_rates(20, 0.01, 1e6, {}, true).throughput /
+                       n2_rates(0.01, 1e6).throughput;
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(NpRates, OnlineEncodingCanLoseToN2) {
+  // Fig. 18: without pre-encoding NP's sender-side coding makes it slower
+  // than N2 for small populations.
+  const auto np_online = np_rates(20, 0.01, 10.0);
+  const auto n2 = n2_rates(0.01, 10.0);
+  EXPECT_LT(np_online.throughput, n2.throughput);
+}
+
+TEST(NpRates, ReceiverRateInsensitiveToPopulation) {
+  // The receiver's decode load k*p*cd does not depend on R; only the
+  // E[M]-driven packet processing grows (slowly).
+  const auto small = np_rates(20, 0.01, 10.0);
+  const auto large = np_rates(20, 0.01, 1e6);
+  EXPECT_LT((small.receiver - large.receiver) / small.receiver, 0.35);
+}
+
+TEST(NpRates, CustomCostsRespected) {
+  ProcessingCosts cheap;
+  cheap.ce = 0.0;
+  cheap.cd = 0.0;
+  const auto no_coding_cost = np_rates(20, 0.01, 1e4, cheap, false);
+  const auto with_coding = np_rates(20, 0.01, 1e4, {}, false);
+  EXPECT_GT(no_coding_cost.sender, with_coding.sender);
+  EXPECT_GT(no_coding_cost.receiver, with_coding.receiver);
+}
+
+TEST(NpRatesPerPacketNak, FeedbackGranularityHasMinorEffect) {
+  // The appendix's observation: switching NP from one NAK per round to
+  // one NAK per missing packet barely moves the processing rates.
+  for (double receivers : {10.0, 1e3, 1e6}) {
+    const auto per_round = np_rates(20, 0.01, receivers);
+    const auto per_packet = np_rates_per_packet_nak(20, 0.01, receivers);
+    EXPECT_NEAR(per_packet.sender, per_round.sender, 0.1 * per_round.sender)
+        << receivers;
+    EXPECT_NEAR(per_packet.receiver, per_round.receiver,
+                0.1 * per_round.receiver)
+        << receivers;
+    // Per-packet feedback can only add work.
+    EXPECT_LE(per_packet.sender, per_round.sender + 1e-9);
+    EXPECT_LE(per_packet.receiver, per_round.receiver + 1e-9);
+  }
+}
+
+TEST(NpRatesPerPacketNak, PreEncodeStillHelps) {
+  const auto online = np_rates_per_packet_nak(20, 0.01, 1e4, {}, false);
+  const auto pre = np_rates_per_packet_nak(20, 0.01, 1e4, {}, true);
+  EXPECT_GT(pre.throughput, online.throughput);
+}
+
+class RatesPositivitySweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, double, double>> {};
+
+TEST_P(RatesPositivitySweep, AllRatesPositiveAndFinite) {
+  const auto [k, p, receivers] = GetParam();
+  const auto n2 = n2_rates(p, receivers);
+  const auto np = np_rates(k, p, receivers);
+  for (double v : {n2.sender, n2.receiver, n2.throughput, np.sender,
+                   np.receiver, np.throughput}) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RatesPositivitySweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(7, 20, 100),
+                       ::testing::Values(0.001, 0.01, 0.1),
+                       ::testing::Values(1.0, 1e3, 1e6)));
+
+}  // namespace
+}  // namespace pbl::analysis

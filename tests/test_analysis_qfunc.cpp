@@ -1,0 +1,126 @@
+#include "analysis/qfunc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/numerics.hpp"
+#include "util/rng.hpp"
+
+namespace pbl::analysis {
+namespace {
+
+TEST(QFunc, ValidatesArguments) {
+  EXPECT_THROW(q_rm_loss(0, 1, 0.1), std::invalid_argument);
+  EXPECT_THROW(q_rm_loss(5, 4, 0.1), std::invalid_argument);
+  EXPECT_THROW(q_rm_loss(5, 5, -0.1), std::invalid_argument);
+  EXPECT_THROW(q_rm_loss(5, 5, 1.1), std::invalid_argument);
+}
+
+TEST(QFunc, NoParityMeansRawLoss) {
+  // n == k: the FEC layer adds nothing, q = p.
+  for (double p : {0.0, 0.01, 0.25, 0.5}) {
+    EXPECT_DOUBLE_EQ(q_rm_loss(1, 1, p), p);
+    EXPECT_DOUBLE_EQ(q_rm_loss(7, 7, p), p);
+  }
+}
+
+TEST(QFunc, ZeroLossGivesZero) {
+  EXPECT_DOUBLE_EQ(q_rm_loss(7, 10, 0.0), 0.0);
+}
+
+TEST(QFunc, ParityReducesLoss) {
+  const double p = 0.01;
+  EXPECT_LT(q_rm_loss(7, 8, p), p);
+  EXPECT_LT(q_rm_loss(7, 9, p), q_rm_loss(7, 8, p));
+  EXPECT_LT(q_rm_loss(7, 14, p), q_rm_loss(7, 9, p));
+}
+
+TEST(QFunc, MatchesHandComputedCase) {
+  // k = 2, n = 3 (one parity): packet lost at RM iff it is lost AND at
+  // least one of the other 2 block packets is lost:
+  //   q = p (1 - (1-p)^2).
+  const double p = 0.1;
+  EXPECT_NEAR(q_rm_loss(2, 3, p), p * (1.0 - 0.9 * 0.9), 1e-12);
+}
+
+TEST(QFunc, MatchesExplicitSumForLargerBlock) {
+  // Direct evaluation of Eq. (2) for k = 7, n = 10, p = 0.05.
+  const std::int64_t k = 7, n = 10;
+  const double p = 0.05;
+  double sum = 0.0;
+  for (std::int64_t j = 0; j <= n - k - 1; ++j) sum += binomial_pmf(n - 1, j, p);
+  EXPECT_NEAR(q_rm_loss(k, n, p), p * (1.0 - sum), 1e-12);
+}
+
+TEST(QFunc, LargerGroupsWithSameRedundancyRatio) {
+  // With the same h/k ratio, larger k gives lower residual loss (the law
+  // of large numbers concentrates the number of losses per block).
+  const double p = 0.01;
+  const double q_small = q_rm_loss(7, 8, p);     // 14% redundancy
+  const double q_large = q_rm_loss(100, 115, p); // 15% redundancy
+  EXPECT_LT(q_large, q_small);
+}
+
+TEST(QFunc, MonotoneInLossProbability) {
+  double prev = 0.0;
+  for (double p = 0.01; p < 0.5; p += 0.05) {
+    const double q = q_rm_loss(7, 9, p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+class QFuncMonteCarlo
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, double>> {};
+
+TEST_P(QFuncMonteCarlo, MatchesDirectBlockSimulation) {
+  // Eq. (2) from first principles: simulate FEC blocks of n packets with
+  // i.i.d. loss and count how often packet 0 is lost AND unrecoverable
+  // (more than h-1 of the other n-1 packets lost too).
+  const auto [k, n, p] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k * 100 + n) * 31 + 7);
+  const std::int64_t h = n - k;
+  std::uint64_t unrecovered = 0;
+  const std::uint64_t blocks = 400000;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const bool first_lost = rng.bernoulli(p);
+    std::int64_t other_losses = 0;
+    for (std::int64_t i = 1; i < n; ++i)
+      if (rng.bernoulli(p)) ++other_losses;
+    if (first_lost && other_losses > h - 1) ++unrecovered;
+  }
+  const double measured =
+      static_cast<double>(unrecovered) / static_cast<double>(blocks);
+  const double expect = q_rm_loss(k, n, p);
+  EXPECT_NEAR(measured, expect, 4.0 * std::sqrt(expect / blocks) + 2e-5)
+      << "k=" << k << " n=" << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QFuncMonteCarlo,
+    ::testing::Values(std::make_tuple<std::int64_t, std::int64_t, double>(7, 8, 0.05),
+                      std::make_tuple<std::int64_t, std::int64_t, double>(7, 10, 0.05),
+                      std::make_tuple<std::int64_t, std::int64_t, double>(7, 10, 0.2),
+                      std::make_tuple<std::int64_t, std::int64_t, double>(20, 24, 0.1),
+                      std::make_tuple<std::int64_t, std::int64_t, double>(1, 1, 0.1)));
+
+class QFuncBoundsTest
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(QFuncBoundsTest, AlwaysWithinBounds) {
+  const auto [k, n] = GetParam();
+  for (double p = 0.0; p <= 1.0; p += 0.1) {
+    const double q = q_rm_loss(k, n, p);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, p + 1e-15);  // FEC can only help
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QFuncBoundsTest,
+    ::testing::Values(std::make_pair<std::int64_t, std::int64_t>(1, 1),
+                      std::make_pair<std::int64_t, std::int64_t>(7, 9),
+                      std::make_pair<std::int64_t, std::int64_t>(20, 27),
+                      std::make_pair<std::int64_t, std::int64_t>(100, 107)));
+
+}  // namespace
+}  // namespace pbl::analysis

@@ -1,0 +1,98 @@
+#include "protocol/arq_nofec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/layered.hpp"
+#include "util/stats.hpp"
+
+namespace pbl::protocol {
+namespace {
+
+ArqConfig small_config() {
+  ArqConfig cfg;
+  cfg.k = 8;
+  cfg.packet_len = 64;
+  return cfg;
+}
+
+TEST(ArqSession, ValidatesConfiguration) {
+  loss::BernoulliLossModel model(0.0);
+  EXPECT_THROW(ArqSession(model, 0, 1, small_config()), std::invalid_argument);
+  EXPECT_THROW(ArqSession(model, 1, 0, small_config()), std::invalid_argument);
+}
+
+TEST(ArqSession, LosslessDeliveryIsExactlyK) {
+  loss::BernoulliLossModel model(0.0);
+  ArqSession session(model, 10, 5, small_config(), 42);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.data_sent, 8u * 5u);
+  EXPECT_EQ(stats.retransmissions, 0u);
+  EXPECT_EQ(stats.naks_sent, 0u);
+  EXPECT_DOUBLE_EQ(stats.tx_per_packet, 1.0);
+}
+
+TEST(ArqSession, RecoversUnderLoss) {
+  loss::BernoulliLossModel model(0.1);
+  ArqSession session(model, 20, 4, small_config(), 7);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_GT(stats.retransmissions, 0u);
+  EXPECT_GT(stats.naks_sent, 0u);
+}
+
+TEST(ArqSession, TxPerPacketTracksClosedForm) {
+  const double p = 0.05;
+  loss::BernoulliLossModel model(p);
+  RunningStats measured;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ArqSession session(model, 25, 12, small_config(), seed);
+    const auto stats = session.run();
+    ASSERT_TRUE(stats.all_delivered);
+    measured.add(stats.tx_per_packet);
+  }
+  const double expect = analysis::expected_tx_nofec(p, 25.0);
+  EXPECT_NEAR(measured.mean(), expect, 0.1);
+}
+
+TEST(ArqSession, DuplicatesAreSubstantialUnderLoss) {
+  // The paper's point: multicast retransmission of originals wastes
+  // receptions at every receiver that did not need them.  With many
+  // receivers and modest loss, duplicates must show up.
+  loss::BernoulliLossModel model(0.05);
+  ArqSession session(model, 100, 8, small_config(), 3);
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.all_delivered);
+  EXPECT_GT(stats.duplicate_receptions, 100u);
+}
+
+TEST(ArqSession, SuppressionWorksForBitmapNaks) {
+  loss::BernoulliLossModel model(0.08);
+  ArqConfig cfg = small_config();
+  cfg.slot = 0.02;
+  ArqSession session(model, 100, 6, cfg, 5);
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.all_delivered);
+  EXPECT_GT(stats.naks_suppressed, 0u);
+}
+
+TEST(ArqSession, DeterministicForSameSeed) {
+  loss::BernoulliLossModel model(0.08);
+  ArqSession a(model, 15, 5, small_config(), 99);
+  ArqSession b(model, 15, 5, small_config(), 99);
+  const auto sa = a.run();
+  const auto sb = b.run();
+  EXPECT_EQ(sa.data_sent, sb.data_sent);
+  EXPECT_EQ(sa.retransmissions, sb.retransmissions);
+  EXPECT_EQ(sa.naks_sent, sb.naks_sent);
+}
+
+TEST(ArqSession, HeterogeneousLossStillDelivers) {
+  loss::HeterogeneousLossModel model(30, 0.1, 0.01, 0.3);
+  ArqSession session(model, 30, 4, small_config(), 11);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+}
+
+}  // namespace
+}  // namespace pbl::protocol

@@ -1,0 +1,58 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl {
+namespace {
+
+std::uint32_t crc_of(std::string_view s) {
+  return crc32({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+TEST(Crc32, KnownVectors) {
+  // The IEEE 802.3 check value.
+  EXPECT_EQ(crc_of("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc_of(""), 0x00000000u);
+  EXPECT_EQ(crc_of("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc_of("abc"), 0x352441C2u);
+}
+
+TEST(Crc32, ChainingMatchesOneShot) {
+  const std::string_view s = "parity-based loss recovery";
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(s.data());
+  const std::uint32_t whole = crc32({bytes, s.size()});
+  const std::uint32_t part = crc32({bytes + 10, s.size() - 10},
+                                   crc32({bytes, 10}));
+  EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Rng rng(1);
+  std::vector<std::uint8_t> data(256);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const std::uint32_t original = crc32(data);
+  for (std::size_t trial = 0; trial < 200; ++trial) {
+    const std::size_t byte = rng.below(data.size());
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << rng.below(8));
+    data[byte] ^= bit;
+    EXPECT_NE(crc32(data), original);
+    data[byte] ^= bit;
+  }
+}
+
+TEST(Crc32, ConstexprUsable) {
+  constexpr std::array<std::uint8_t, 3> arr{1, 2, 3};
+  constexpr std::uint32_t c = crc32(std::span<const std::uint8_t>(arr));
+  static_assert(c != 0);
+  EXPECT_EQ(c, crc32(std::span<const std::uint8_t>(arr)));
+}
+
+}  // namespace
+}  // namespace pbl

@@ -1,0 +1,92 @@
+#include "analysis/duplicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "loss/loss_model.hpp"
+#include "protocol/arq_nofec.hpp"
+#include "protocol/np_protocol.hpp"
+
+namespace pbl::analysis {
+namespace {
+
+TEST(Duplicates, Validation) {
+  EXPECT_THROW(expected_duplicates_arq(0, 0.1, 10), std::invalid_argument);
+  EXPECT_THROW(expected_duplicates_arq(7, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(expected_duplicates_integrated(7, 0.1, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Duplicates, ZeroWithoutLossOrAlone) {
+  EXPECT_DOUBLE_EQ(expected_duplicates_arq(7, 0.0, 1e6), 0.0);
+  EXPECT_DOUBLE_EQ(expected_duplicates_integrated(7, 0.0, 1e6), 0.0);
+  // A single receiver never receives repairs it did not ask for.
+  EXPECT_NEAR(expected_duplicates_arq(7, 0.1, 1.0), 0.0, 1e-9);
+  EXPECT_NEAR(expected_duplicates_integrated(7, 0.1, 1.0), 0.0, 1e-9);
+}
+
+TEST(Duplicates, IntegratedFarBelowArq) {
+  // The Section 2.1 claim, quantified: at scale, parity repair wastes an
+  // order of magnitude fewer receptions than original retransmission.
+  for (double receivers : {100.0, 1e4, 1e6}) {
+    const double arq = expected_duplicates_arq(20, 0.01, receivers);
+    const double integ = expected_duplicates_integrated(20, 0.01, receivers);
+    EXPECT_LT(integ, arq / 3.0) << receivers;
+  }
+  EXPECT_LT(expected_duplicates_integrated(20, 0.01, 1e6), 6.0);
+  EXPECT_GT(expected_duplicates_arq(20, 0.01, 1e6), 20.0);
+}
+
+TEST(Duplicates, GrowWithPopulation) {
+  double prev_arq = -1.0, prev_int = -1.0;
+  for (double receivers : {1.0, 100.0, 1e4, 1e6}) {
+    const double a = expected_duplicates_arq(7, 0.05, receivers);
+    const double i = expected_duplicates_integrated(7, 0.05, receivers);
+    EXPECT_GT(a, prev_arq);
+    EXPECT_GT(i, prev_int);
+    prev_arq = a;
+    prev_int = i;
+  }
+}
+
+TEST(Duplicates, ModelsTrackTheDesProtocols) {
+  // Measured duplicates per receiver per TG in the full protocols should
+  // sit in the same ballpark as the models (the protocols have extra
+  // sources — rounding to whole parities per round, per-bitmap repairs —
+  // so allow a generous band).
+  const double p = 0.05;
+  const std::size_t receivers = 100;
+  const std::size_t tgs = 10;
+  loss::BernoulliLossModel model(p);
+
+  protocol::ArqConfig arq_cfg;
+  arq_cfg.k = 10;
+  arq_cfg.packet_len = 32;
+  protocol::ArqSession arq(model, receivers, tgs, arq_cfg, 3);
+  const auto arq_stats = arq.run();
+  ASSERT_TRUE(arq_stats.all_delivered);
+  const double arq_measured =
+      static_cast<double>(arq_stats.duplicate_receptions) /
+      (static_cast<double>(receivers) * static_cast<double>(tgs));
+  const double arq_model = expected_duplicates_arq(10, p, receivers);
+  EXPECT_GT(arq_measured, 0.3 * arq_model);
+  EXPECT_LT(arq_measured, 3.0 * arq_model);
+
+  protocol::NpConfig np_cfg;
+  np_cfg.k = 10;
+  np_cfg.h = 80;
+  np_cfg.packet_len = 32;
+  protocol::NpSession np(model, receivers, tgs, np_cfg, 3);
+  const auto np_stats = np.run();
+  ASSERT_TRUE(np_stats.all_delivered);
+  const double np_measured =
+      static_cast<double>(np_stats.duplicate_receptions) /
+      (static_cast<double>(receivers) * static_cast<double>(tgs));
+  const double np_model = expected_duplicates_integrated(10, p, receivers);
+  EXPECT_GT(np_measured, 0.3 * np_model);
+  EXPECT_LT(np_measured, 3.0 * np_model);
+
+  EXPECT_LT(np_measured, arq_measured);
+}
+
+}  // namespace
+}  // namespace pbl::analysis

@@ -1,0 +1,92 @@
+#include "loss/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "loss/loss_model.hpp"
+#include "util/rng.hpp"
+
+namespace pbl::loss {
+namespace {
+
+TEST(LossEstimator, ValidatesAlpha) {
+  EXPECT_THROW(LossEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(LossEstimator(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(LossEstimator(1.0));
+}
+
+TEST(LossEstimator, EmptyStateIsSane) {
+  LossEstimator est;
+  EXPECT_EQ(est.observed(), 0u);
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(est.ewma_loss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(est.mean_burst_length(), 1.0);
+}
+
+TEST(LossEstimator, CountsExactSequence) {
+  LossEstimator est;
+  // Pattern: L L . L . . L L L .  ->  3 bursts of 2, 1, 3.
+  for (bool l : {true, true, false, true, false, false, true, true, true,
+                 false})
+    est.observe(l);
+  EXPECT_EQ(est.observed(), 10u);
+  EXPECT_EQ(est.losses(), 6u);
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.6);
+  EXPECT_EQ(est.bursts(), 3u);
+  EXPECT_DOUBLE_EQ(est.mean_burst_length(), 2.0);
+}
+
+TEST(LossEstimator, OpenBurstNotCountedUntilClosed) {
+  LossEstimator est;
+  est.observe(true);
+  est.observe(true);
+  EXPECT_EQ(est.bursts(), 0u);
+  est.observe(false);
+  EXPECT_EQ(est.bursts(), 1u);
+  EXPECT_DOUBLE_EQ(est.mean_burst_length(), 2.0);
+}
+
+TEST(LossEstimator, RecoversBernoulliParameters) {
+  BernoulliLossModel model(0.08);
+  auto proc = model.make_process(Rng(1), 0);
+  LossEstimator est;
+  for (int i = 0; i < 500000; ++i) est.observe(proc->lost(i * 0.01));
+  EXPECT_NEAR(est.loss_rate(), 0.08, 0.003);
+  // Independent losses: mean burst ~ 1/(1-p).
+  EXPECT_NEAR(est.mean_burst_length(), 1.0 / 0.92, 0.02);
+}
+
+TEST(LossEstimator, RecoversGilbertParameters) {
+  // The estimator closes the loop: the (p, b) it reports reproduces the
+  // model that generated the stream.
+  const double p = 0.03, b = 2.5, delta = 0.04;
+  const auto model = GilbertLossModel::from_packet_stats(p, b, delta);
+  auto proc = model.make_process(Rng(2), 0);
+  LossEstimator est;
+  for (int i = 0; i < 2000000; ++i)
+    est.observe(proc->lost(static_cast<double>(i) * delta));
+  EXPECT_NEAR(est.loss_rate(), p, 0.003);
+  EXPECT_NEAR(est.mean_burst_length(), b, 0.1);
+}
+
+TEST(LossEstimator, EwmaTracksDrift) {
+  LossEstimator est(0.05);
+  for (int i = 0; i < 2000; ++i) est.observe(false);
+  EXPECT_LT(est.ewma_loss_rate(), 0.01);
+  for (int i = 0; i < 2000; ++i) est.observe(true);
+  EXPECT_GT(est.ewma_loss_rate(), 0.95);
+  // The cumulative rate averages everything; EWMA sees only "now".
+  EXPECT_NEAR(est.loss_rate(), 0.5, 1e-12);
+}
+
+TEST(LossEstimator, ResetClearsEverything) {
+  LossEstimator est;
+  est.observe(true);
+  est.observe(false);
+  est.reset();
+  EXPECT_EQ(est.observed(), 0u);
+  EXPECT_EQ(est.bursts(), 0u);
+  EXPECT_DOUBLE_EQ(est.ewma_loss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pbl::loss

@@ -1,0 +1,133 @@
+#include "protocol/fec1_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/integrated.hpp"
+#include "util/stats.hpp"
+
+namespace pbl::protocol {
+namespace {
+
+Fec1Config small_config() {
+  Fec1Config cfg;
+  cfg.k = 8;
+  cfg.h = 60;
+  cfg.packet_len = 64;
+  // Departure (propagation + leave) below the packet spacing: the regime
+  // in which the paper's "exactly k + L transmissions" accounting holds.
+  cfg.delay = 0.0004;
+  return cfg;
+}
+
+TEST(Fec1Session, ValidatesConfiguration) {
+  loss::BernoulliLossModel model(0.0);
+  Fec1Config cfg = small_config();
+  EXPECT_THROW(Fec1Session(model, 0, 1, cfg), std::invalid_argument);
+  EXPECT_THROW(Fec1Session(model, 1, 0, cfg), std::invalid_argument);
+  cfg.leave_latency = -1.0;
+  EXPECT_THROW(Fec1Session(model, 1, 1, cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.k = 200;
+  cfg.h = 100;
+  EXPECT_THROW(Fec1Session(model, 1, 1, cfg), std::invalid_argument);
+}
+
+TEST(Fec1Session, LosslessSendsExactlyK) {
+  loss::BernoulliLossModel model(0.0);
+  Fec1Session session(model, 10, 5, small_config(), 42);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.data_sent, 8u * 5u);
+  EXPECT_EQ(stats.parity_sent, 0u);
+  EXPECT_DOUBLE_EQ(stats.tx_per_packet, 1.0);
+  EXPECT_EQ(stats.duplicate_receptions, 0u);
+}
+
+TEST(Fec1Session, RecoversUnderLossWithoutAnyFeedback) {
+  loss::BernoulliLossModel model(0.1);
+  Fec1Session session(model, 20, 4, small_config(), 7);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_GT(stats.parity_sent, 0u);
+  EXPECT_GT(stats.packets_decoded, 0u);
+  EXPECT_EQ(stats.tgs_failed, 0u);
+}
+
+TEST(Fec1Session, InstantLeaveMeansZeroDuplicates) {
+  // The paper's claim: no unnecessary receptions "provided that the time
+  // needed to depart from the group is smaller than the packet
+  // inter-arrival time".
+  loss::BernoulliLossModel model(0.1);
+  Fec1Config cfg = small_config();
+  cfg.leave_latency = 0.0;
+  Fec1Session session(model, 30, 5, cfg, 3);
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.duplicate_receptions, 0u);
+}
+
+TEST(Fec1Session, SubPacketLeaveLatencyStillZeroDuplicates) {
+  loss::BernoulliLossModel model(0.1);
+  Fec1Config cfg = small_config();
+  cfg.leave_latency = cfg.delta * 0.5;  // departs between packets
+  Fec1Session session(model, 30, 5, cfg, 3);
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.duplicate_receptions, 0u);
+}
+
+TEST(Fec1Session, SlowLeaveCausesDuplicates) {
+  loss::BernoulliLossModel model(0.1);
+  Fec1Config cfg = small_config();
+  cfg.leave_latency = cfg.delta * 10.0;  // ten packets land before the prune
+  Fec1Session session(model, 30, 5, cfg, 3);
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.all_delivered);
+  EXPECT_GT(stats.duplicate_receptions, 0u);
+}
+
+TEST(Fec1Session, TxPerPacketTracksIdealBound) {
+  // FEC1's total transmission count is exactly k + max_r Lr: the Eq. (6)
+  // quantity (with instantaneous leave the sender stops at the bound).
+  const double p = 0.05;
+  loss::BernoulliLossModel model(p);
+  RunningStats measured;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Fec1Session session(model, 25, 12, small_config(), seed);
+    const auto stats = session.run();
+    ASSERT_TRUE(stats.all_delivered);
+    measured.add(stats.tx_per_packet);
+  }
+  const double expect = analysis::expected_tx_integrated_ideal(8, 0, p, 25.0);
+  EXPECT_NEAR(measured.mean(), expect, 0.05);
+}
+
+TEST(Fec1Session, ParityBudgetExhaustionReported) {
+  Fec1Config cfg = small_config();
+  cfg.h = 1;
+  loss::BernoulliLossModel model(0.4);
+  Fec1Session session(model, 20, 2, cfg, 13);
+  const auto stats = session.run();
+  EXPECT_FALSE(stats.all_delivered);
+  EXPECT_GT(stats.tgs_failed, 0u);
+}
+
+TEST(Fec1Session, DeterministicForSameSeed) {
+  loss::BernoulliLossModel model(0.08);
+  Fec1Session a(model, 15, 5, small_config(), 99);
+  Fec1Session b(model, 15, 5, small_config(), 99);
+  const auto sa = a.run();
+  const auto sb = b.run();
+  EXPECT_EQ(sa.parity_sent, sb.parity_sent);
+  EXPECT_DOUBLE_EQ(sa.completion_time, sb.completion_time);
+}
+
+TEST(Fec1Session, BurstLossDelivered) {
+  const auto model = loss::GilbertLossModel::from_packet_stats(0.05, 2.0, 0.001);
+  Fec1Session session(model, 20, 4, small_config(), 5);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+}
+
+}  // namespace
+}  // namespace pbl::protocol

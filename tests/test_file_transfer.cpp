@@ -1,0 +1,120 @@
+#include "core/file_transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pbl::core {
+namespace {
+
+std::vector<std::uint8_t> random_blob(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> blob(size);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng());
+  return blob;
+}
+
+TEST(Segmentation, Validation) {
+  const auto blob = random_blob(10, 1);
+  EXPECT_THROW(segment_blob(blob, 0, 16), std::invalid_argument);
+  EXPECT_THROW(segment_blob(blob, 4, 0), std::invalid_argument);
+}
+
+class SegmentationRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SegmentationRoundTrip, ExactForAnySize) {
+  const std::size_t size = GetParam();
+  const auto blob = random_blob(size, size + 17);
+  const auto groups = segment_blob(blob, 4, 16);
+  EXPECT_GE(groups.size(), 1u);
+  for (const auto& tg : groups) {
+    EXPECT_EQ(tg.size(), 4u);
+    for (const auto& pkt : tg) EXPECT_EQ(pkt.size(), 16u);
+  }
+  EXPECT_EQ(reassemble_blob(groups), blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SegmentationRoundTrip,
+                         ::testing::Values(0u, 1u, 7u, 55u, 56u, 57u, 64u,
+                                           100u, 1000u, 4096u, 10000u));
+
+TEST(Segmentation, GroupCountIsMinimal) {
+  // 8-byte prefix + payload must fit exactly: 56 payload bytes fill one
+  // 4x16 group, 57 need two.
+  EXPECT_EQ(segment_blob(random_blob(56, 2), 4, 16).size(), 1u);
+  EXPECT_EQ(segment_blob(random_blob(57, 3), 4, 16).size(), 2u);
+}
+
+TEST(Reassembly, RejectsMalformedInput) {
+  EXPECT_THROW(reassemble_blob({}), std::invalid_argument);
+  auto groups = segment_blob(random_blob(100, 4), 4, 16);
+  auto bad = groups;
+  bad[0].pop_back();  // wrong k
+  EXPECT_THROW(reassemble_blob(bad), std::invalid_argument);
+  bad = groups;
+  bad[0][1].pop_back();  // wrong packet size
+  EXPECT_THROW(reassemble_blob(bad), std::invalid_argument);
+  bad = groups;
+  bad[0][0][0] = 0xFF;  // corrupt the length prefix upward
+  bad[0][0][1] = 0xFF;
+  bad[0][0][7] = 0x7F;
+  EXPECT_THROW(reassemble_blob(bad), std::invalid_argument);
+}
+
+TEST(TransferBlob, DeliversAFileUnderLoss) {
+  const auto blob = random_blob(5000, 5);
+  loss::BernoulliLossModel model(0.08);
+  protocol::NpConfig cfg;
+  cfg.k = 8;
+  cfg.h = 60;
+  cfg.packet_len = 64;
+  const auto report = transfer_blob(blob, model, 30, cfg, 11);
+  EXPECT_TRUE(report.protocol.all_delivered);
+  EXPECT_TRUE(report.blob_verified);
+  EXPECT_EQ(report.payload_bytes, 5000u);
+  EXPECT_EQ(report.groups, (5000u + 8u + 8 * 64 - 1) / (8 * 64));
+  EXPECT_GE(report.wire_bytes, report.payload_bytes);
+}
+
+TEST(TransferBlob, ProactiveParitiesCountTowardsWireBytes) {
+  const auto blob = random_blob(2000, 6);
+  loss::BernoulliLossModel model(0.0);
+  protocol::NpConfig cfg;
+  cfg.k = 8;
+  cfg.h = 60;
+  cfg.packet_len = 64;
+  const auto base = transfer_blob(blob, model, 5, cfg, 1);
+  cfg.proactive = 2;
+  const auto with_pro = transfer_blob(blob, model, 5, cfg, 1);
+  EXPECT_GT(with_pro.wire_bytes, base.wire_bytes);
+}
+
+TEST(NpSessionData, RejectsBadShapes) {
+  loss::BernoulliLossModel model(0.0);
+  protocol::NpConfig cfg;
+  cfg.k = 4;
+  cfg.h = 8;
+  cfg.packet_len = 16;
+  std::vector<TgData> wrong_k{TgData(3, std::vector<std::uint8_t>(16))};
+  EXPECT_THROW(protocol::NpSession(model, 2, wrong_k, cfg),
+               std::invalid_argument);
+  std::vector<TgData> wrong_len{TgData(4, std::vector<std::uint8_t>(15))};
+  EXPECT_THROW(protocol::NpSession(model, 2, wrong_len, cfg),
+               std::invalid_argument);
+}
+
+TEST(NpSessionData, TransmitsProvidedBytes) {
+  loss::BernoulliLossModel model(0.1);
+  protocol::NpConfig cfg;
+  cfg.k = 4;
+  cfg.h = 20;
+  cfg.packet_len = 16;
+  std::vector<TgData> data(3, TgData(4, std::vector<std::uint8_t>(16, 0xAB)));
+  protocol::NpSession session(model, 10, data, cfg, 21);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_EQ(session.source_data(), data);
+}
+
+}  // namespace
+}  // namespace pbl::core

@@ -1,0 +1,203 @@
+#include "gf/gf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl::gf {
+namespace {
+
+class FieldAxiomsTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FieldAxiomsTest, MultiplicativeIdentityAndZero) {
+  const GaloisField f(GetParam());
+  for (Sym a = 0; a < f.size(); ++a) {
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.mul(1, a), a);
+    EXPECT_EQ(f.mul(a, 0), 0u);
+    EXPECT_EQ(f.mul(0, a), 0u);
+  }
+}
+
+TEST_P(FieldAxiomsTest, AdditionIsXor) {
+  const GaloisField f(GetParam());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Sym a = static_cast<Sym>(rng.below(f.size()));
+    const Sym b = static_cast<Sym>(rng.below(f.size()));
+    EXPECT_EQ(GaloisField::add(a, b), a ^ b);
+    EXPECT_EQ(GaloisField::add(a, a), 0u);  // characteristic 2
+  }
+}
+
+TEST_P(FieldAxiomsTest, MultiplicationCommutesAndAssociates) {
+  const GaloisField f(GetParam());
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Sym a = static_cast<Sym>(rng.below(f.size()));
+    const Sym b = static_cast<Sym>(rng.below(f.size()));
+    const Sym c = static_cast<Sym>(rng.below(f.size()));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+  }
+}
+
+TEST_P(FieldAxiomsTest, DistributivityOverAddition) {
+  const GaloisField f(GetParam());
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Sym a = static_cast<Sym>(rng.below(f.size()));
+    const Sym b = static_cast<Sym>(rng.below(f.size()));
+    const Sym c = static_cast<Sym>(rng.below(f.size()));
+    EXPECT_EQ(f.mul(a, GaloisField::add(b, c)),
+              GaloisField::add(f.mul(a, b), f.mul(a, c)));
+  }
+}
+
+TEST_P(FieldAxiomsTest, InverseAndDivision) {
+  const GaloisField f(GetParam());
+  for (Sym a = 1; a < f.size(); ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+    EXPECT_EQ(f.div(a, a), 1u);
+    EXPECT_EQ(f.div(0, a), 0u);
+  }
+  EXPECT_THROW(f.inv(0), std::domain_error);
+  EXPECT_THROW(f.div(1, 0), std::domain_error);
+}
+
+TEST_P(FieldAxiomsTest, ExpLogRoundTrip) {
+  const GaloisField f(GetParam());
+  for (Sym a = 1; a < f.size(); ++a)
+    EXPECT_EQ(f.exp(f.log(a)), a);
+}
+
+TEST_P(FieldAxiomsTest, PrimitiveElementHasFullOrder) {
+  const GaloisField f(GetParam());
+  // alpha^i enumerates every nonzero element exactly once.
+  std::vector<bool> seen(f.size(), false);
+  for (Sym i = 0; i < f.order(); ++i) {
+    const Sym v = f.exp(i);
+    EXPECT_FALSE(seen[v]) << "repeat at i=" << i;
+    seen[v] = true;
+  }
+  EXPECT_EQ(f.exp(f.order()), 1u);  // wraps to alpha^0
+}
+
+TEST_P(FieldAxiomsTest, PowMatchesRepeatedMultiplication) {
+  const GaloisField f(GetParam());
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Sym a = static_cast<Sym>(1 + rng.below(f.order()));
+    Sym acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(f.pow(a, e), acc);
+      acc = f.mul(acc, a);
+    }
+  }
+  EXPECT_EQ(f.pow(0, 0), 1u);
+  EXPECT_EQ(f.pow(0, 5), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSymbolSizes, FieldAxiomsTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u,
+                                           12u));
+
+TEST(GaloisField, RejectsBadSymbolSize) {
+  EXPECT_THROW(GaloisField(1), std::invalid_argument);
+  EXPECT_THROW(GaloisField(17), std::invalid_argument);
+}
+
+TEST(GaloisField, SixteenBitFieldBuilds) {
+  const GaloisField f(16);
+  EXPECT_EQ(f.size(), 65536u);
+  EXPECT_EQ(f.mul(f.exp(100), f.exp(200)), f.exp(300));
+}
+
+TEST(GaloisField, PolyEvalMatchesHorner) {
+  const GaloisField f(8);
+  // F(X) = 3 + 5X + 7X^2 at X = 2 must equal manual evaluation.
+  const std::vector<Sym> coeffs{3, 5, 7};
+  const Sym x = 2;
+  const Sym expected = GaloisField::add(
+      GaloisField::add(3, f.mul(5, x)), f.mul(7, f.mul(x, x)));
+  EXPECT_EQ(f.poly_eval(coeffs, x), expected);
+}
+
+TEST(GaloisField, PolyEvalEmptyIsZero) {
+  const GaloisField f(8);
+  EXPECT_EQ(f.poly_eval({}, 5), 0u);
+}
+
+TEST(Gf256, MatchesGenericField) {
+  const auto& fast = Gf256::instance();
+  const GaloisField slow(8);
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(fast.mul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)),
+                slow.mul(a, b));
+    }
+  }
+}
+
+TEST(Gf256, DivisionAndInverse) {
+  const auto& f = Gf256::instance();
+  for (unsigned a = 1; a < 256; ++a) {
+    EXPECT_EQ(f.mul(static_cast<std::uint8_t>(a),
+                    f.inv(static_cast<std::uint8_t>(a))),
+              1u);
+  }
+  EXPECT_THROW(f.inv(0), std::domain_error);
+  EXPECT_THROW(f.div(5, 0), std::domain_error);
+}
+
+TEST(Gf256, MulAddAccumulates) {
+  const auto& f = Gf256::instance();
+  std::vector<std::uint8_t> dst(64, 0);
+  std::vector<std::uint8_t> src(64);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  f.mul_add(dst.data(), src.data(), src.size(), 3);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    EXPECT_EQ(dst[i], f.mul(3, src[i]));
+  // Adding the same contribution again cancels (characteristic 2).
+  f.mul_add(dst.data(), src.data(), src.size(), 3);
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(dst[i], 0u);
+}
+
+TEST(Gf256, MulAddSpecialCoefficients) {
+  const auto& f = Gf256::instance();
+  std::vector<std::uint8_t> dst(16, 0xAA);
+  std::vector<std::uint8_t> src(16, 0x55);
+  const std::vector<std::uint8_t> before = dst;
+  f.mul_add(dst.data(), src.data(), dst.size(), 0);  // no-op
+  EXPECT_EQ(dst, before);
+  f.mul_add(dst.data(), src.data(), dst.size(), 1);  // plain xor
+  for (auto b : dst) EXPECT_EQ(b, 0xFF);
+}
+
+TEST(Gf256, MulAssignVariants) {
+  const auto& f = Gf256::instance();
+  std::vector<std::uint8_t> src(16, 0x11);
+  std::vector<std::uint8_t> dst(16, 0xFF);
+  f.mul_assign(dst.data(), src.data(), dst.size(), 0);
+  for (auto b : dst) EXPECT_EQ(b, 0u);
+  f.mul_assign(dst.data(), src.data(), dst.size(), 1);
+  EXPECT_EQ(dst, src);
+  f.mul_assign(dst.data(), src.data(), dst.size(), 2);
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    EXPECT_EQ(dst[i], f.mul(2, src[i]));
+}
+
+TEST(PrimitivePolynomials, KnownValues) {
+  EXPECT_EQ(primitive_polynomial(8), 0x11Du);
+  EXPECT_EQ(primitive_polynomial(4), 0x13u);
+  EXPECT_EQ(primitive_polynomial(16), 0x1100Bu);
+  EXPECT_THROW(primitive_polynomial(0), std::invalid_argument);
+  EXPECT_THROW(primitive_polynomial(20), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pbl::gf

@@ -1,0 +1,74 @@
+#include "fec/interleaver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pbl::fec {
+namespace {
+
+TEST(Interleaver, ValidatesParameters) {
+  EXPECT_THROW(Interleaver(0, 5), std::invalid_argument);
+  EXPECT_THROW(Interleaver(5, 0), std::invalid_argument);
+}
+
+TEST(Interleaver, DepthOneIsIdentity) {
+  Interleaver il(1, 10);
+  for (std::size_t s = 0; s < 10; ++s) {
+    const auto [g, i] = il.slot_to_packet(s);
+    EXPECT_EQ(g, 0u);
+    EXPECT_EQ(i, s);
+  }
+}
+
+TEST(Interleaver, MappingIsBijective) {
+  Interleaver il(4, 6);
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (std::size_t s = 0; s < il.window(); ++s)
+    seen.insert(il.slot_to_packet(s));
+  EXPECT_EQ(seen.size(), il.window());
+}
+
+TEST(Interleaver, InverseMapping) {
+  Interleaver il(3, 7);
+  for (std::size_t s = 0; s < il.window(); ++s) {
+    const auto [g, i] = il.slot_to_packet(s);
+    EXPECT_EQ(il.packet_to_slot(g, i), s);
+  }
+}
+
+TEST(Interleaver, ConsecutiveSlotsCycleGroups) {
+  // Consecutive slots must belong to different groups (the whole point of
+  // interleaving: adjacent losses hit different FEC blocks).
+  Interleaver il(5, 4);
+  for (std::size_t s = 0; s + 1 < il.window(); ++s) {
+    const auto a = il.slot_to_packet(s);
+    const auto b = il.slot_to_packet(s + 1);
+    EXPECT_NE(a.first, b.first);
+  }
+}
+
+TEST(Interleaver, GroupTransmissionIsStretched) {
+  // Packets of one group are depth slots apart.
+  Interleaver il(4, 5);
+  for (std::size_t i = 0; i + 1 < 5; ++i)
+    EXPECT_EQ(il.packet_to_slot(2, i + 1) - il.packet_to_slot(2, i), 4u);
+}
+
+TEST(Interleaver, ScheduleMatchesPointQueries) {
+  Interleaver il(2, 3);
+  const auto sched = il.schedule();
+  ASSERT_EQ(sched.size(), 6u);
+  for (std::size_t s = 0; s < sched.size(); ++s)
+    EXPECT_EQ(sched[s], il.slot_to_packet(s));
+}
+
+TEST(Interleaver, RangeChecks) {
+  Interleaver il(2, 3);
+  EXPECT_THROW(il.slot_to_packet(6), std::out_of_range);
+  EXPECT_THROW(il.packet_to_slot(2, 0), std::out_of_range);
+  EXPECT_THROW(il.packet_to_slot(0, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pbl::fec

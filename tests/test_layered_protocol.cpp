@@ -1,0 +1,158 @@
+#include "protocol/layered_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/layered.hpp"
+#include "util/stats.hpp"
+
+namespace pbl::protocol {
+namespace {
+
+LayeredConfig small_config() {
+  LayeredConfig cfg;
+  cfg.k = 7;
+  cfg.h = 1;
+  cfg.packet_len = 32;
+  return cfg;
+}
+
+TEST(LayeredSession, ValidatesConfiguration) {
+  loss::BernoulliLossModel model(0.0);
+  EXPECT_THROW(LayeredSession(model, 0, 10, small_config()),
+               std::invalid_argument);
+  EXPECT_THROW(LayeredSession(model, 1, 0, small_config()),
+               std::invalid_argument);
+  LayeredConfig cfg = small_config();
+  cfg.k = 200;
+  cfg.h = 100;
+  EXPECT_THROW(LayeredSession(model, 1, 1, cfg), std::invalid_argument);
+}
+
+TEST(LayeredSession, LosslessCostsExactlyTheCodeOverhead) {
+  loss::BernoulliLossModel model(0.0);
+  // 21 packets = exactly 3 blocks of 7: no padding, no repair.
+  LayeredSession session(model, 10, 21, small_config(), 42);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.blocks_sent, 3u);
+  EXPECT_EQ(stats.data_sent, 21u);
+  EXPECT_EQ(stats.parity_sent, 3u);
+  EXPECT_EQ(stats.padding_sent, 0u);
+  EXPECT_EQ(stats.naks_sent, 0u);
+  EXPECT_DOUBLE_EQ(stats.tx_per_packet, 8.0 / 7.0);
+  EXPECT_DOUBLE_EQ(stats.rm_tx_per_packet, 1.0);
+}
+
+TEST(LayeredSession, PartialFinalBlockIsPadded) {
+  loss::BernoulliLossModel model(0.0);
+  LayeredSession session(model, 5, 10, small_config(), 7);  // 7 + 3
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.blocks_sent, 2u);
+  EXPECT_EQ(stats.padding_sent, 4u);  // second block: 3 data + 4 pads
+}
+
+TEST(LayeredSession, SingleParityRepairsDifferentLossesAtDifferentReceivers) {
+  // The FEC layer's whole point: block-decodable receivers never surface
+  // an RM-level loss, so most losses cost no retransmission at all.
+  loss::BernoulliLossModel model(0.05);
+  LayeredSession session(model, 30, 70, small_config(), 3);
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.all_delivered);
+  EXPECT_GT(stats.packets_decoded, 0u);   // FEC-layer reconstructions happened
+  EXPECT_GT(stats.rm_tx_per_packet, 1.0); // some RM losses remained
+  // ...but far fewer than raw p would cause without the FEC layer.
+  EXPECT_LT(stats.rm_tx_per_packet,
+            analysis::expected_tx_nofec(0.05, 30.0) - 0.2);
+}
+
+TEST(LayeredSession, RmTransmissionsTrackEq3) {
+  // rm_tx_per_packet estimates E[M'] = E[M] * k/n of Eq. (3); the DES
+  // protocol adds padding and re-grouping noise, so use a band.
+  const double p = 0.05;
+  const std::size_t receivers = 40;
+  loss::BernoulliLossModel model(p);
+  RunningStats rm_tx;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    LayeredSession session(model, receivers, 140, small_config(), seed);
+    const auto stats = session.run();
+    ASSERT_TRUE(stats.all_delivered);
+    rm_tx.add(stats.rm_tx_per_packet);
+  }
+  const double expect =
+      analysis::expected_tx_layered(7, 8, p, receivers) * 7.0 / 8.0;
+  EXPECT_NEAR(rm_tx.mean(), expect, 0.15 * expect);
+}
+
+TEST(LayeredSession, MoreParitiesMeanFewerRetransmissions) {
+  const double p = 0.08;
+  loss::BernoulliLossModel model(p);
+  LayeredConfig low = small_config();   // h = 1
+  LayeredConfig high = small_config();
+  high.h = 3;
+  LayeredSession a(model, 40, 140, low, 9);
+  LayeredSession b(model, 40, 140, high, 9);
+  const auto sa = a.run();
+  const auto sb = b.run();
+  ASSERT_TRUE(sa.all_delivered);
+  ASSERT_TRUE(sb.all_delivered);
+  EXPECT_LT(sb.rm_tx_per_packet, sa.rm_tx_per_packet);
+  // ...at the price of more physical parities per packet.
+  EXPECT_GT(static_cast<double>(sb.parity_sent) /
+                static_cast<double>(sb.blocks_sent),
+            static_cast<double>(sa.parity_sent) /
+                static_cast<double>(sa.blocks_sent));
+}
+
+TEST(LayeredSession, SuppressionReducesNakTraffic) {
+  loss::BernoulliLossModel model(0.08);
+  LayeredConfig cfg = small_config();
+  cfg.slot = 0.02;
+  LayeredSession session(model, 100, 70, cfg, 11);
+  const auto stats = session.run();
+  ASSERT_TRUE(stats.all_delivered);
+  EXPECT_GT(stats.naks_suppressed, 0u);
+}
+
+TEST(LayeredSession, DeterministicForSameSeed) {
+  loss::BernoulliLossModel model(0.08);
+  LayeredSession a(model, 15, 35, small_config(), 99);
+  LayeredSession b(model, 15, 35, small_config(), 99);
+  const auto sa = a.run();
+  const auto sb = b.run();
+  EXPECT_EQ(sa.data_sent, sb.data_sent);
+  EXPECT_EQ(sa.parity_sent, sb.parity_sent);
+  EXPECT_DOUBLE_EQ(sa.completion_time, sb.completion_time);
+}
+
+TEST(LayeredSession, HeavyLossStillConverges) {
+  loss::BernoulliLossModel model(0.3);
+  LayeredSession session(model, 10, 35, small_config(), 13);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_GT(stats.rm_tx_per_packet, 1.1);
+}
+
+TEST(LayeredSession, BurstLossDegradesItAsInFig15) {
+  // The Fig. 15 effect at protocol level: the same session under bursty
+  // loss needs more RM retransmissions than under independent loss.
+  const double p = 0.05;
+  loss::BernoulliLossModel iid(p);
+  const auto gilbert =
+      loss::GilbertLossModel::from_packet_stats(p, 2.5, 0.001);
+  RunningStats iid_tx, burst_tx;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    LayeredSession a(iid, 40, 140, small_config(), seed);
+    const auto sa = a.run();
+    ASSERT_TRUE(sa.all_delivered);
+    iid_tx.add(sa.rm_tx_per_packet);
+    LayeredSession b(gilbert, 40, 140, small_config(), seed);
+    const auto sb = b.run();
+    ASSERT_TRUE(sb.all_delivered);
+    burst_tx.add(sb.rm_tx_per_packet);
+  }
+  EXPECT_GT(burst_tx.mean(), iid_tx.mean());
+}
+
+}  // namespace
+}  // namespace pbl::protocol

@@ -1,0 +1,176 @@
+#include "loss/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace pbl::loss {
+namespace {
+
+TEST(Bernoulli, ValidatesProbability) {
+  EXPECT_THROW(BernoulliLossModel(-0.1), std::invalid_argument);
+  EXPECT_THROW(BernoulliLossModel(1.1), std::invalid_argument);
+  EXPECT_NO_THROW(BernoulliLossModel(0.0));
+  EXPECT_NO_THROW(BernoulliLossModel(1.0));
+}
+
+TEST(Bernoulli, EmpiricalRateMatches) {
+  BernoulliLossModel model(0.1);
+  auto proc = model.make_process(Rng(1), 0);
+  int losses = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    if (proc->lost(i * 0.04)) ++losses;
+  EXPECT_NEAR(static_cast<double>(losses) / n, 0.1, 0.005);
+  EXPECT_DOUBLE_EQ(proc->loss_probability(), 0.1);
+  EXPECT_DOUBLE_EQ(model.mean_loss_probability(), 0.1);
+}
+
+TEST(Bernoulli, IndependentProcessesDiffer) {
+  BernoulliLossModel model(0.5);
+  auto a = model.make_process(Rng(1).split(0), 0);
+  auto b = model.make_process(Rng(1).split(1), 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a->lost(i * 1.0) == b->lost(i * 1.0)) ++same;
+  EXPECT_GT(same, 350);
+  EXPECT_LT(same, 650);
+}
+
+TEST(Gilbert, ValidatesParameters) {
+  EXPECT_THROW(GilbertLossModel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GilbertLossModel::from_packet_stats(0.0, 2.0, 0.04),
+               std::invalid_argument);
+  EXPECT_THROW(GilbertLossModel::from_packet_stats(0.01, 1.0, 0.04),
+               std::invalid_argument);
+  EXPECT_THROW(GilbertLossModel::from_packet_stats(0.01, 2.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Gilbert, StationaryLossProbability) {
+  const auto model = GilbertLossModel::from_packet_stats(0.01, 2.0, 0.04);
+  EXPECT_NEAR(model.mean_loss_probability(), 0.01, 1e-12);
+
+  auto proc = model.make_process(Rng(2), 0);
+  std::uint64_t losses = 0;
+  const std::uint64_t n = 2000000;
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (proc->lost(static_cast<double>(i) * 0.04)) ++losses;
+  EXPECT_NEAR(static_cast<double>(losses) / static_cast<double>(n), 0.01,
+              0.0015);
+}
+
+TEST(Gilbert, MeanBurstLengthMatches) {
+  const double target_burst = 2.0;
+  const auto model =
+      GilbertLossModel::from_packet_stats(0.01, target_burst, 0.04);
+  auto proc = model.make_process(Rng(3), 0);
+  std::uint64_t bursts = 0, lost_packets = 0;
+  bool in_burst = false;
+  const std::uint64_t n = 4000000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const bool l = proc->lost(static_cast<double>(i) * 0.04);
+    if (l) {
+      ++lost_packets;
+      if (!in_burst) ++bursts;
+    }
+    in_burst = l;
+  }
+  ASSERT_GT(bursts, 0u);
+  const double mean_burst =
+      static_cast<double>(lost_packets) / static_cast<double>(bursts);
+  EXPECT_NEAR(mean_burst, target_burst, 0.1);
+}
+
+TEST(Gilbert, WiderSpacingDecorrelates) {
+  // Sampled far apart, consecutive losses should be nearly independent:
+  // P(loss | prev loss) -> p.
+  const auto model = GilbertLossModel::from_packet_stats(0.1, 3.0, 0.04);
+  auto proc = model.make_process(Rng(4), 0);
+  std::uint64_t after_loss = 0, after_loss_lost = 0;
+  bool prev = false;
+  for (std::uint64_t i = 0; i < 500000; ++i) {
+    const bool l = proc->lost(static_cast<double>(i) * 100.0);  // 100 s apart
+    if (prev) {
+      ++after_loss;
+      if (l) ++after_loss_lost;
+    }
+    prev = l;
+  }
+  ASSERT_GT(after_loss, 1000u);
+  EXPECT_NEAR(
+      static_cast<double>(after_loss_lost) / static_cast<double>(after_loss),
+      0.1, 0.02);
+}
+
+TEST(Gilbert, TightSpacingCorrelates) {
+  const auto model = GilbertLossModel::from_packet_stats(0.01, 2.0, 0.04);
+  auto proc = model.make_process(Rng(5), 0);
+  std::uint64_t after_loss = 0, after_loss_lost = 0;
+  bool prev = false;
+  for (std::uint64_t i = 0; i < 2000000; ++i) {
+    const bool l = proc->lost(static_cast<double>(i) * 0.04);
+    if (prev) {
+      ++after_loss;
+      if (l) ++after_loss_lost;
+    }
+    prev = l;
+  }
+  ASSERT_GT(after_loss, 1000u);
+  // Mean burst 2 packets => P(loss | prev loss) ~ 0.5 >> p = 0.01.
+  EXPECT_NEAR(
+      static_cast<double>(after_loss_lost) / static_cast<double>(after_loss),
+      0.5, 0.05);
+}
+
+TEST(Heterogeneous, ClassAssignment) {
+  HeterogeneousLossModel model(100, 0.25, 0.01, 0.25);
+  EXPECT_EQ(model.high_loss_count(), 25u);
+  EXPECT_DOUBLE_EQ(model.receiver_loss_probability(0), 0.01);
+  EXPECT_DOUBLE_EQ(model.receiver_loss_probability(74), 0.01);
+  EXPECT_DOUBLE_EQ(model.receiver_loss_probability(75), 0.25);
+  EXPECT_DOUBLE_EQ(model.receiver_loss_probability(99), 0.25);
+  EXPECT_THROW(model.receiver_loss_probability(100), std::out_of_range);
+}
+
+TEST(Heterogeneous, MeanLossProbability) {
+  HeterogeneousLossModel model(100, 0.25, 0.01, 0.25);
+  EXPECT_NEAR(model.mean_loss_probability(), 0.75 * 0.01 + 0.25 * 0.25, 1e-12);
+}
+
+TEST(Heterogeneous, ZeroAlphaIsHomogeneous) {
+  HeterogeneousLossModel model(50, 0.0, 0.02, 0.9);
+  EXPECT_EQ(model.high_loss_count(), 0u);
+  for (std::size_t r = 0; r < 50; ++r)
+    EXPECT_DOUBLE_EQ(model.receiver_loss_probability(r), 0.02);
+}
+
+TEST(Heterogeneous, ProcessesUseClassProbability) {
+  HeterogeneousLossModel model(10, 0.5, 0.0, 1.0);
+  auto low = model.make_process(Rng(1), 0);
+  auto high = model.make_process(Rng(2), 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(low->lost(i * 1.0));
+    EXPECT_TRUE(high->lost(i * 1.0));
+  }
+}
+
+TEST(Trace, PlaysPatternAndRepeats) {
+  TraceLossModel model({true, false, false});
+  auto proc = model.make_process(Rng(1), 0);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_TRUE(proc->lost(0.0));
+    EXPECT_FALSE(proc->lost(0.0));
+    EXPECT_FALSE(proc->lost(0.0));
+  }
+  EXPECT_NEAR(model.mean_loss_probability(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Trace, RejectsEmptyPattern) {
+  EXPECT_THROW(TraceLossModel({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pbl::loss

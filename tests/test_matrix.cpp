@@ -1,0 +1,163 @@
+#include "gf/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl::gf {
+namespace {
+
+const GaloisField& field8() {
+  static const GaloisField f(8);
+  return f;
+}
+
+Matrix random_matrix(const GaloisField& f, std::size_t n, Rng& rng) {
+  Matrix m(f, n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      m.at(i, j) = static_cast<Sym>(rng.below(f.size()));
+  return m;
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const auto& f = field8();
+  Rng rng(1);
+  const Matrix a = random_matrix(f, 5, rng);
+  const Matrix i = Matrix::identity(f, 5);
+  EXPECT_EQ(a.mul(i), a);
+  EXPECT_EQ(i.mul(a), a);
+}
+
+TEST(Matrix, MulShapesChecked) {
+  const auto& f = field8();
+  Matrix a(f, 2, 3), b(f, 2, 3);
+  EXPECT_THROW(a.mul(b), std::invalid_argument);
+}
+
+TEST(Matrix, MulVecMatchesMatrixMul) {
+  const auto& f = field8();
+  Rng rng(2);
+  const Matrix a = random_matrix(f, 6, rng);
+  std::vector<Sym> x(6);
+  for (auto& v : x) v = static_cast<Sym>(rng.below(256));
+  const auto y = a.mul_vec(x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    Sym acc = 0;
+    for (std::size_t j = 0; j < 6; ++j)
+      acc = GaloisField::add(acc, f.mul(a.at(i, j), x[j]));
+    EXPECT_EQ(y[i], acc);
+  }
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  const auto& f = field8();
+  Rng rng(3);
+  const Matrix i = Matrix::identity(f, 8);
+  int invertible = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix a = random_matrix(f, 8, rng);
+    try {
+      const Matrix ainv = a.inverted();
+      EXPECT_EQ(a.mul(ainv), i);
+      EXPECT_EQ(ainv.mul(a), i);
+      ++invertible;
+    } catch (const std::domain_error&) {
+      // singular random matrix: acceptable, rare
+    }
+  }
+  EXPECT_GT(invertible, 15);  // random GF(256) matrices are almost surely regular
+}
+
+TEST(Matrix, SingularMatrixDetected) {
+  const auto& f = field8();
+  Matrix a(f, 3, 3);
+  // Two identical rows.
+  for (std::size_t j = 0; j < 3; ++j) {
+    a.at(0, j) = static_cast<Sym>(j + 1);
+    a.at(1, j) = static_cast<Sym>(j + 1);
+    a.at(2, j) = static_cast<Sym>(j + 5);
+  }
+  EXPECT_THROW(a.inverted(), std::domain_error);
+}
+
+TEST(Matrix, InverseRequiresSquare) {
+  const auto& f = field8();
+  Matrix a(f, 2, 3);
+  EXPECT_THROW(a.inverted(), std::invalid_argument);
+}
+
+TEST(Matrix, VandermondeStructure) {
+  const auto& f = field8();
+  const Matrix v = Matrix::vandermonde(f, 10, 4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(v.at(i, 0), 1u);
+    const Sym x = f.exp(i);
+    for (std::size_t j = 1; j < 4; ++j)
+      EXPECT_EQ(v.at(i, j), f.mul(v.at(i, j - 1), x));
+  }
+}
+
+TEST(Matrix, VandermondeSizeLimit) {
+  const auto& f = field8();
+  EXPECT_NO_THROW(Matrix::vandermonde(f, 255, 10));
+  EXPECT_THROW(Matrix::vandermonde(f, 256, 10), std::invalid_argument);
+}
+
+class AnyKRowsInvertibleTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(AnyKRowsInvertibleTest, RandomRowSubsetsOfGeneratorAreInvertible) {
+  const auto [k, n] = GetParam();
+  const auto& f = field8();
+  const Matrix g = Matrix::systematic_generator(f, n, k);
+  Rng rng(17);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random k-subset of rows (Fisher-Yates prefix).
+    for (std::size_t i = 0; i < k; ++i)
+      std::swap(all[i], all[i + rng.below(n - i)]);
+    std::vector<std::size_t> rows(all.begin(), all.begin() + k);
+    const Matrix sub = g.select_rows(rows);
+    EXPECT_NO_THROW((void)sub.inverted())
+        << "k=" << k << " n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodeShapes, AnyKRowsInvertibleTest,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(3, 5),
+                      std::make_pair<std::size_t, std::size_t>(7, 10),
+                      std::make_pair<std::size_t, std::size_t>(7, 14),
+                      std::make_pair<std::size_t, std::size_t>(20, 30),
+                      std::make_pair<std::size_t, std::size_t>(100, 130),
+                      std::make_pair<std::size_t, std::size_t>(100, 255)));
+
+TEST(Matrix, SystematicGeneratorTopIsIdentity) {
+  const auto& f = field8();
+  const Matrix g = Matrix::systematic_generator(f, 12, 7);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 7; ++j)
+      EXPECT_EQ(g.at(i, j), i == j ? 1u : 0u);
+}
+
+TEST(Matrix, SystematicGeneratorValidatesShape) {
+  const auto& f = field8();
+  EXPECT_THROW(Matrix::systematic_generator(f, 5, 0), std::invalid_argument);
+  EXPECT_THROW(Matrix::systematic_generator(f, 5, 6), std::invalid_argument);
+}
+
+TEST(Matrix, SelectRowsBoundsChecked) {
+  const auto& f = field8();
+  const Matrix g = Matrix::identity(f, 4);
+  const std::vector<std::size_t> bad{0, 7};
+  EXPECT_THROW(g.select_rows(bad), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pbl::gf

@@ -1,0 +1,131 @@
+#include "protocol/nak_suppression.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbl::protocol {
+namespace {
+
+TEST(NakBackoff, FallsInExpectedSlot) {
+  Rng rng(1);
+  const double ts = 0.01;
+  for (int trial = 0; trial < 200; ++trial) {
+    // s = 10, l = 4: slot [(10-4)Ts, (10-4+1)Ts).
+    const double d = nak_backoff(10, 4, ts, rng);
+    EXPECT_GE(d, 6.0 * ts);
+    EXPECT_LT(d, 7.0 * ts);
+  }
+}
+
+TEST(NakBackoff, WorstOffReceiverGoesFirst) {
+  Rng rng(2);
+  const double ts = 0.01;
+  // Needing everything (l = s) always lands in slot 0.
+  for (int trial = 0; trial < 100; ++trial) {
+    const double d = nak_backoff(8, 8, ts, rng);
+    EXPECT_LT(d, ts);
+  }
+  // Needing more than was sent clamps to slot 0 too.
+  for (int trial = 0; trial < 100; ++trial)
+    EXPECT_LT(nak_backoff(3, 9, ts, rng), ts);
+}
+
+TEST(NakBackoff, Validation) {
+  Rng rng(3);
+  EXPECT_THROW(nak_backoff(5, 0, 0.01, rng), std::invalid_argument);
+  EXPECT_THROW(nak_backoff(5, 1, -1.0, rng), std::invalid_argument);
+}
+
+TEST(NakBackoff, SlotOrderingSeparatesNeeds) {
+  // Receivers needing more packets always fire before receivers needing
+  // fewer (distinct slots never overlap).
+  Rng rng(4);
+  const double ts = 0.005;
+  const double worse = nak_backoff(10, 7, ts, rng);
+  const double better = nak_backoff(10, 2, ts, rng);
+  EXPECT_LT(worse, better);
+}
+
+TEST(NakTimer, FiresWithConfiguredNeed) {
+  sim::Simulator sim;
+  std::vector<std::size_t> fired;
+  NakTimer timer(sim, [&](std::size_t l) { fired.push_back(l); });
+  timer.arm(3, 0.5);
+  EXPECT_TRUE(timer.pending());
+  sim.run();
+  EXPECT_FALSE(timer.pending());
+  EXPECT_EQ(fired, (std::vector<std::size_t>{3}));
+}
+
+TEST(NakTimer, SuppressedByGreaterOrEqualNak) {
+  sim::Simulator sim;
+  int fired = 0;
+  NakTimer timer(sim, [&](std::size_t) { ++fired; });
+  timer.arm(3, 0.5);
+  EXPECT_TRUE(timer.on_heard(3));  // equal need suppresses
+  EXPECT_EQ(timer.suppressed_count(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(NakTimer, NotSuppressedBySmallerNak) {
+  sim::Simulator sim;
+  int fired = 0;
+  NakTimer timer(sim, [&](std::size_t) { ++fired; });
+  timer.arm(5, 0.5);
+  EXPECT_FALSE(timer.on_heard(4));  // we need more than they asked for
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(timer.suppressed_count(), 0u);
+}
+
+TEST(NakTimer, HeardWithoutPendingIsNoop) {
+  sim::Simulator sim;
+  NakTimer timer(sim, [](std::size_t) {});
+  EXPECT_FALSE(timer.on_heard(10));
+}
+
+TEST(NakTimer, RearmReplacesPrevious) {
+  sim::Simulator sim;
+  std::vector<std::size_t> fired;
+  NakTimer timer(sim, [&](std::size_t l) { fired.push_back(l); });
+  timer.arm(3, 1.0);
+  timer.arm(5, 0.5);  // re-arm with new need
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<std::size_t>{5}));
+}
+
+TEST(NakTimer, DisarmDoesNotCountAsSuppression) {
+  sim::Simulator sim;
+  int fired = 0;
+  NakTimer timer(sim, [&](std::size_t) { ++fired; });
+  timer.arm(3, 0.5);
+  timer.disarm();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(timer.suppressed_count(), 0u);
+}
+
+TEST(NakTimer, SuppressionScenario) {
+  // Three receivers needing 5, 3 and 1 packets: the neediest fires first;
+  // its (multicast) NAK suppresses the others.
+  sim::Simulator sim;
+  Rng rng(5);
+  const double ts = 0.01;
+  std::vector<std::unique_ptr<NakTimer>> timers;
+  std::vector<std::size_t> sent;
+  for (std::size_t need : {5u, 3u, 1u}) {
+    auto t = std::make_unique<NakTimer>(sim, [&, need](std::size_t) {
+      sent.push_back(need);
+      // Multicast: everyone else hears it (zero propagation here).
+      for (auto& other : timers) other->on_heard(need);
+    });
+    t->arm(need, nak_backoff(10, need, ts, rng));
+    timers.push_back(std::move(t));
+  }
+  sim.run();
+  ASSERT_EQ(sent.size(), 1u);   // exactly one NAK went out
+  EXPECT_EQ(sent[0], 5u);       // and it was the worst-off receiver's
+}
+
+}  // namespace
+}  // namespace pbl::protocol

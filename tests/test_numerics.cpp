@@ -1,0 +1,125 @@
+#include "util/numerics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pbl {
+namespace {
+
+TEST(PowOneMinus, MatchesNaiveForModerateValues) {
+  EXPECT_NEAR(pow_one_minus(0.3, 5.0), std::pow(0.7, 5.0), 1e-12);
+  EXPECT_NEAR(pow_one_minus(0.01, 100.0), std::pow(0.99, 100.0), 1e-12);
+}
+
+TEST(PowOneMinus, EdgeCases) {
+  EXPECT_DOUBLE_EQ(pow_one_minus(0.0, 1e6), 1.0);
+  EXPECT_DOUBLE_EQ(pow_one_minus(1.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(pow_one_minus(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pow_one_minus(-0.5, 3.0), 1.0);  // clamped
+}
+
+TEST(PowOneMinus, AccurateForTinyXLargeR) {
+  // (1 - 1e-12)^1e6 = exp(1e6 * log1p(-1e-12)) ~ 1 - 1e-6.
+  const double v = pow_one_minus(1e-12, 1e6);
+  EXPECT_NEAR(1.0 - v, 1e-6, 1e-9);
+}
+
+TEST(OneMinusPow, ComplementIdentity) {
+  for (double x : {1e-12, 1e-6, 0.01, 0.5, 0.99}) {
+    for (double r : {1.0, 10.0, 1e3, 1e6}) {
+      const double a = one_minus_pow_one_minus(x, r);
+      const double b = pow_one_minus(x, r);
+      EXPECT_NEAR(a + b, 1.0, 1e-12) << "x=" << x << " r=" << r;
+    }
+  }
+}
+
+TEST(OneMinusPow, SmallXBehavesLikeRX) {
+  // For x << 1/r, 1 - (1-x)^r ~ r x.
+  EXPECT_NEAR(one_minus_pow_one_minus(1e-10, 100.0), 1e-8, 1e-12);
+}
+
+TEST(LogBinomial, MatchesExactSmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-7);
+  EXPECT_NEAR(std::exp(log_binomial(52, 5)), 2598960.0, 1e-2);
+}
+
+TEST(LogBinomial, OutOfRangeIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_binomial(5, -1)));
+  EXPECT_TRUE(std::isinf(log_binomial(5, 6)));
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  for (double p : {0.01, 0.25, 0.5, 0.9}) {
+    double sum = 0.0;
+    for (int j = 0; j <= 20; ++j) sum += binomial_pmf(20, j, p);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmf, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(BinomialCdf, MonotoneAndBounded) {
+  double prev = 0.0;
+  for (int j = 0; j <= 30; ++j) {
+    const double c = binomial_cdf(30, j, 0.3);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(binomial_cdf(30, 30, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(30, -1, 0.3), 0.0);
+}
+
+TEST(NegBinomialExtra, ZeroCaseIsBinomialCdf) {
+  // P(Lr = 0) = P[at most a losses among k+a transmissions].
+  const double p = 0.1;
+  EXPECT_NEAR(neg_binomial_extra_pmf(7, 0, 0, p), std::pow(0.9, 7), 1e-12);
+  EXPECT_NEAR(neg_binomial_extra_pmf(7, 2, 0, p), binomial_cdf(9, 2, p), 1e-12);
+}
+
+TEST(NegBinomialExtra, SumsToOne) {
+  const double p = 0.2;
+  for (int a : {0, 1, 3}) {
+    double sum = 0.0;
+    for (int m = 0; m < 2000; ++m) sum += neg_binomial_extra_pmf(10, a, m, p);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "a=" << a;
+  }
+}
+
+TEST(NegBinomialExtra, NoLossMeansNoExtras) {
+  EXPECT_DOUBLE_EQ(neg_binomial_extra_pmf(5, 0, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(neg_binomial_extra_pmf(5, 0, 3, 0.0), 0.0);
+}
+
+TEST(SumUntilNegligible, GeometricSeries) {
+  // sum_{i>=0} 0.5^i = 2.
+  const double s =
+      sum_until_negligible([](std::int64_t i) { return std::pow(0.5, i); });
+  EXPECT_NEAR(s, 2.0, 1e-9);
+}
+
+TEST(SumUntilNegligible, StartOffset) {
+  // sum_{i>=1} 0.5^i = 1.
+  const double s = sum_until_negligible(
+      [](std::int64_t i) { return std::pow(0.5, i); }, /*i0=*/1);
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(SumUntilNegligible, HandlesLeadingZeros) {
+  // Terms that start at zero must not trigger early termination.
+  const double s = sum_until_negligible([](std::int64_t i) {
+    return i < 3 ? 0.0 : (i < 10 ? 1.0 : 0.0);
+  });
+  EXPECT_NEAR(s, 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pbl

@@ -1,0 +1,141 @@
+// Wire-order invariants of protocol NP, checked over complete sessions
+// via the channel wire tap.  These are the properties Section 5.1's prose
+// promises; violating any of them is a protocol bug regardless of whether
+// delivery still succeeds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "fec/packet.hpp"
+#include "loss/loss_model.hpp"
+#include "protocol/np_protocol.hpp"
+
+namespace pbl::protocol {
+namespace {
+
+using fec::Packet;
+using fec::PacketType;
+
+struct Trace {
+  std::vector<Packet> wire;  // everything, in transmission order
+};
+
+Trace run_with_tap(double p, std::size_t receivers, std::size_t tgs,
+                   NpConfig cfg, std::uint64_t seed) {
+  loss::BernoulliLossModel model(p);
+  NpSession session(model, receivers, tgs, cfg, seed);
+  Trace trace;
+  session.set_wire_tap([&](const Packet& pkt) { trace.wire.push_back(pkt); });
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  return trace;
+}
+
+NpConfig config() {
+  NpConfig cfg;
+  cfg.k = 6;
+  cfg.h = 50;
+  cfg.packet_len = 32;
+  return cfg;
+}
+
+TEST(NpInvariants, DataPacketsOfATgPrecedeItsFirstPoll) {
+  const auto trace = run_with_tap(0.08, 30, 5, config(), 1);
+  std::map<std::uint32_t, std::size_t> data_seen;
+  std::map<std::uint32_t, bool> polled;
+  for (const auto& pkt : trace.wire) {
+    if (pkt.header.type == PacketType::kData) {
+      EXPECT_FALSE(polled[pkt.header.tg])
+          << "data after the TG's first poll (data are never retransmitted)";
+      ++data_seen[pkt.header.tg];
+    } else if (pkt.header.type == PacketType::kPoll) {
+      if (!polled[pkt.header.tg]) {
+        EXPECT_EQ(data_seen[pkt.header.tg], 6u)
+            << "first poll before all data of TG " << pkt.header.tg;
+      }
+      polled[pkt.header.tg] = true;
+    }
+  }
+}
+
+TEST(NpInvariants, EveryParityBurstIsPrecededByAMatchingNak) {
+  const auto trace = run_with_tap(0.08, 30, 5, config(), 2);
+  std::map<std::uint32_t, std::size_t> outstanding;  // NAK'd but unsent
+  for (const auto& pkt : trace.wire) {
+    if (pkt.header.type == PacketType::kNak) {
+      outstanding[pkt.header.tg] =
+          std::max(outstanding[pkt.header.tg],
+                   static_cast<std::size_t>(pkt.header.count));
+    } else if (pkt.header.type == PacketType::kParity) {
+      ASSERT_GT(outstanding[pkt.header.tg], 0u)
+          << "reactive parity without a preceding NAK for TG "
+          << pkt.header.tg;
+      --outstanding[pkt.header.tg];
+    }
+  }
+}
+
+TEST(NpInvariants, ParityIndicesNeverRepeat) {
+  // Each parity of a block is transmitted at most once: retransmitting
+  // the same parity would be useless to any receiver that already has it.
+  const auto trace = run_with_tap(0.15, 40, 4, config(), 3);
+  std::map<std::uint32_t, std::vector<bool>> sent;
+  for (const auto& pkt : trace.wire) {
+    if (pkt.header.type != PacketType::kParity) continue;
+    auto& seen = sent[pkt.header.tg];
+    if (seen.size() <= pkt.header.index) seen.resize(pkt.header.index + 1);
+    EXPECT_FALSE(seen[pkt.header.index])
+        << "parity " << pkt.header.index << " of TG " << pkt.header.tg
+        << " sent twice";
+    seen[pkt.header.index] = true;
+  }
+}
+
+TEST(NpInvariants, PollRoundIdsStrictlyIncreasePerTg) {
+  const auto trace = run_with_tap(0.1, 30, 5, config(), 4);
+  std::map<std::uint32_t, std::uint32_t> last_round;
+  for (const auto& pkt : trace.wire) {
+    if (pkt.header.type != PacketType::kPoll) continue;
+    EXPECT_GT(pkt.header.seq, last_round[pkt.header.tg]);
+    last_round[pkt.header.tg] = pkt.header.seq;
+  }
+}
+
+TEST(NpInvariants, NaksAnswerTheCurrentRound) {
+  const auto trace = run_with_tap(0.1, 30, 5, config(), 5);
+  std::map<std::uint32_t, std::uint32_t> current_round;
+  for (const auto& pkt : trace.wire) {
+    if (pkt.header.type == PacketType::kPoll) {
+      current_round[pkt.header.tg] = pkt.header.seq;
+    } else if (pkt.header.type == PacketType::kNak) {
+      // A NAK may be late (stale) but can never reference a FUTURE round.
+      EXPECT_LE(pkt.header.seq, current_round[pkt.header.tg]);
+      EXPECT_GE(pkt.header.seq, 1u);
+    }
+  }
+}
+
+TEST(NpInvariants, LosslessSessionIsDataAndPollsOnly) {
+  const auto trace = run_with_tap(0.0, 10, 4, config(), 6);
+  for (const auto& pkt : trace.wire) {
+    EXPECT_TRUE(pkt.header.type == PacketType::kData ||
+                pkt.header.type == PacketType::kPoll);
+  }
+}
+
+TEST(NpInvariants, ParityCountPerTgWithinBudget) {
+  NpConfig cfg = config();
+  cfg.h = 8;
+  loss::BernoulliLossModel model(0.3);
+  NpSession session(model, 40, 4, cfg, 7);
+  std::map<std::uint32_t, std::size_t> parities;
+  session.set_wire_tap([&](const Packet& pkt) {
+    if (pkt.header.type == PacketType::kParity) ++parities[pkt.header.tg];
+  });
+  (void)session.run();  // may or may not deliver everything at h = 8
+  for (const auto& [tg, count] : parities) EXPECT_LE(count, 8u) << tg;
+}
+
+}  // namespace
+}  // namespace pbl::protocol

@@ -1,0 +1,120 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pbl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  const double p = 0.23;
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.bernoulli(p)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, p, 0.005);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(17);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng p1(29), p2(29);
+  Rng a = p1.split(5);
+  Rng b = p2.split(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitmixKnownProgression) {
+  std::uint64_t s1 = 0, s2 = 0;
+  const auto v1 = splitmix64(s1);
+  const auto v2 = splitmix64(s2);
+  EXPECT_EQ(v1, v2);
+  EXPECT_NE(splitmix64(s1), v1);  // state advanced
+}
+
+class RngMomentsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngMomentsTest, SecondMomentOfUniform) {
+  Rng rng(GetParam());
+  double sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum2 += u * u;
+  }
+  // E[U^2] = 1/3 for U ~ Uniform(0,1).
+  EXPECT_NEAR(sum2 / n, 1.0 / 3.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngMomentsTest,
+                         ::testing::Values(1, 2, 3, 42, 1337, 99999));
+
+}  // namespace
+}  // namespace pbl

@@ -1,0 +1,211 @@
+#include "fec/rse_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl::fec {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> random_packets(std::size_t count,
+                                                      std::size_t len,
+                                                      Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> pkts(count);
+  for (auto& p : pkts) {
+    p.resize(len);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng());
+  }
+  return pkts;
+}
+
+std::vector<std::span<const std::uint8_t>> views_of(
+    const std::vector<std::vector<std::uint8_t>>& pkts) {
+  return {pkts.begin(), pkts.end()};
+}
+
+/// Encodes, erases all but the shards at `keep` (block indices), decodes,
+/// and checks every data packet is reconstructed bit-exactly.
+void round_trip(const RseCode& code, std::size_t len,
+                const std::vector<std::size_t>& keep, Rng& rng) {
+  const auto data = random_packets(code.k(), len, rng);
+  std::vector<std::vector<std::uint8_t>> parity(code.h(),
+                                                std::vector<std::uint8_t>(len));
+  {
+    std::vector<std::span<std::uint8_t>> pviews(parity.begin(), parity.end());
+    code.encode(views_of(data), pviews);
+  }
+  std::vector<Shard> shards;
+  for (const std::size_t idx : keep) {
+    ASSERT_LT(idx, code.n());
+    shards.push_back(
+        {idx, idx < code.k() ? std::span<const std::uint8_t>(data[idx])
+                             : std::span<const std::uint8_t>(parity[idx - code.k()])});
+  }
+  std::vector<std::vector<std::uint8_t>> out(code.k(),
+                                             std::vector<std::uint8_t>(len));
+  std::vector<std::span<std::uint8_t>> oviews(out.begin(), out.end());
+  code.decode(shards, oviews);
+  for (std::size_t i = 0; i < code.k(); ++i)
+    EXPECT_EQ(out[i], data[i]) << "packet " << i;
+}
+
+TEST(RseCode, ValidatesParameters) {
+  EXPECT_THROW(RseCode(0, 5), std::invalid_argument);
+  EXPECT_THROW(RseCode(6, 5), std::invalid_argument);
+  EXPECT_THROW(RseCode(10, 256), std::invalid_argument);
+  EXPECT_NO_THROW(RseCode(10, 255));
+  EXPECT_NO_THROW(RseCode(5, 5));  // pure replication-free, h = 0
+}
+
+TEST(RseCode, AllDataReceivedNeedsNoDecoding) {
+  RseCode code(5, 8);
+  Rng rng(1);
+  std::vector<std::size_t> keep{0, 1, 2, 3, 4};
+  round_trip(code, 100, keep, rng);
+}
+
+TEST(RseCode, ParityOnlyDecoding) {
+  RseCode code(3, 8);
+  Rng rng(2);
+  round_trip(code, 64, {3, 4, 5}, rng);  // only parities survive
+  round_trip(code, 64, {5, 6, 7}, rng);
+}
+
+TEST(RseCode, MixedShardsDecode) {
+  RseCode code(7, 10);
+  Rng rng(3);
+  round_trip(code, 256, {0, 2, 4, 6, 7, 8, 9}, rng);
+}
+
+TEST(RseCode, ExtraShardsAreFine) {
+  RseCode code(4, 8);
+  Rng rng(4);
+  round_trip(code, 32, {0, 1, 4, 5, 6, 7}, rng);  // 6 shards for k = 4
+}
+
+TEST(RseCode, SingleSymbolPackets) {
+  RseCode code(5, 9);
+  Rng rng(5);
+  round_trip(code, 1, {4, 5, 6, 7, 8}, rng);
+}
+
+TEST(RseCode, RejectsInsufficientShards) {
+  RseCode code(5, 8);
+  Rng rng(6);
+  const auto data = random_packets(5, 16, rng);
+  std::vector<Shard> shards{{0, data[0]}, {1, data[1]}};
+  std::vector<std::vector<std::uint8_t>> out(5, std::vector<std::uint8_t>(16));
+  std::vector<std::span<std::uint8_t>> oviews(out.begin(), out.end());
+  EXPECT_THROW(code.decode(shards, oviews), std::invalid_argument);
+}
+
+TEST(RseCode, RejectsDuplicateShards) {
+  RseCode code(3, 6);
+  Rng rng(7);
+  const auto data = random_packets(3, 16, rng);
+  std::vector<Shard> shards{{0, data[0]}, {0, data[0]}, {1, data[1]}};
+  std::vector<std::vector<std::uint8_t>> out(3, std::vector<std::uint8_t>(16));
+  std::vector<std::span<std::uint8_t>> oviews(out.begin(), out.end());
+  EXPECT_THROW(code.decode(shards, oviews), std::invalid_argument);
+}
+
+TEST(RseCode, RejectsMismatchedLengths) {
+  RseCode code(2, 4);
+  std::vector<std::uint8_t> a(16), b(8);
+  std::vector<Shard> shards{{0, a}, {1, b}};
+  std::vector<std::vector<std::uint8_t>> out(2, std::vector<std::uint8_t>(16));
+  std::vector<std::span<std::uint8_t>> oviews(out.begin(), out.end());
+  EXPECT_THROW(code.decode(shards, oviews), std::invalid_argument);
+}
+
+TEST(RseCode, EncodeParityIndexChecked) {
+  RseCode code(4, 6);
+  Rng rng(8);
+  const auto data = random_packets(4, 8, rng);
+  std::vector<std::uint8_t> out(8);
+  EXPECT_THROW(code.encode_parity(2, views_of(data), out),
+               std::invalid_argument);
+  EXPECT_NO_THROW(code.encode_parity(1, views_of(data), out));
+}
+
+TEST(RseCode, GeneratorRowsAreSystematic) {
+  RseCode code(5, 9);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto row = code.generator_row(i);
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_EQ(row[j], i == j ? 1u : 0u);
+  }
+}
+
+TEST(RseCode, ParityIsDeterministic) {
+  RseCode code(4, 7);
+  Rng rng(9);
+  const auto data = random_packets(4, 128, rng);
+  std::vector<std::uint8_t> p1(128), p2(128);
+  code.encode_parity(0, views_of(data), p1);
+  code.encode_parity(0, views_of(data), p2);
+  EXPECT_EQ(p1, p2);
+}
+
+/// Property sweep: every (k, h) shape with random erasure patterns.
+struct Shape {
+  std::size_t k;
+  std::size_t n;
+};
+
+class RseErasureSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(RseErasureSweep, RandomErasuresAlwaysRecoverable) {
+  const auto [k, n] = GetParam();
+  RseCode code(k, n);
+  Rng rng(k * 1000 + n);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  for (int trial = 0; trial < 12; ++trial) {
+    // Random surviving set of exactly k shards.
+    for (std::size_t i = 0; i < k; ++i)
+      std::swap(all[i], all[i + rng.below(n - i)]);
+    std::vector<std::size_t> keep(all.begin(), all.begin() + k);
+    std::sort(keep.begin(), keep.end());
+    round_trip(code, 33, keep, rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RseErasureSweep,
+    ::testing::Values(Shape{1, 2}, Shape{2, 3}, Shape{3, 6}, Shape{7, 8},
+                      Shape{7, 10}, Shape{7, 14}, Shape{20, 22}, Shape{20, 27},
+                      Shape{100, 107}, Shape{100, 120}, Shape{64, 255}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "k" + std::to_string(info.param.k) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(RseCode, ExhaustiveMdsPropertySmallCode) {
+  // For a small code, EVERY k-subset of the n coded packets must decode:
+  // the Maximum Distance Separable property, checked exhaustively.
+  const std::size_t k = 3, n = 6;
+  RseCode code(k, n);
+  Rng rng(99);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (std::size_t c = b + 1; c < n; ++c) {
+        round_trip(code, 17, {a, b, c}, rng);
+      }
+    }
+  }
+}
+
+TEST(RseCode, MaximalLossWithinBudgetRecovers) {
+  // Lose exactly h = n - k packets, the worst recoverable case.
+  RseCode code(7, 14);
+  Rng rng(10);
+  round_trip(code, 50, {7, 8, 9, 10, 11, 12, 13}, rng);  // all data lost
+}
+
+}  // namespace
+}  // namespace pbl::fec

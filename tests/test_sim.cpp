@@ -1,0 +1,198 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongSimultaneous) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(0); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel is a no-op
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEvent));
+  EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueue, CancelFiredEventIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.run_next();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, PendingCountTracksState) {
+  EventQueue q;
+  EXPECT_EQ(q.pending(), 0u);
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_next();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ReentrantScheduling) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule(1.0, [&] {
+    fired.push_back(1.0);
+    q.schedule(1.5, [&] { fired.push_back(1.5); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 1.5}));
+}
+
+TEST(EventQueue, NextTimeAndErrors) {
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), std::logic_error);
+  EXPECT_THROW(q.run_next(), std::logic_error);
+  q.schedule(4.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.5);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_in(1.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_in(0.5, [&] { times.push_back(sim.now()); });
+  const auto n = sim.run();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(Simulator, ScheduleInPastRejected) {
+  Simulator sim;
+  sim.schedule_in(1.0, [&] {
+    EXPECT_THROW(sim.schedule_at(0.5, [] {}), std::invalid_argument);
+  });
+  sim.run();
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, HorizonStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(10.0, [&] { ++fired; });
+  sim.run(5.0);
+  EXPECT_EQ(fired, 1);
+  sim.run();  // picks up the remainder
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopHaltsLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_in(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RelativeSchedulingChains) {
+  // A self-rescheduling event models a periodic sender.
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sim.schedule_in(0.1, tick);
+  };
+  sim.schedule_in(0.1, tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_NEAR(sim.now(), 0.5, 1e-12);
+}
+
+TEST(EventQueue, FuzzAgainstReferenceModel) {
+  // Random interleavings of schedule/cancel/run against a simple sorted
+  // reference implementation: execution order and fired sets must match.
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    EventQueue q;
+    struct Ref {
+      double when;
+      std::uint64_t order;
+      int tag;
+      bool cancelled = false;
+    };
+    std::vector<Ref> ref;
+    std::vector<int> fired;
+    std::vector<EventId> ids;
+    std::uint64_t order = 0;
+
+    for (int op = 0; op < 200; ++op) {
+      const auto action = rng.below(3);
+      if (action <= 1) {  // schedule (twice as likely as cancel)
+        const double when = static_cast<double>(rng.below(50));
+        const int tag = static_cast<int>(ref.size());
+        ids.push_back(
+            q.schedule(when, [tag, &fired] { fired.push_back(tag); }));
+        ref.push_back({when, order++, tag, false});
+      } else if (!ids.empty()) {  // cancel a random (possibly done) event
+        const std::size_t victim = rng.below(ids.size());
+        const bool did = q.cancel(ids[victim]);
+        if (did) ref[victim].cancelled = true;
+      }
+    }
+    while (!q.empty()) q.run_next();
+
+    std::vector<int> expected;
+    std::vector<const Ref*> live;
+    for (const auto& r : ref)
+      if (!r.cancelled) live.push_back(&r);
+    std::stable_sort(live.begin(), live.end(), [](const Ref* a, const Ref* b) {
+      return a->when < b->when || (a->when == b->when && a->order < b->order);
+    });
+    for (const auto* r : live) expected.push_back(r->tag);
+    ASSERT_EQ(fired, expected) << "round " << round;
+  }
+}
+
+TEST(Simulator, RngIsDeterministic) {
+  Simulator a(99), b(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.rng()(), b.rng()());
+}
+
+}  // namespace
+}  // namespace pbl::sim

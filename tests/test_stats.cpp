@@ -1,0 +1,80 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pbl {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceExact) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  Rng rng(5);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(RunningStats, CiCoversTrueMean) {
+  // Across repeated experiments the 95% CI should usually contain 0.5.
+  Rng rng(6);
+  int covered = 0;
+  const int experiments = 200;
+  for (int e = 0; e < experiments; ++e) {
+    RunningStats s;
+    for (int i = 0; i < 500; ++i) s.add(rng.uniform());
+    if (std::abs(s.mean() - 0.5) <= s.ci95_halfwidth()) ++covered;
+  }
+  EXPECT_GT(covered, experiments * 85 / 100);
+}
+
+TEST(Histogram, CountsAndFractions) {
+  Histogram h;
+  h.add(0);
+  h.add(0);
+  h.add(3);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(99), 0u);
+  EXPECT_EQ(h.num_buckets(), 4u);
+  EXPECT_NEAR(h.fraction(0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h;
+  h.add(2, 10);
+  h.add(5, 30);
+  EXPECT_EQ(h.total(), 40u);
+  EXPECT_NEAR(h.mean(), (2.0 * 10 + 5.0 * 30) / 40.0, 1e-12);
+}
+
+TEST(Histogram, EmptyIsSane) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace pbl

@@ -1,0 +1,173 @@
+#include "tree/multicast_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pbl::tree {
+namespace {
+
+TEST(MulticastTree, ValidatesParentArray) {
+  EXPECT_THROW(MulticastTree({}), std::invalid_argument);
+  EXPECT_THROW(MulticastTree({1}), std::invalid_argument);      // root must be 0
+  EXPECT_THROW(MulticastTree({0, 2, 1}), std::invalid_argument); // not topological
+}
+
+TEST(MulticastTree, SingleNodeTree) {
+  const auto t = MulticastTree::full_binary(0);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.num_leaves(), 1u);
+  EXPECT_TRUE(t.is_leaf(0));
+  EXPECT_EQ(t.height(), 0u);
+}
+
+class FbtShapeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FbtShapeTest, StructureIsCorrect) {
+  const unsigned d = GetParam();
+  const auto t = MulticastTree::full_binary(d);
+  EXPECT_EQ(t.num_nodes(), (std::size_t{1} << (d + 1)) - 1);
+  EXPECT_EQ(t.num_leaves(), std::size_t{1} << d);
+  EXPECT_EQ(t.height(), d);
+  // Interior nodes have exactly two children; leaves none.
+  std::size_t leaves = 0;
+  for (std::size_t u = 0; u < t.num_nodes(); ++u) {
+    const auto kids = t.children(u);
+    if (kids.empty()) {
+      ++leaves;
+      EXPECT_EQ(t.depth(u), d);
+    } else {
+      EXPECT_EQ(kids.size(), 2u);
+    }
+  }
+  EXPECT_EQ(leaves, t.num_leaves());
+}
+
+TEST_P(FbtShapeTest, LeafIdsAreAPermutation) {
+  const auto t = MulticastTree::full_binary(GetParam());
+  std::vector<bool> seen(t.num_leaves(), false);
+  for (std::size_t u = 0; u < t.num_nodes(); ++u) {
+    if (!t.is_leaf(u)) continue;
+    const std::size_t id = t.leaf_id(u);
+    ASSERT_LT(id, t.num_leaves());
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, FbtShapeTest, ::testing::Values(1u, 2u, 3u, 5u, 10u));
+
+TEST(MulticastTree, NodeLossCalibration) {
+  const auto t = MulticastTree::full_binary(4);
+  const double p = 0.01;
+  const double pn = t.node_loss_for_leaf_loss(p);
+  // p = 1 - (1 - pn)^(d+1)
+  EXPECT_NEAR(1.0 - std::pow(1.0 - pn, 5.0), p, 1e-12);
+  EXPECT_THROW(t.node_loss_for_leaf_loss(1.0), std::invalid_argument);
+}
+
+TEST(MulticastTree, LosslessDeliversEverywhere) {
+  const auto t = MulticastTree::full_binary(6);
+  Rng rng(1);
+  const auto rcv = t.multicast_all(0.0, rng);
+  for (const char c : rcv) EXPECT_TRUE(c);
+}
+
+TEST(MulticastTree, EmpiricalLeafLossMatchesCalibration) {
+  const auto t = MulticastTree::full_binary(6);  // 64 leaves
+  const double p = 0.05;
+  const double pn = t.node_loss_for_leaf_loss(p);
+  Rng rng(2);
+  std::uint64_t lost = 0, total = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto rcv = t.multicast_all(pn, rng);
+    for (const char c : rcv) {
+      ++total;
+      if (!c) ++lost;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / static_cast<double>(total), p, 0.003);
+}
+
+TEST(MulticastTree, SharedLossIsSpatiallyCorrelated) {
+  // Sibling leaves share d ancestors: P(both lost) > P(lost)^2.
+  const auto t = MulticastTree::full_binary(5);
+  const double p = 0.2;
+  const double pn = t.node_loss_for_leaf_loss(p);
+  Rng rng(3);
+  std::uint64_t both = 0, first = 0;
+  const int trials = 100000;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto rcv = t.multicast_all(pn, rng);
+    if (!rcv[0]) {
+      ++first;
+      if (!rcv[1]) ++both;
+    }
+  }
+  const double p_first = static_cast<double>(first) / trials;
+  const double p_both = static_cast<double>(both) / trials;
+  EXPECT_NEAR(p_first, p, 0.01);
+  EXPECT_GT(p_both, p_first * p_first * 2.0);  // strong positive correlation
+}
+
+TEST(MulticastTree, InactiveSubtreesAreSkipped) {
+  const auto t = MulticastTree::full_binary(3);
+  Rng rng(4);
+  std::vector<char> active(t.num_leaves(), 0);
+  std::vector<char> received(t.num_leaves(), 0);
+  active[3] = 1;
+  t.multicast_once(0.0, rng, active, received);
+  // Only the active receiver may be marked.
+  for (std::size_t r = 0; r < t.num_leaves(); ++r)
+    EXPECT_EQ(received[r] != 0, r == 3);
+}
+
+TEST(MulticastTree, AllInactiveIsNoop) {
+  const auto t = MulticastTree::full_binary(3);
+  Rng rng(5);
+  std::vector<char> active(t.num_leaves(), 0);
+  std::vector<char> received(t.num_leaves(), 0);
+  t.multicast_once(0.0, rng, active, received);
+  for (const char c : received) EXPECT_FALSE(c);
+}
+
+TEST(MulticastTree, SpanSizeValidated) {
+  const auto t = MulticastTree::full_binary(2);
+  Rng rng(6);
+  std::vector<char> wrong(2, 1), received(t.num_leaves(), 0);
+  EXPECT_THROW(t.multicast_once(0.0, rng, wrong, received),
+               std::invalid_argument);
+}
+
+TEST(MulticastTree, ArbitraryTreeLeafRanges) {
+  // Node 0 is the root with children 1 and 2; node 1 has leaves 3 and 4;
+  // node 2 has leaf 5.
+  const MulticastTree t({0, 0, 0, 1, 1, 2});
+  EXPECT_EQ(t.num_leaves(), 3u);
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_TRUE(t.is_leaf(3));
+  EXPECT_TRUE(t.is_leaf(4));
+  EXPECT_TRUE(t.is_leaf(5));
+  EXPECT_FALSE(t.is_leaf(1));
+  Rng rng(7);
+  const auto rcv = t.multicast_all(0.0, rng);
+  EXPECT_EQ(rcv.size(), 3u);
+  for (const char c : rcv) EXPECT_TRUE(c);
+}
+
+TEST(MulticastTree, ChainTreeLossCompounds) {
+  // A path 0 -> 1 -> 2 -> 3 with one leaf: delivery = (1-pn)^4.
+  const MulticastTree t({0, 0, 1, 2});
+  EXPECT_EQ(t.num_leaves(), 1u);
+  EXPECT_EQ(t.height(), 3u);
+  Rng rng(8);
+  const double pn = 0.2;
+  std::uint64_t delivered = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i)
+    if (t.multicast_all(pn, rng)[0]) ++delivered;
+  EXPECT_NEAR(static_cast<double>(delivered) / trials, std::pow(0.8, 4), 0.005);
+}
+
+}  // namespace
+}  // namespace pbl::tree

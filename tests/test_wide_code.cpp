@@ -1,0 +1,167 @@
+#include "fec/wide_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "fec/rse_code.hpp"
+#include "util/rng.hpp"
+
+namespace pbl::fec {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> random_packets(std::size_t count,
+                                                      std::size_t len,
+                                                      Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> pkts(count);
+  for (auto& p : pkts) {
+    p.resize(len);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng());
+  }
+  return pkts;
+}
+
+void round_trip(const RseCodeWide& code, std::size_t len,
+                const std::vector<std::size_t>& keep, Rng& rng) {
+  const auto data = random_packets(code.k(), len, rng);
+  std::vector<std::span<const std::uint8_t>> dviews(data.begin(), data.end());
+  std::vector<std::vector<std::uint8_t>> parity(code.h(),
+                                                std::vector<std::uint8_t>(len));
+  for (std::size_t j = 0; j < code.h(); ++j)
+    code.encode_parity(j, dviews, parity[j]);
+
+  std::vector<WideShard> shards;
+  for (const std::size_t idx : keep) {
+    shards.push_back({idx, idx < code.k()
+                               ? std::span<const std::uint8_t>(data[idx])
+                               : std::span<const std::uint8_t>(
+                                     parity[idx - code.k()])});
+  }
+  std::vector<std::vector<std::uint8_t>> out(code.k(),
+                                             std::vector<std::uint8_t>(len));
+  std::vector<std::span<std::uint8_t>> oviews(out.begin(), out.end());
+  code.decode(shards, oviews);
+  for (std::size_t i = 0; i < code.k(); ++i)
+    EXPECT_EQ(out[i], data[i]) << "packet " << i;
+}
+
+TEST(RseCodeWide, ValidatesParameters) {
+  EXPECT_THROW(RseCodeWide(0, 5), std::invalid_argument);
+  EXPECT_THROW(RseCodeWide(6, 5), std::invalid_argument);
+  EXPECT_NO_THROW(RseCodeWide(3, 300));  // beyond the GF(2^8) limit
+}
+
+TEST(RseCodeWide, RejectsOddPacketLength) {
+  RseCodeWide code(2, 4);
+  Rng rng(1);
+  const auto data = random_packets(2, 15, rng);  // odd length
+  std::vector<std::span<const std::uint8_t>> views(data.begin(), data.end());
+  std::vector<std::uint8_t> out(15);
+  EXPECT_THROW(code.encode_parity(0, views, out), std::invalid_argument);
+}
+
+TEST(RseCodeWide, BasicRoundTrip) {
+  RseCodeWide code(4, 8);
+  Rng rng(2);
+  round_trip(code, 64, {4, 5, 6, 7}, rng);      // parity-only
+  round_trip(code, 64, {0, 1, 2, 3}, rng);      // data-only
+  round_trip(code, 64, {0, 2, 5, 7}, rng);      // mixed
+}
+
+TEST(RseCodeWide, BlocksBeyondTheNarrowLimit) {
+  // n = 300 > 255: impossible for RseCode (GF(2^8)), fine here.
+  const std::size_t k = 250, n = 300;
+  RseCodeWide code(k, n);
+  Rng rng(3);
+  std::vector<std::size_t> keep(n);
+  std::iota(keep.begin(), keep.end(), std::size_t{0});
+  // Lose the first 50 data packets; decode from the rest plus parities.
+  std::vector<std::size_t> survivors(keep.begin() + 50, keep.begin() + 50 + k);
+  round_trip(code, 16, survivors, rng);
+}
+
+TEST(RseCodeWide, AgreesWithNarrowCodeOnOverlappingShapes) {
+  // Both codecs are MDS: each reconstructs the same data from the same
+  // erasure pattern (internal symbols differ, outputs must not).
+  const std::size_t k = 5, n = 9, len = 32;
+  RseCode narrow(k, n);
+  RseCodeWide wide(k, n);
+  Rng rng(4);
+  const auto data = random_packets(k, len, rng);
+  std::vector<std::span<const std::uint8_t>> dviews(data.begin(), data.end());
+
+  std::vector<std::vector<std::uint8_t>> np(n - k, std::vector<std::uint8_t>(len));
+  std::vector<std::vector<std::uint8_t>> wp(n - k, std::vector<std::uint8_t>(len));
+  for (std::size_t j = 0; j < n - k; ++j) {
+    narrow.encode_parity(j, dviews, np[j]);
+    wide.encode_parity(j, dviews, wp[j]);
+  }
+
+  // Same losses (data 0, 2, 4), decode each with its own parities.
+  std::vector<Shard> nshards{{1, data[1]}, {3, data[3]}, {5, np[0]},
+                             {6, np[1]}, {7, np[2]}};
+  std::vector<WideShard> wshards{{1, data[1]}, {3, data[3]}, {5, wp[0]},
+                                 {6, wp[1]}, {7, wp[2]}};
+  std::vector<std::vector<std::uint8_t>> nout(k, std::vector<std::uint8_t>(len));
+  std::vector<std::vector<std::uint8_t>> wout(k, std::vector<std::uint8_t>(len));
+  {
+    std::vector<std::span<std::uint8_t>> v(nout.begin(), nout.end());
+    narrow.decode(nshards, v);
+  }
+  {
+    std::vector<std::span<std::uint8_t>> v(wout.begin(), wout.end());
+    wide.decode(wshards, v);
+  }
+  EXPECT_EQ(nout, wout);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(nout[i], data[i]);
+}
+
+TEST(RseCodeWide, DecodeErrorCases) {
+  RseCodeWide code(3, 6);
+  Rng rng(5);
+  const auto data = random_packets(3, 16, rng);
+  std::vector<std::vector<std::uint8_t>> out(3, std::vector<std::uint8_t>(16));
+  std::vector<std::span<std::uint8_t>> oviews(out.begin(), out.end());
+
+  std::vector<WideShard> too_few{{0, data[0]}};
+  EXPECT_THROW(code.decode(too_few, oviews), std::invalid_argument);
+
+  std::vector<WideShard> dup{{0, data[0]}, {0, data[0]}, {1, data[1]}};
+  EXPECT_THROW(code.decode(dup, oviews), std::invalid_argument);
+
+  std::vector<WideShard> oob{{0, data[0]}, {1, data[1]}, {9, data[2]}};
+  EXPECT_THROW(code.decode(oob, oviews), std::invalid_argument);
+}
+
+class WideErasureSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(WideErasureSweep, RandomErasuresRecover) {
+  const auto [k, n] = GetParam();
+  RseCodeWide code(k, n);
+  Rng rng(k * 7919 + n);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  for (int trial = 0; trial < 6; ++trial) {
+    for (std::size_t i = 0; i < k; ++i)
+      std::swap(all[i], all[i + rng.below(n - i)]);
+    std::vector<std::size_t> keep(all.begin(), all.begin() + k);
+    round_trip(code, 20, keep, rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WideErasureSweep,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 3),
+                      std::make_pair<std::size_t, std::size_t>(7, 10),
+                      std::make_pair<std::size_t, std::size_t>(20, 30),
+                      std::make_pair<std::size_t, std::size_t>(100, 140),
+                      std::make_pair<std::size_t, std::size_t>(200, 260)),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.first) + "n" +
+             std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace pbl::fec
