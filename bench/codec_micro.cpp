@@ -2,12 +2,21 @@
 // codec hot paths (per-parity encode, worst-case decode, matrix
 // inversion).  Complements fig01_codec_throughput, which reports the
 // paper's packets/s metric.
+//
+// The per-kernel sweeps (BM_Kernel*, BM_EncodeKernelSweep) register one
+// benchmark per available SIMD kernel so the scalar/ssse3/avx2/neon
+// speedups land in the reported numbers; bytes_per_second in the output
+// is the per-kernel throughput.  Compare e.g.
+//   BM_KernelMulAdd/scalar/1024  vs  BM_KernelMulAdd/avx2/1024
+// (docs/KERNELS.md records measured ratios; the acceptance floor is 4x).
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "fec/rse_code.hpp"
 #include "gf/gf.hpp"
+#include "gf/kernels.hpp"
 #include "gf/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -97,6 +106,82 @@ void BM_MatrixInvert(benchmark::State& state) {
 }
 BENCHMARK(BM_MatrixInvert)->Arg(7)->Arg(20)->Arg(100);
 
+// ---- per-kernel sweeps -------------------------------------------------
+
+void BM_KernelMulAdd(benchmark::State& state, const pbl::gf::kern::Kernel* k,
+                     std::size_t len) {
+  std::vector<std::uint8_t> dst(len, 0x11), src(len, 0x37);
+  for (auto _ : state) {
+    k->mul_add(dst.data(), src.data(), len, 0xA7);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+
+void BM_KernelMulAssign(benchmark::State& state,
+                        const pbl::gf::kern::Kernel* k, std::size_t len) {
+  std::vector<std::uint8_t> dst(len), src(len, 0x37);
+  for (auto _ : state) {
+    k->mul_assign(dst.data(), src.data(), len, 0xA7);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+
+void BM_EncodeKernelSweep(benchmark::State& state,
+                          const pbl::gf::kern::Kernel* kern, std::size_t k,
+                          std::size_t h, std::size_t len) {
+  const pbl::gf::kern::ScopedKernelOverride force(*kern);
+  RseCode code(k, k + h);
+  const auto data = random_packets(k, len);
+  std::vector<std::span<const std::uint8_t>> views(data.begin(), data.end());
+  std::vector<std::vector<std::uint8_t>> parity(h,
+                                                std::vector<std::uint8_t>(len));
+  std::vector<std::span<std::uint8_t>> pviews(parity.begin(), parity.end());
+  for (auto _ : state) {
+    code.encode(views, pviews);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  // Source bytes coded per iteration (the paper's Fig. 1 denominator).
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * len));
+}
+
+void register_kernel_sweeps() {
+  for (const pbl::gf::kern::Kernel* k : pbl::gf::kern::available_kernels()) {
+    const std::string name(k->name);
+    for (const std::size_t len : {64u, 256u, 1024u, 1500u, 8192u}) {
+      benchmark::RegisterBenchmark(
+          ("BM_KernelMulAdd/" + name + "/" + std::to_string(len)).c_str(),
+          BM_KernelMulAdd, k, len);
+      benchmark::RegisterBenchmark(
+          ("BM_KernelMulAssign/" + name + "/" + std::to_string(len)).c_str(),
+          BM_KernelMulAssign, k, len);
+    }
+    struct Shape {
+      std::size_t k, h;
+    };
+    for (const Shape s : {Shape{7, 3}, Shape{20, 5}, Shape{100, 20}}) {
+      for (const std::size_t len : {256u, 1024u}) {
+        benchmark::RegisterBenchmark(
+            ("BM_EncodeKernelSweep/" + name + "/k" + std::to_string(s.k) +
+             "h" + std::to_string(s.h) + "/" + std::to_string(len))
+                .c_str(),
+            BM_EncodeKernelSweep, k, s.k, s.h, len);
+      }
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_kernel_sweeps();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,9 +32,12 @@ void RseCode::encode_parity(std::size_t j,
   check_equal_lengths(data);
   if (!data.empty() && out.size() != data[0].size())
     throw std::invalid_argument("RseCode: output length mismatch");
-  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  // The first contribution assigns instead of accumulating (mul_assign
+  // with c == 0 zero-fills), saving a clear pass over the output.
   const auto row = generator_.row(k_ + j);
-  for (std::size_t i = 0; i < k_; ++i) {
+  gf_.mul_assign(out.data(), data[0].data(), out.size(),
+                 static_cast<std::uint8_t>(row[0]));
+  for (std::size_t i = 1; i < k_; ++i) {
     gf_.mul_add(out.data(), data[i].data(), out.size(),
                 static_cast<std::uint8_t>(row[i]));
   }
@@ -98,8 +101,9 @@ void RseCode::decode(std::span<const Shard> received,
   for (std::size_t i = 0; i < k_; ++i) {
     if (have_data[i]) continue;
     auto dst = out[i];
-    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
-    for (std::size_t j = 0; j < k_; ++j) {
+    gf_.mul_assign(dst.data(), chosen[0]->data.data(), len,
+                   static_cast<std::uint8_t>(dec.at(i, 0)));
+    for (std::size_t j = 1; j < k_; ++j) {
       gf_.mul_add(dst.data(), chosen[j]->data.data(), len,
                   static_cast<std::uint8_t>(dec.at(i, j)));
     }

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "gf/kernels.hpp"
+
 namespace pbl::fec {
 
 RseCodeWide::RseCodeWide(std::size_t k, std::size_t n)
@@ -12,19 +14,6 @@ RseCodeWide::RseCodeWide(std::size_t k, std::size_t n)
   if (k == 0 || k > n) throw std::invalid_argument("RseCodeWide: 0 < k <= n");
   if (n > 65535)
     throw std::invalid_argument("RseCodeWide: GF(2^16) limits n <= 65535");
-}
-
-void RseCodeWide::mul_add_u16(std::uint8_t* dst, const std::uint8_t* src,
-                              std::size_t bytes, gf::Sym c) const {
-  if (c == 0) return;
-  for (std::size_t i = 0; i + 1 < bytes; i += 2) {
-    const gf::Sym s = static_cast<gf::Sym>(src[i]) |
-                      (static_cast<gf::Sym>(src[i + 1]) << 8);
-    if (s == 0) continue;
-    const gf::Sym prod = field_.mul(c, s);
-    dst[i] ^= static_cast<std::uint8_t>(prod);
-    dst[i + 1] ^= static_cast<std::uint8_t>(prod >> 8);
-  }
 }
 
 namespace {
@@ -48,10 +37,12 @@ void RseCodeWide::encode_parity(
   check_even_equal(data);
   if (!data.empty() && out.size() != data[0].size())
     throw std::invalid_argument("RseCodeWide: output length mismatch");
-  std::fill(out.begin(), out.end(), std::uint8_t{0});
   const auto row = generator_.row(k_ + j);
-  for (std::size_t i = 0; i < k_; ++i)
-    mul_add_u16(out.data(), data[i].data(), out.size(), row[i]);
+  gf::kern::mul_assign_u16(field_, out.data(), data[0].data(), out.size(),
+                           row[0]);
+  for (std::size_t i = 1; i < k_; ++i)
+    gf::kern::mul_add_u16(field_, out.data(), data[i].data(), out.size(),
+                          row[i]);
 }
 
 void RseCodeWide::decode(std::span<const WideShard> received,
@@ -106,9 +97,11 @@ void RseCodeWide::decode(std::span<const WideShard> received,
   for (std::size_t i = 0; i < k_; ++i) {
     if (have_data[i]) continue;
     auto dst = out[i];
-    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
-    for (std::size_t j = 0; j < k_; ++j)
-      mul_add_u16(dst.data(), chosen[j]->data.data(), len, dec.at(i, j));
+    gf::kern::mul_assign_u16(field_, dst.data(), chosen[0]->data.data(), len,
+                             dec.at(i, 0));
+    for (std::size_t j = 1; j < k_; ++j)
+      gf::kern::mul_add_u16(field_, dst.data(), chosen[j]->data.data(), len,
+                            dec.at(i, j));
   }
 }
 

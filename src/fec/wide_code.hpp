@@ -3,10 +3,11 @@
 // picked sufficiently large such that n < 2^m").
 //
 // With m = 16, blocks up to n = 65535 are possible: a k = 1000 group with
-// hundreds of parities, which the narrow codec cannot express.  The
-// trade-off is speed — symbols go through the log/antilog tables instead
-// of a dense product table — matching the paper's observation that larger
-// symbols are harder to implement efficiently.
+// hundreds of parities, which the narrow codec cannot express.  Region
+// ops use the split-nibble kernels of gf/kernels.hpp (four 16-entry
+// product tables built per coefficient) — still slower than the GF(2^8)
+// SIMD path, matching the paper's observation that larger symbols are
+// harder to implement efficiently.
 #pragma once
 
 #include <cstdint>
@@ -44,10 +45,6 @@ class RseCodeWide {
               std::span<const std::span<std::uint8_t>> out) const;
 
  private:
-  /// out[s] ^= c * src[s] over 16-bit little-endian symbols.
-  void mul_add_u16(std::uint8_t* dst, const std::uint8_t* src,
-                   std::size_t bytes, gf::Sym c) const;
-
   std::size_t k_;
   std::size_t n_;
   gf::GaloisField field_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "gf/kernels.hpp"
+
 namespace pbl::gf {
 
 std::uint32_t primitive_polynomial(unsigned m) {
@@ -72,28 +74,16 @@ std::uint8_t Gf256::inv(std::uint8_t a) const {
 
 void Gf256::mul_add(std::uint8_t* dst, const std::uint8_t* src,
                     std::size_t len, std::uint8_t c) const noexcept {
-  if (c == 0) return;
-  if (c == 1) {
-    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
-    return;
-  }
-  const auto& row = mul_[c];
-  for (std::size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+  kern::active_kernel().mul_add(dst, src, len, c);
 }
 
 void Gf256::mul_assign(std::uint8_t* dst, const std::uint8_t* src,
                        std::size_t len, std::uint8_t c) const noexcept {
-  if (c == 0) {
-    for (std::size_t i = 0; i < len; ++i) dst[i] = 0;
-    return;
-  }
-  if (c == 1) {
-    if (dst != src)
-      for (std::size_t i = 0; i < len; ++i) dst[i] = src[i];
-    return;
-  }
-  const auto& row = mul_[c];
-  for (std::size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+  kern::active_kernel().mul_assign(dst, src, len, c);
+}
+
+const char* Gf256::kernel_name() noexcept {
+  return kern::active_kernel().name;
 }
 
 }  // namespace pbl::gf

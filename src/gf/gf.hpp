@@ -92,12 +92,19 @@ class Gf256 {
   }
 
   /// dst[i] ^= c * src[i] for i in [0, len): the encode/decode hot loop.
+  /// Routed through the SIMD kernel layer (gf/kernels.hpp); the active
+  /// kernel is picked at startup by CPU dispatch, overridable with the
+  /// PBL_GF_KERNEL environment variable.
   void mul_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t len,
                std::uint8_t c) const noexcept;
 
   /// dst[i] = c * src[i].
   void mul_assign(std::uint8_t* dst, const std::uint8_t* src, std::size_t len,
                   std::uint8_t c) const noexcept;
+
+  /// Name of the kernel region ops currently dispatch to ("scalar",
+  /// "ssse3", "avx2", "neon").
+  static const char* kernel_name() noexcept;
 
   const GaloisField& field() const noexcept { return field_; }
 

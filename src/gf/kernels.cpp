@@ -1,0 +1,174 @@
+// Portable scalar kernel, the GF(2^16) region ops, and the runtime
+// dispatcher.  ISA-specific kernels live in their own translation units
+// (kernels_ssse3.cpp, kernels_avx2.cpp, kernels_neon.cpp) so each can be
+// compiled with exactly the flags it needs; this file is built with the
+// project-default flags only.
+#include "gf/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "gf/kernels_tables.hpp"
+
+namespace pbl::gf::kern {
+
+namespace {
+
+// ---------------------------------------------------------------- scalar
+
+void scalar_mul_add(std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t len, std::uint8_t c) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  detail::mul_add_span(dst, src, len, detail::kNibble.lo[c],
+                       detail::kNibble.hi[c]);
+}
+
+void scalar_mul_assign(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t len, std::uint8_t c) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, len);
+    return;
+  }
+  detail::mul_assign_span(dst, src, len, detail::kNibble.lo[c],
+                          detail::kNibble.hi[c]);
+}
+
+constexpr Kernel kScalarKernel{"scalar", scalar_mul_add, scalar_mul_assign};
+
+}  // namespace
+
+namespace {
+
+bool cpu_supports(const Kernel& k) {
+  (void)k;
+#if defined(PBL_GF_HAVE_X86_KERNELS) && (defined(__GNUC__) || defined(__clang__))
+  if (&k == &detail::kSsse3Kernel) return __builtin_cpu_supports("ssse3");
+  if (&k == &detail::kAvx2Kernel) return __builtin_cpu_supports("avx2");
+#endif
+  // scalar always runs; NEON is architecturally guaranteed on aarch64.
+  return true;
+}
+
+}  // namespace
+
+std::span<const Kernel* const> available_kernels() {
+  // Ascending preference; built once (thread-safe magic static).
+  static const auto list = [] {
+    static const Kernel* slots[4];
+    std::size_t count = 0;
+    slots[count++] = &kScalarKernel;
+#if defined(PBL_GF_HAVE_X86_KERNELS)
+    if (cpu_supports(detail::kSsse3Kernel)) slots[count++] = &detail::kSsse3Kernel;
+    if (cpu_supports(detail::kAvx2Kernel)) slots[count++] = &detail::kAvx2Kernel;
+#endif
+#if defined(PBL_GF_HAVE_NEON_KERNEL)
+    if (cpu_supports(detail::kNeonKernel)) slots[count++] = &detail::kNeonKernel;
+#endif
+    return std::span<const Kernel* const>(slots, count);
+  }();
+  return list;
+}
+
+const Kernel* kernel_by_name(std::string_view name) {
+  for (const Kernel* k : available_kernels())
+    if (name == k->name) return k;
+  return nullptr;
+}
+
+const Kernel* resolve_kernel(const char* request) {
+  const auto all = available_kernels();
+  const Kernel* best = all.back();  // highest preference
+  if (request == nullptr || std::string_view(request) == "auto") return best;
+  if (const Kernel* k = kernel_by_name(request)) return k;
+  return best;  // unknown or unavailable: fall back to auto
+}
+
+namespace {
+std::atomic<const Kernel*> g_active{nullptr};
+}  // namespace
+
+const Kernel& active_kernel() {
+  const Kernel* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // Benign race: concurrent first calls resolve to the same kernel.
+    k = resolve_kernel(std::getenv("PBL_GF_KERNEL"));
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+ScopedKernelOverride::ScopedKernelOverride(const Kernel& k)
+    : previous_(&active_kernel()) {
+  g_active.store(&k, std::memory_order_release);
+}
+
+ScopedKernelOverride::ScopedKernelOverride(std::string_view name)
+    : ScopedKernelOverride(*kernel_by_name(name)) {}
+
+ScopedKernelOverride::~ScopedKernelOverride() {
+  g_active.store(previous_, std::memory_order_release);
+}
+
+// ------------------------------------------------------------ GF(2^16)
+//
+// The coefficient is constant across a region, so the four 16-entry
+// product tables (one per nibble position) are built per call: 64 table
+// multiplications amortised over the whole packet, then 4 loads + 3 XORs
+// per symbol with no data-dependent branches — faster and flatter than
+// the per-symbol log/antilog path it replaces.
+
+namespace {
+
+struct WideTables {
+  Sym t[4][16];
+};
+
+WideTables build_wide_tables(const GaloisField& f, Sym c) {
+  WideTables w{};
+  for (unsigned nib = 0; nib < 4; ++nib)
+    for (Sym v = 0; v < 16; ++v)
+      w.t[nib][v] = f.mul(c, v << (4 * nib));
+  return w;
+}
+
+}  // namespace
+
+void mul_add_u16(const GaloisField& f, std::uint8_t* dst,
+                 const std::uint8_t* src, std::size_t bytes, Sym c) {
+  if (c == 0 || bytes < 2) return;
+  const WideTables w = build_wide_tables(f, c);
+  for (std::size_t i = 0; i + 1 < bytes; i += 2) {
+    const Sym s = static_cast<Sym>(src[i]) | (static_cast<Sym>(src[i + 1]) << 8);
+    const Sym p = w.t[0][s & 0xF] ^ w.t[1][(s >> 4) & 0xF] ^
+                  w.t[2][(s >> 8) & 0xF] ^ w.t[3][s >> 12];
+    dst[i] ^= static_cast<std::uint8_t>(p);
+    dst[i + 1] ^= static_cast<std::uint8_t>(p >> 8);
+  }
+}
+
+void mul_assign_u16(const GaloisField& f, std::uint8_t* dst,
+                    const std::uint8_t* src, std::size_t bytes, Sym c) {
+  if (c == 0) {
+    std::memset(dst, 0, bytes);
+    return;
+  }
+  const WideTables w = build_wide_tables(f, c);
+  for (std::size_t i = 0; i + 1 < bytes; i += 2) {
+    const Sym s = static_cast<Sym>(src[i]) | (static_cast<Sym>(src[i + 1]) << 8);
+    const Sym p = w.t[0][s & 0xF] ^ w.t[1][(s >> 4) & 0xF] ^
+                  w.t[2][(s >> 8) & 0xF] ^ w.t[3][s >> 12];
+    dst[i] = static_cast<std::uint8_t>(p);
+    dst[i + 1] = static_cast<std::uint8_t>(p >> 8);
+  }
+}
+
+}  // namespace pbl::gf::kern

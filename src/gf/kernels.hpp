@@ -1,0 +1,91 @@
+// SIMD kernels for GF(2^8) region operations — the codec hot loop.
+//
+// The paper's premise (Section 2, Fig. 1) is that software RSE coding runs
+// near line rate; this module makes that true on modern hardware.  Each
+// kernel implements the two region primitives every encode/decode reduces
+// to:
+//
+//   mul_add:    dst[i] ^= c * src[i]     (fused multiply-accumulate)
+//   mul_assign: dst[i]  = c * src[i]
+//
+// via the split-nibble table technique of GF-Complete / ISA-L: a byte
+// b = hi·16 + lo factors the product as c*b = c*(hi·16) ^ c*lo, so two
+// 16-entry tables per coefficient turn a 16-byte SIMD shuffle
+// (PSHUFB / vqtbl1q) into 16 parallel GF multiplications.
+//
+// Available kernels:
+//   scalar — portable 4-bit split-table loop, runs everywhere
+//   ssse3  — 16 bytes/step via _mm_shuffle_epi8
+//   avx2   — 32 bytes/step (x2 unrolled) via _mm256_shuffle_epi8
+//   neon   — 16 bytes/step via vqtbl1q_u8 (aarch64)
+//
+// Selection happens once, at first use: the best kernel the CPU supports,
+// overridable with the environment variable PBL_GF_KERNEL
+// (scalar|ssse3|avx2|neon|auto).  An unknown or unavailable request falls
+// back to auto selection.  Tests force specific kernels in-process with
+// ScopedKernelOverride or drive the function pointers directly.
+//
+// All kernels accept arbitrary lengths and alignments (unaligned loads +
+// scalar tails) and allow dst == src aliasing; partial overlap is
+// undefined.  See docs/KERNELS.md for design notes and throughput numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "gf/gf.hpp"
+
+namespace pbl::gf::kern {
+
+/// One region-operation implementation.  The function pointers are total:
+/// they handle c == 0, c == 1, len == 0, any alignment, and dst == src.
+struct Kernel {
+  const char* name;  ///< "scalar", "ssse3", "avx2", "neon"
+  void (*mul_add)(std::uint8_t* dst, const std::uint8_t* src, std::size_t len,
+                  std::uint8_t c);
+  void (*mul_assign)(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t len, std::uint8_t c);
+};
+
+/// Kernels compiled into this binary AND supported by the running CPU,
+/// in ascending preference order (auto picks the last one).
+std::span<const Kernel* const> available_kernels();
+
+/// Looks up an available kernel by name; nullptr if absent/unsupported.
+const Kernel* kernel_by_name(std::string_view name);
+
+/// Dispatch policy: nullptr or "auto" selects the fastest available
+/// kernel; a kernel name selects it if available; anything else falls
+/// back to auto.  Never returns nullptr.
+const Kernel* resolve_kernel(const char* request);
+
+/// The kernel all Gf256 region ops route through.  Resolved on first call
+/// from the PBL_GF_KERNEL environment variable (see resolve_kernel).
+const Kernel& active_kernel();
+
+/// Forces a specific kernel for the lifetime of the object (test/bench
+/// only — not thread-safe against concurrent codec use).
+class ScopedKernelOverride {
+ public:
+  explicit ScopedKernelOverride(const Kernel& k);
+  explicit ScopedKernelOverride(std::string_view name);  // must be available
+  ~ScopedKernelOverride();
+  ScopedKernelOverride(const ScopedKernelOverride&) = delete;
+  ScopedKernelOverride& operator=(const ScopedKernelOverride&) = delete;
+
+ private:
+  const Kernel* previous_;
+};
+
+/// GF(2^16) region ops over little-endian 16-bit symbols, used by the
+/// wide-symbol codec.  Same split-nibble idea, four 16-entry product
+/// tables built per call (the coefficient is fixed across the region).
+/// `bytes` must be even; `f` must be a GF(2^16) field.
+void mul_add_u16(const GaloisField& f, std::uint8_t* dst,
+                 const std::uint8_t* src, std::size_t bytes, Sym c);
+void mul_assign_u16(const GaloisField& f, std::uint8_t* dst,
+                    const std::uint8_t* src, std::size_t bytes, Sym c);
+
+}  // namespace pbl::gf::kern

@@ -1,0 +1,111 @@
+// AVX2 GF(2^8) region kernel: 64 bytes per step (2x 32-byte lanes) via
+// VPSHUFB.  The 16-entry nibble tables are broadcast into both 128-bit
+// lanes so each _mm256_shuffle_epi8 performs 32 table lookups.
+//
+// Compiled with -mavx2 (this TU only — see src/CMakeLists.txt); selected
+// at runtime only when __builtin_cpu_supports("avx2") holds.
+#include "gf/kernels.hpp"
+
+#if defined(PBL_GF_HAVE_X86_KERNELS) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "gf/kernels_tables.hpp"
+
+namespace pbl::gf::kern::detail {
+
+namespace {
+
+inline __m256i mul32(__m256i v, __m256i tlo, __m256i thi, __m256i mask) {
+  const __m256i lo = _mm256_and_si256(v, mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                          _mm256_shuffle_epi8(thi, hi));
+}
+
+inline __m256i broadcast_table(const std::uint8_t* row) {
+  return _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(row)));
+}
+
+void avx2_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t len,
+                  std::uint8_t c) {
+  if (c == 0) return;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 32 <= len; i += 32) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, s));
+    }
+    for (; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t* lo_row = kNibble.lo[c];
+  const std::uint8_t* hi_row = kNibble.hi[c];
+  const __m256i tlo = broadcast_table(lo_row);
+  const __m256i thi = broadcast_table(hi_row);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  // Two independent 32-byte streams per iteration hide shuffle latency.
+  for (; i + 64 <= len; i += 64) {
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d0, mul32(s0, tlo, thi, mask)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(d1, mul32(s1, tlo, thi, mask)));
+  }
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, mul32(s, tlo, thi, mask)));
+  }
+  mul_add_span(dst + i, src + i, len - i, lo_row, hi_row);
+}
+
+void avx2_mul_assign(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t len, std::uint8_t c) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, len);
+    return;
+  }
+  const std::uint8_t* lo_row = kNibble.lo[c];
+  const std::uint8_t* hi_row = kNibble.hi[c];
+  const __m256i tlo = broadcast_table(lo_row);
+  const __m256i thi = broadcast_table(hi_row);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul32(s, tlo, thi, mask));
+  }
+  mul_assign_span(dst + i, src + i, len - i, lo_row, hi_row);
+}
+
+}  // namespace
+
+const Kernel kAvx2Kernel{"avx2", avx2_mul_add, avx2_mul_assign};
+
+}  // namespace pbl::gf::kern::detail
+
+#endif  // PBL_GF_HAVE_X86_KERNELS && __AVX2__

@@ -1,0 +1,73 @@
+// NEON (aarch64) GF(2^8) region kernel: 16 bytes per step via vqtbl1q_u8,
+// the ARM equivalent of PSHUFB.  NEON is architecturally mandatory on
+// aarch64, so no runtime feature probe is needed; the TU is simply not
+// compiled on other targets (see src/CMakeLists.txt).
+#include "gf/kernels.hpp"
+
+#if defined(PBL_GF_HAVE_NEON_KERNEL) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+#include "gf/kernels_tables.hpp"
+
+namespace pbl::gf::kern::detail {
+
+namespace {
+
+inline uint8x16_t mul16(uint8x16_t v, uint8x16_t tlo, uint8x16_t thi) {
+  const uint8x16_t lo = vandq_u8(v, vdupq_n_u8(0x0F));
+  const uint8x16_t hi = vshrq_n_u8(v, 4);
+  return veorq_u8(vqtbl1q_u8(tlo, lo), vqtbl1q_u8(thi, hi));
+}
+
+void neon_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::size_t len,
+                  std::uint8_t c) {
+  if (c == 0) return;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 16 <= len; i += 16)
+      vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+    for (; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t* lo_row = kNibble.lo[c];
+  const std::uint8_t* hi_row = kNibble.hi[c];
+  const uint8x16_t tlo = vld1q_u8(lo_row);
+  const uint8x16_t thi = vld1q_u8(hi_row);
+  for (; i + 16 <= len; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    const uint8x16_t d = vld1q_u8(dst + i);
+    vst1q_u8(dst + i, veorq_u8(d, mul16(s, tlo, thi)));
+  }
+  mul_add_span(dst + i, src + i, len - i, lo_row, hi_row);
+}
+
+void neon_mul_assign(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t len, std::uint8_t c) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, len);
+    return;
+  }
+  const std::uint8_t* lo_row = kNibble.lo[c];
+  const std::uint8_t* hi_row = kNibble.hi[c];
+  const uint8x16_t tlo = vld1q_u8(lo_row);
+  const uint8x16_t thi = vld1q_u8(hi_row);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16)
+    vst1q_u8(dst + i, mul16(vld1q_u8(src + i), tlo, thi));
+  mul_assign_span(dst + i, src + i, len - i, lo_row, hi_row);
+}
+
+}  // namespace
+
+const Kernel kNeonKernel{"neon", neon_mul_add, neon_mul_assign};
+
+}  // namespace pbl::gf::kern::detail
+
+#endif  // PBL_GF_HAVE_NEON_KERNEL && __aarch64__

@@ -1,0 +1,87 @@
+// SSSE3 GF(2^8) region kernel: 16 bytes per step via PSHUFB.
+//
+// Compiled with -mssse3 (this TU only — see src/CMakeLists.txt); the
+// dispatcher in kernels.cpp only selects it after __builtin_cpu_supports
+// confirms the instruction set at runtime.
+#include "gf/kernels.hpp"
+
+#if defined(PBL_GF_HAVE_X86_KERNELS) && defined(__SSSE3__)
+
+#include <tmmintrin.h>
+
+#include <cstring>
+
+#include "gf/kernels_tables.hpp"
+
+namespace pbl::gf::kern::detail {
+
+namespace {
+
+// Multiplies 16 bytes by the fixed coefficient whose nibble tables are in
+// tlo/thi: product = tlo[b & 0xF] ^ thi[b >> 4], both lookups one PSHUFB.
+inline __m128i mul16(__m128i v, __m128i tlo, __m128i thi, __m128i mask) {
+  const __m128i lo = _mm_and_si128(v, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+}
+
+void ssse3_mul_add(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t len, std::uint8_t c) {
+  if (c == 0) return;
+  const std::uint8_t* lo_row = kNibble.lo[c];
+  const std::uint8_t* hi_row = kNibble.hi[c];
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo_row));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi_row));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 16 <= len; i += 16) {
+      const __m128i s =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_xor_si128(d, s));
+    }
+    for (; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, mul16(s, tlo, thi, mask)));
+  }
+  mul_add_span(dst + i, src + i, len - i, lo_row, hi_row);
+}
+
+void ssse3_mul_assign(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t len, std::uint8_t c) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, len);
+    return;
+  }
+  const std::uint8_t* lo_row = kNibble.lo[c];
+  const std::uint8_t* hi_row = kNibble.hi[c];
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo_row));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi_row));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     mul16(s, tlo, thi, mask));
+  }
+  mul_assign_span(dst + i, src + i, len - i, lo_row, hi_row);
+}
+
+}  // namespace
+
+const Kernel kSsse3Kernel{"ssse3", ssse3_mul_add, ssse3_mul_assign};
+
+}  // namespace pbl::gf::kern::detail
+
+#endif  // PBL_GF_HAVE_X86_KERNELS && __SSSE3__

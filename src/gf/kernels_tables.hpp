@@ -1,0 +1,80 @@
+// Internal: compile-time split-nibble product tables for the GF(2^8)
+// kernels, shared by every ISA translation unit.  Not installed; include
+// only from src/gf/kernels*.cpp.
+//
+// For each coefficient c, lo[c][v] = c * v and hi[c][v] = c * (v << 4)
+// in GF(2^8) with the conventional primitive polynomial 0x11D (the same
+// field GaloisField(8) builds at runtime — test_gf_kernels cross-checks
+// them).  Each table row is 16 bytes: exactly one PSHUFB / vqtbl1q
+// register.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/kernels.hpp"
+
+namespace pbl::gf::kern::detail {
+
+// ISA kernel singletons; each defined in its translation unit when
+// compiled in.  Declared here so the namespace-scope const definitions
+// get external linkage for the dispatcher in kernels.cpp.
+#if defined(PBL_GF_HAVE_X86_KERNELS)
+extern const Kernel kSsse3Kernel;
+extern const Kernel kAvx2Kernel;
+#endif
+#if defined(PBL_GF_HAVE_NEON_KERNEL)
+extern const Kernel kNeonKernel;
+#endif
+
+/// Carry-less multiply mod x^8 + x^4 + x^3 + x^2 + 1 (0x11D), usable in
+/// constant expressions so the tables land in .rodata.
+constexpr std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) {
+  unsigned acc = 0;
+  unsigned aa = a;
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    if (b & (1u << bit)) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x100u) aa ^= 0x11Du;
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+struct NibbleTables {
+  // [c][v]: product of coefficient c with low nibble v / high nibble v<<4.
+  alignas(64) std::uint8_t lo[256][16];
+  alignas(64) std::uint8_t hi[256][16];
+};
+
+constexpr NibbleTables build_nibble_tables() {
+  NibbleTables t{};
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned v = 0; v < 16; ++v) {
+      t.lo[c][v] = gf256_mul(static_cast<std::uint8_t>(c),
+                             static_cast<std::uint8_t>(v));
+      t.hi[c][v] = gf256_mul(static_cast<std::uint8_t>(c),
+                             static_cast<std::uint8_t>(v << 4));
+    }
+  }
+  return t;
+}
+
+inline constexpr NibbleTables kNibble = build_nibble_tables();
+
+/// Scalar split-nibble loops, also used for SIMD heads/tails.
+inline void mul_add_span(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t len, const std::uint8_t* lo,
+                         const std::uint8_t* hi) {
+  for (std::size_t i = 0; i < len; ++i)
+    dst[i] ^= static_cast<std::uint8_t>(lo[src[i] & 0x0F] ^ hi[src[i] >> 4]);
+}
+
+inline void mul_assign_span(std::uint8_t* dst, const std::uint8_t* src,
+                            std::size_t len, const std::uint8_t* lo,
+                            const std::uint8_t* hi) {
+  for (std::size_t i = 0; i < len; ++i)
+    dst[i] = static_cast<std::uint8_t>(lo[src[i] & 0x0F] ^ hi[src[i] >> 4]);
+}
+
+}  // namespace pbl::gf::kern::detail

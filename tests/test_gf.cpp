@@ -104,6 +104,69 @@ INSTANTIATE_TEST_SUITE_P(AllSymbolSizes, FieldAxiomsTest,
                          ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u,
                                            12u));
 
+// ---- deep axiom coverage (exhaustive where feasible, 10^5 randomized
+// ---- samples elsewhere), backing the kernel differential suite: if the
+// ---- reference field is wrong, everything downstream is wrong.
+
+TEST(FieldAxiomsExhaustive, Gf16AllTriples) {
+  // GF(2^4) is small enough to check associativity and distributivity
+  // over EVERY (a, b, c) triple — 4096 of them — plus every inverse.
+  const GaloisField f(4);
+  for (Sym a = 0; a < f.size(); ++a) {
+    for (Sym b = 0; b < f.size(); ++b) {
+      for (Sym c = 0; c < f.size(); ++c) {
+        ASSERT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)))
+            << "associativity " << a << " " << b << " " << c;
+        ASSERT_EQ(f.mul(a, GaloisField::add(b, c)),
+                  GaloisField::add(f.mul(a, b), f.mul(a, c)))
+            << "distributivity " << a << " " << b << " " << c;
+        ASSERT_EQ(GaloisField::add(GaloisField::add(a, b), c),
+                  GaloisField::add(a, GaloisField::add(b, c)));
+      }
+      ASSERT_EQ(f.mul(a, b), f.mul(b, a)) << "commutativity " << a << " " << b;
+      if (b != 0) {
+        ASSERT_EQ(f.div(f.mul(a, b), b), a);
+      }
+    }
+    if (a != 0) {
+      ASSERT_EQ(f.mul(a, f.inv(a)), 1u);
+      ASSERT_EQ(f.inv(f.inv(a)), a);
+    }
+  }
+}
+
+class FieldAxiomsRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FieldAxiomsRandomized, HundredThousandSamples) {
+  const GaloisField f(GetParam());
+  Rng rng(0xF1E1DULL + GetParam());
+  for (int i = 0; i < 100000; ++i) {
+    const Sym a = static_cast<Sym>(rng.below(f.size()));
+    const Sym b = static_cast<Sym>(rng.below(f.size()));
+    const Sym c = static_cast<Sym>(rng.below(f.size()));
+    ASSERT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)))
+        << "associativity " << a << " " << b << " " << c;
+    ASSERT_EQ(f.mul(a, GaloisField::add(b, c)),
+              GaloisField::add(f.mul(a, b), f.mul(a, c)))
+        << "distributivity " << a << " " << b << " " << c;
+    ASSERT_EQ(f.mul(a, b), f.mul(b, a));
+    if (b != 0) {
+      ASSERT_EQ(f.div(f.mul(a, b), b), a) << "mul/div " << a << " " << b;
+      ASSERT_EQ(f.mul(f.div(a, b), b), a);
+    }
+    if (a != 0) {
+      ASSERT_EQ(f.mul(a, f.inv(a)), 1u) << "inverse " << a;
+      ASSERT_EQ(f.inv(f.inv(a)), a);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CodecFields, FieldAxiomsRandomized,
+                         ::testing::Values(8u, 16u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "m" + std::to_string(info.param);
+                         });
+
 TEST(GaloisField, RejectsBadSymbolSize) {
   EXPECT_THROW(GaloisField(1), std::invalid_argument);
   EXPECT_THROW(GaloisField(17), std::invalid_argument);
