@@ -1,4 +1,8 @@
-// Shared helpers for the figure-regeneration binaries.
+// Shared helpers for the figure-regeneration binaries: log-spaced grids,
+// wall-clock timing, the standard banner, and a small JSON emitter so
+// every bench can record machine-readable results (--json=out.json) next
+// to its human-readable table.  CI diffs the JSON perf fields against
+// committed baselines (bench/check_regression.py).
 #pragma once
 
 #include <chrono>
@@ -6,22 +10,27 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
 #include <vector>
 
 namespace pbl::bench {
 
 /// Log-spaced integer grid from lo to hi (inclusive), `per_decade` points
-/// per decade, deduplicated after rounding.
+/// per decade, deduplicated after rounding.  Empty when the range is
+/// empty (lo > hi) or lo < 1 (log10 undefined).
 inline std::vector<std::int64_t> log_grid(std::int64_t lo, std::int64_t hi,
                                           int per_decade = 4) {
   std::vector<std::int64_t> out;
+  if (lo > hi || lo < 1 || per_decade < 1) return out;
   const double step = 1.0 / per_decade;
   for (double e = std::log10(static_cast<double>(lo));
        e <= std::log10(static_cast<double>(hi)) + 1e-9; e += step) {
     const auto v = static_cast<std::int64_t>(std::llround(std::pow(10.0, e)));
     if (out.empty() || v > out.back()) out.push_back(v);
   }
-  if (out.back() != hi) out.push_back(hi);
+  if (out.empty() || out.back() != hi) out.push_back(hi);
   return out;
 }
 
@@ -42,5 +51,153 @@ inline void banner(const std::string& figure, const std::string& setup,
   std::printf("setup: %s\n", setup.c_str());
   std::printf("paper: %s\n", expectation.c_str());
 }
+
+/// Escapes a string for use inside a JSON string literal (RFC 8259):
+/// quote, backslash and control characters; everything else (including
+/// UTF-8 multibyte sequences) passes through untouched.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One JSON scalar: string, number or bool.  Integers keep full 64-bit
+/// precision; non-finite doubles serialise as null (JSON has no NaN).
+class JsonValue {
+ public:
+  JsonValue(const char* s) : v_(std::string(s)) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(int i) : v_(static_cast<std::int64_t>(i)) {}
+  JsonValue(unsigned i) : v_(static_cast<std::int64_t>(i)) {}
+  JsonValue(long long i) : v_(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::int64_t i) : v_(i) {}
+  JsonValue(std::uint64_t i) : v_(static_cast<std::int64_t>(i)) {}
+  JsonValue(bool b) : v_(b) {}
+
+  std::string to_string() const {
+    if (const auto* s = std::get_if<std::string>(&v_))
+      return "\"" + json_escape(*s) + "\"";
+    if (const auto* i = std::get_if<std::int64_t>(&v_))
+      return std::to_string(*i);
+    if (const auto* b = std::get_if<bool>(&v_)) return *b ? "true" : "false";
+    const double d = std::get<double>(v_);
+    if (!std::isfinite(d)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    return buf;
+  }
+
+ private:
+  std::variant<std::string, std::int64_t, double, bool> v_;
+};
+
+using JsonFields = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Serialises one flat JSON object ({"k": v, ...}) from ordered fields.
+inline std::string json_object(const JsonFields& fields) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + json_escape(fields[i].first) + "\": ";
+    out += fields[i].second.to_string();
+  }
+  out += "}";
+  return out;
+}
+
+/// Machine-readable bench results: one document per binary run.
+///
+/// Schema "pbl-bench-v1" (see docs/PARALLEL.md):
+///   {
+///     "schema":  "pbl-bench-v1",
+///     "bench":   "<binary name>",
+///     "setup":   { flag: value, ... },
+///     "perf":    { "threads": T, "wall_seconds": s,
+///                  "replications": N, "reps_per_sec": N/s },
+///     "points":  [ { column: value, ... }, ... ]
+///   }
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void setup(const std::string& key, JsonValue value) {
+    setup_.emplace_back(key, std::move(value));
+  }
+  void point(JsonFields fields) { points_.push_back(std::move(fields)); }
+  void perf(unsigned threads, double wall_seconds,
+            std::uint64_t replications) {
+    threads_ = threads;
+    wall_seconds_ = wall_seconds;
+    replications_ = replications;
+  }
+
+  std::string to_string() const {
+    std::string out = "{\n";
+    out += "  \"schema\": \"pbl-bench-v1\",\n";
+    out += "  \"bench\": \"" + json_escape(bench_) + "\",\n";
+    out += "  \"setup\": " + json_object(setup_) + ",\n";
+    out += "  \"perf\": " +
+           json_object(
+               {{"threads", static_cast<std::int64_t>(threads_)},
+                {"wall_seconds", wall_seconds_},
+                {"replications", static_cast<std::int64_t>(replications_)},
+                {"reps_per_sec",
+                 wall_seconds_ > 0.0
+                     ? static_cast<double>(replications_) / wall_seconds_
+                     : 0.0}}) +
+           ",\n";
+    out += "  \"points\": [\n";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      out += "    " + json_object(points_[i]);
+      out += i + 1 < points_.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the document to `path`; returns false (with a perror) if the
+  /// file cannot be written.  An empty path is a silent no-op success.
+  bool write_file(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::perror(("BenchJson: cannot write " + path).c_str());
+      return false;
+    }
+    const std::string doc = to_string();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  JsonFields setup_;
+  std::vector<JsonFields> points_;
+  unsigned threads_ = 1;
+  double wall_seconds_ = 0.0;
+  std::uint64_t replications_ = 0;
+};
 
 }  // namespace pbl::bench

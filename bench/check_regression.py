@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Fail CI when bench throughput regresses against a committed baseline.
+
+Supports two JSON formats:
+
+* pbl-bench-v1 (emitted by the repo's benches via --json=out.json):
+  the compared metric is ``perf.reps_per_sec``.
+* google-benchmark (``--benchmark_out=out.json --benchmark_out_format=json``):
+  each benchmark entry is compared by name on ``bytes_per_second``
+  (falling back to ``items_per_second``, then to 1/real_time).
+
+Usage:
+    check_regression.py --baseline old.json --candidate new.json \
+        [--min-ratio 0.7]
+
+Exit status 1 if any compared metric's candidate/baseline ratio falls
+below --min-ratio (default 0.7, i.e. a >30% throughput drop).  Metrics
+present on only one side are reported but never fatal: CI runners vary,
+but a benchmark silently vanishing should be visible in the log.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def metrics_of(doc):
+    """Extract {metric_name: throughput} from either supported format."""
+    if doc.get("schema") == "pbl-bench-v1":
+        perf = doc.get("perf", {})
+        rps = perf.get("reps_per_sec")
+        if rps is None:
+            raise SystemExit("pbl-bench-v1 document has no perf.reps_per_sec")
+        return {f"{doc.get('bench', 'bench')}/reps_per_sec": float(rps)}
+
+    if "benchmarks" in doc:  # google-benchmark
+        out = {}
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type") == "aggregate":
+                continue
+            name = entry["name"]
+            for key in ("bytes_per_second", "items_per_second"):
+                if key in entry:
+                    out[f"{name}/{key}"] = float(entry[key])
+                    break
+            else:
+                real = float(entry.get("real_time", 0.0))
+                if real > 0.0:
+                    out[f"{name}/inv_real_time"] = 1.0 / real
+        if not out:
+            raise SystemExit("google-benchmark document has no usable entries")
+        return out
+
+    raise SystemExit("unrecognised bench JSON (neither pbl-bench-v1 nor "
+                     "google-benchmark)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--candidate", required=True)
+    ap.add_argument("--min-ratio", type=float, default=0.7,
+                    help="minimum candidate/baseline throughput ratio "
+                         "(default 0.7 = fail on a >30%% drop)")
+    args = ap.parse_args()
+
+    base = metrics_of(load(args.baseline))
+    cand = metrics_of(load(args.candidate))
+
+    failures = []
+    for name in sorted(base.keys() | cand.keys()):
+        b, c = base.get(name), cand.get(name)
+        if b is None or c is None:
+            side = "baseline" if b is None else "candidate"
+            print(f"  SKIP {name}: missing from {side}")
+            continue
+        if b <= 0.0:
+            print(f"  SKIP {name}: non-positive baseline {b}")
+            continue
+        ratio = c / b
+        verdict = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        print(f"  {verdict:>10} {name}: baseline {b:.4g}, candidate {c:.4g}, "
+              f"ratio {ratio:.3f}")
+        if ratio < args.min_ratio:
+            failures.append(name)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) dropped below "
+              f"{args.min_ratio:.2f}x baseline: {', '.join(failures)}")
+        return 1
+    print(f"\nOK: all compared metrics within {args.min_ratio:.2f}x baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,40 +4,163 @@
 // The paper's layered curve does not state its h; we print h = 1 and
 // h = 3 to bracket it (the qualitative gap to integrated FEC is the
 // result being reproduced).
+//
+// Besides the closed forms, the binary cross-checks every scheme by
+// Monte-Carlo simulation up to --sim-rmax receivers: --reps independent
+// replications per point, fanned out over --threads workers by
+// sim::run_replications.  Statistics are bit-identical for every thread
+// count (deterministic per-replication RNG substreams); only wall-clock
+// changes.  --json=out.json emits the pbl-bench-v1 document that CI
+// tracks for perf regressions.
 #include <cstdio>
 
 #include "analysis/integrated.hpp"
 #include "analysis/layered.hpp"
 #include "bench_common.hpp"
+#include "loss/loss_model.hpp"
+#include "protocol/rounds.hpp"
+#include "sim/replicator.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
+using namespace pbl;
+
+namespace {
+
+struct Scheme {
+  const char* name;
+  std::int64_t h;  // layered parities; unused for the other kinds
+  enum Kind { kNoFec, kLayered, kIntegrated } kind;
+};
+
+double simulate_once(const Scheme& scheme, std::size_t receivers, double p,
+                     std::int64_t k, std::int64_t tgs, Rng& rng) {
+  loss::BernoulliLossModel model(p);
+  protocol::IidTransmitter tx(model, receivers, rng);
+  protocol::McConfig mc;
+  mc.k = k;
+  mc.num_tgs = tgs;
+  switch (scheme.kind) {
+    case Scheme::kNoFec:
+      return protocol::sim_nofec(tx, mc).mean_tx;
+    case Scheme::kLayered:
+      mc.h = scheme.h;
+      return protocol::sim_layered(tx, mc).mean_tx;
+    case Scheme::kIntegrated:
+      return protocol::sim_integrated_naks(tx, mc).mean_tx;
+  }
+  return 0.0;
+}
+
+double analytic(const Scheme& scheme, double p, std::int64_t k, double r) {
+  switch (scheme.kind) {
+    case Scheme::kNoFec:
+      return analysis::expected_tx_nofec(p, r);
+    case Scheme::kLayered:
+      return analysis::expected_tx_layered(k, k + scheme.h, p, r);
+    case Scheme::kIntegrated:
+      return analysis::expected_tx_integrated_ideal(k, 0, p, r);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  pbl::Cli cli(argc, argv);
+  Cli cli(argc, argv);
   const double p = cli.get_double("p", 0.01);
   const std::int64_t k = cli.get_int64("k", 7);
   const std::int64_t rmax = cli.get_int64("rmax", 1000000);
+  const std::int64_t sim_rmax = cli.get_int64("sim-rmax", 1000);
+  const std::int64_t reps = cli.get_int64("reps", 32);
+  const std::int64_t tgs = cli.get_int64("tgs", 25);
+  const auto threads = static_cast<unsigned>(cli.get_int64("threads", 0));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int64("seed", 1));
+  const std::string json_path = cli.get_string("json", "");
   if (cli.has("help")) {
     std::puts(cli.usage().c_str());
     return 0;
   }
 
-  pbl::bench::banner(
+  bench::banner(
       "Figure 5: layered vs integrated FEC, k = " + std::to_string(k),
-      "p = " + std::to_string(p) + ", analysis",
+      "p = " + std::to_string(p) + ", analysis + " + std::to_string(reps) +
+          "x" + std::to_string(tgs) + " TG simulation up to R = " +
+          std::to_string(sim_rmax),
       "integrated FEC offers a large improvement over layered FEC, which in "
       "turn beats no-FEC for large R");
 
-  pbl::Table t({"R", "no_fec", "layered_h1", "layered_h3", "integrated_lb"});
-  for (const std::int64_t r : pbl::bench::log_grid(1, rmax)) {
+  bench::BenchJson json("fig05_layered_vs_integrated");
+  json.setup("p", p);
+  json.setup("k", k);
+  json.setup("rmax", rmax);
+  json.setup("sim_rmax", sim_rmax);
+  json.setup("reps", reps);
+  json.setup("tgs", tgs);
+  json.setup("seed", static_cast<std::int64_t>(seed));
+
+  Table t({"R", "no_fec", "layered_h1", "layered_h3", "integrated_lb"});
+  for (const std::int64_t r : bench::log_grid(1, rmax)) {
     const auto rd = static_cast<double>(r);
     t.add_row({static_cast<long long>(r),
-               pbl::analysis::expected_tx_nofec(p, rd),
-               pbl::analysis::expected_tx_layered(k, k + 1, p, rd),
-               pbl::analysis::expected_tx_layered(k, k + 3, p, rd),
-               pbl::analysis::expected_tx_integrated_ideal(k, 0, p, rd)});
+               analysis::expected_tx_nofec(p, rd),
+               analysis::expected_tx_layered(k, k + 1, p, rd),
+               analysis::expected_tx_layered(k, k + 3, p, rd),
+               analysis::expected_tx_integrated_ideal(k, 0, p, rd)});
+    json.point({{"kind", "analysis"},
+                {"R", r},
+                {"no_fec", analysis::expected_tx_nofec(p, rd)},
+                {"layered_h1", analysis::expected_tx_layered(k, k + 1, p, rd)},
+                {"layered_h3", analysis::expected_tx_layered(k, k + 3, p, rd)},
+                {"integrated_lb",
+                 analysis::expected_tx_integrated_ideal(k, 0, p, rd)}});
   }
   t.set_precision(5);
   std::printf("%s", t.to_string().c_str());
-  return 0;
+
+  // Monte-Carlo cross-check, parallel over replications.
+  static constexpr Scheme kSchemes[] = {
+      {"no_fec", 0, Scheme::kNoFec},
+      {"layered_h1", 1, Scheme::kLayered},
+      {"layered_h3", 3, Scheme::kLayered},
+      {"integrated_lb", 0, Scheme::kIntegrated},
+  };
+
+  Table st({"R", "scheme", "sim_mean", "ci95", "analytic"});
+  double wall = 0.0;
+  std::uint64_t total_reps = 0;
+  std::uint64_t point_index = 0;
+  for (const std::int64_t r : bench::log_grid(1, sim_rmax, 2)) {
+    for (const Scheme& scheme : kSchemes) {
+      const auto rep = sim::run_replications(
+          static_cast<std::uint64_t>(reps),
+          sim::point_seed(seed, point_index++),
+          [&](std::uint64_t, Rng& rng) {
+            return simulate_once(scheme, static_cast<std::size_t>(r), p, k,
+                                 tgs, rng);
+          },
+          {.threads = threads});
+      const double expect = analytic(scheme, p, k, static_cast<double>(r));
+      st.add_row({static_cast<long long>(r), scheme.name, rep.stats.mean(),
+                  rep.stats.ci95_halfwidth(), expect});
+      json.point({{"kind", "simulation"},
+                  {"R", r},
+                  {"scheme", scheme.name},
+                  {"mean", rep.stats.mean()},
+                  {"ci95", rep.stats.ci95_halfwidth()},
+                  {"analytic", expect}});
+      wall += rep.wall_seconds;
+      total_reps += rep.replications;
+    }
+  }
+  st.set_precision(5);
+  std::printf("\nsimulation (%llu replications, %u threads, %.3f s, "
+              "%.1f reps/s):\n%s",
+              static_cast<unsigned long long>(total_reps),
+              sim::resolve_threads(threads), wall,
+              wall > 0.0 ? static_cast<double>(total_reps) / wall : 0.0,
+              st.to_string().c_str());
+
+  json.perf(sim::resolve_threads(threads), wall, total_reps);
+  return json.write_file(json_path) ? 0 : 1;
 }

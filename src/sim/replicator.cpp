@@ -1,0 +1,127 @@
+#include "sim/replicator.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace pbl::sim {
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  return requested == 0 ? util::ThreadPool::hardware_threads() : requested;
+}
+
+namespace detail {
+
+namespace {
+
+/// State shared by the caller and the pool tasks of one batch.  Held via
+/// shared_ptr: a task that only gets scheduled after the batch already
+/// drained (e.g. the pool was busy with other batches) still finds valid
+/// state, sees the cursor exhausted, and returns without touching
+/// anything else.  The caller never waits for such stragglers — it waits
+/// for all INDICES to complete, and it can always drive that to
+/// completion itself, so nested batches cannot deadlock even on a
+/// single-worker pool.
+struct Batch {
+  Batch(std::uint64_t n_, std::function<void(std::uint64_t)> body_)
+      : n(n_), body(std::move(body_)) {}
+
+  const std::uint64_t n;
+  const std::function<void(std::uint64_t)> body;  // owned copy: tasks may
+                                                  // outlive the caller's frame
+  std::atomic<std::uint64_t> cursor{0};  // next replication index to claim
+  std::atomic<std::uint64_t> done{0};    // replications fully processed
+
+  std::mutex mu;
+  std::condition_variable cv;            // signalled when done reaches n
+
+  // First (lowest-index) captured exception; `mu` guards both fields.
+  std::uint64_t error_index = 0;
+  std::exception_ptr error;
+
+  void record_error(std::uint64_t i, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error || i < error_index) {
+      error = std::move(e);
+      error_index = i;
+    }
+  }
+
+  /// Claims and runs replications until the cursor is exhausted.  A
+  /// thrown exception aborts only the current replication — remaining
+  /// indices still run and `done` accounting stays exact, so the batch
+  /// always drains no matter what the user code does.
+  void work() {
+    for (;;) {
+      const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        record_error(i, std::current_exception());
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void run_indexed(std::uint64_t n, unsigned threads,
+                 const std::function<void(std::uint64_t)>& body) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    // Inline path: same index order, same RNG substreams, no pool.
+    for (std::uint64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // threads-1 pool tasks plus the calling thread.  The caller always
+  // participates, so even a fully busy pool (or a nested call from
+  // inside another batch) drains the batch by itself if it has to.
+  auto batch = std::make_shared<Batch>(n, body);
+  auto& pool = util::ThreadPool::global();
+  for (unsigned w = 1; w < threads; ++w)
+    pool.submit([batch] { batch->work(); });
+  batch->work();
+
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&batch] {
+      return batch->done.load(std::memory_order_acquire) == batch->n;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace detail
+
+ReplicateReport run_replications(
+    std::uint64_t n, std::uint64_t seed,
+    const std::function<double(std::uint64_t, Rng&)>& fn,
+    const ReplicateOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto samples = replicate_map<double>(n, seed, fn, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ReplicateReport report;
+  for (const double s : samples) report.stats.add(s);
+  report.replications = n;
+  report.threads = resolve_threads(opts.threads);
+  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  report.reps_per_sec = report.wall_seconds > 0.0
+                            ? static_cast<double>(n) / report.wall_seconds
+                            : 0.0;
+  return report;
+}
+
+}  // namespace pbl::sim

@@ -1,0 +1,98 @@
+// Deterministic parallel Monte-Carlo replication.
+//
+// run_replications(n, seed, fn) runs n independent replications of a
+// stochastic experiment across the process-wide thread pool and merges
+// their results into one RunningStats.  Three properties make the output
+// bit-identical for every --threads value (including 1):
+//
+//   1. Replication i always draws from the same RNG substream,
+//      replication_rng(seed, i) = Rng(seed).split(i) — derivation depends
+//      only on (seed, i), never on which thread runs the replication.
+//   2. Each replication writes its sample into slot i of a preallocated
+//      results array.  Slots are disjoint, so the accumulator is
+//      lock-free by construction: no thread ever touches another's slot.
+//   3. The merge is a sequential fold over slots 0..n-1 after the last
+//      replication finishes — the same order the single-threaded loop
+//      would use — so floating-point rounding is reproduced exactly.
+//
+// Exceptions thrown by a replication are captured and rethrown on the
+// calling thread after the batch drains; when several replications throw,
+// the lowest replication index wins (again: deterministic, not
+// completion-order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pbl::sim {
+
+struct ReplicateOptions {
+  /// Worker threads to use: 0 = all hardware threads, 1 = run inline on
+  /// the calling thread (no pool involved).  Values beyond the hardware
+  /// thread count are accepted; extra workers just share the cores.
+  unsigned threads = 0;
+};
+
+/// Resolved thread count for an option value (0 -> hardware threads).
+unsigned resolve_threads(unsigned requested) noexcept;
+
+struct ReplicateReport {
+  RunningStats stats;            ///< merged over all replications, in index order
+  std::uint64_t replications = 0;
+  unsigned threads = 1;          ///< resolved worker count actually used
+  double wall_seconds = 0.0;
+  double reps_per_sec = 0.0;
+};
+
+/// The RNG substream owned by replication `rep` of root seed `seed`.
+inline Rng replication_rng(std::uint64_t seed, std::uint64_t rep) noexcept {
+  return Rng(seed).split(rep);
+}
+
+/// Distinct deterministic root seed for subexperiment `index` of `seed`
+/// (e.g. one grid point of a sweep).  Replications of that point then
+/// draw from replication_rng(point_seed(seed, index), rep).
+inline std::uint64_t point_seed(std::uint64_t seed,
+                                std::uint64_t index) noexcept {
+  std::uint64_t sm = seed ^ (0x632be59bd9b4e019ULL * (index + 1));
+  return splitmix64(sm);
+}
+
+namespace detail {
+/// Runs body(i) for every i in [0, n) using `threads` workers (the
+/// calling thread participates; threads <= 1 runs sequentially inline).
+/// Exceptions from body are rethrown here, lowest index first.
+void run_indexed(std::uint64_t n, unsigned threads,
+                 const std::function<void(std::uint64_t)>& body);
+}  // namespace detail
+
+/// Runs fn(i, rng) for i in [0, n) and returns the results as a vector
+/// indexed by replication — the generic building block for experiments
+/// whose replications produce more than one number.  T must be
+/// default-constructible.
+template <typename T, typename Fn>
+std::vector<T> replicate_map(std::uint64_t n, std::uint64_t seed, Fn&& fn,
+                             const ReplicateOptions& opts = {}) {
+  std::vector<T> out(n);
+  detail::run_indexed(n, resolve_threads(opts.threads),
+                      [&](std::uint64_t i) {
+                        Rng rng = replication_rng(seed, i);
+                        out[i] = fn(i, rng);
+                      });
+  return out;
+}
+
+/// Runs n replications of fn (each returning one sample) and merges them
+/// into a ReplicateReport.  See the file comment for the determinism
+/// contract; wall_seconds / reps_per_sec are the only fields that vary
+/// between runs.
+ReplicateReport run_replications(
+    std::uint64_t n, std::uint64_t seed,
+    const std::function<double(std::uint64_t, Rng&)>& fn,
+    const ReplicateOptions& opts = {});
+
+}  // namespace pbl::sim

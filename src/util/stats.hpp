@@ -4,11 +4,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace pbl {
 
 /// Welford streaming mean/variance with confidence-interval helper.
+/// Accumulators are mergeable (Chan et al. pairwise combine), so stats
+/// collected independently — e.g. one accumulator per parallel
+/// replication — can be folded into a single estimate afterwards.
 class RunningStats {
  public:
   void add(double x) noexcept {
@@ -18,6 +22,27 @@ class RunningStats {
     m2_ += delta * (x - mean_);
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+  }
+
+  /// Folds another accumulator into this one.  The combine is exact in
+  /// count/min/max and associative-up-to-rounding in mean/variance; for
+  /// bit-identical results merge in a fixed (e.g. replication-index)
+  /// order.  Merging an empty accumulator is a no-op.
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nsum = na + nb;
+    mean_ += delta * (nb / nsum);
+    m2_ += other.m2_ + delta * delta * (na * nb / nsum);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
   }
 
   std::uint64_t count() const noexcept { return n_; }

@@ -1,0 +1,130 @@
+#include "util/thread_pool.hpp"
+
+#include <utility>
+
+namespace pbl::util {
+
+namespace {
+/// Which worker of which pool the current thread is (worker threads only).
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local unsigned tls_worker = 0;
+}  // namespace
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = hardware_threads();
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<WorkQueue>());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  unsigned target;
+  if (tls_pool == this) {
+    target = tls_worker;  // keep recursive work on the submitting worker
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % static_cast<unsigned>(queues_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queued_;
+    ++unfinished_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_acquire(unsigned self, std::function<void()>& out) {
+  const auto n = static_cast<unsigned>(queues_.size());
+  // Own deque first, newest task (LIFO keeps the working set hot).
+  {
+    auto& q = *queues_[self % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal the oldest task from the first non-empty victim.
+  for (unsigned d = 1; d < n; ++d) {
+    auto& q = *queues_[(self + d) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::run_one(unsigned self) {
+  std::function<void()> task;
+  if (!try_acquire(self, task)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --queued_;
+  }
+  task();
+  bool idle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle = --unfinished_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    if (run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+    if (stopping_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  // External threads help drain queued tasks while they wait.  Never call
+  // this from inside a task: the caller's own in-flight task would keep
+  // unfinished_ nonzero forever (nested fan-out synchronises on batch
+  // counters instead — see sim/replicator.cpp).
+  if (tls_pool != this) {
+    while (run_one(0)) {
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pbl::util

@@ -1,0 +1,86 @@
+// Fixed-size work-stealing thread pool for CPU-bound fan-out.
+//
+// Each worker owns a deque: it pushes/pops its own work LIFO (cache-warm)
+// and steals FIFO from the other workers when its deque runs dry, so a
+// few long tasks cannot idle the rest of the pool.  Tasks are plain
+// std::function<void()> and must not throw — callers that need exception
+// propagation capture a std::exception_ptr inside the task (see
+// sim/replicator.cpp for the pattern).
+//
+// The pool is intentionally minimal: submit() + wait_idle(), no futures.
+// Higher-level deterministic fan-out (per-replication RNG substreams,
+// ordered merging) lives in sim::Replicator, which builds on this.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pbl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task.  Tasks submitted from a worker thread go to that
+  /// worker's own deque (LIFO); external submissions are distributed
+  /// round-robin.  The task must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.  External
+  /// calling threads help drain the queues while they wait.  Must not be
+  /// called from inside a task (the caller's own in-flight task would
+  /// never finish); nested fan-out synchronises on batch counters
+  /// instead — see sim/replicator.cpp.
+  void wait_idle();
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  /// Callers that want fewer threads submit fewer concurrent tasks (see
+  /// sim::Replicator); the pool itself is a shared resource.
+  static ThreadPool& global();
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static unsigned hardware_threads() noexcept;
+
+ private:
+  struct WorkQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned self);
+  /// Pops own work (back) or steals (front), starting at queue `self`.
+  bool try_acquire(unsigned self, std::function<void()>& out);
+  /// Runs one task if any is available; returns false when all queues
+  /// are empty.  Used by wait_idle() to help drain the pool.
+  bool run_one(unsigned self);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // queued_ > 0 or stopping_
+  std::condition_variable idle_cv_;   // unfinished_ == 0
+  std::size_t queued_ = 0;            // tasks sitting in some deque
+  std::size_t unfinished_ = 0;        // queued or currently executing
+  bool stopping_ = false;
+  unsigned next_queue_ = 0;           // round-robin cursor for submit()
+};
+
+}  // namespace pbl::util

@@ -1,0 +1,140 @@
+// Unit coverage for the bench helpers: log_grid edge cases (the empty
+// range used to dereference back() on an empty vector) and the JSON
+// emitter (escaping, number formatting, document shape).
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pbl::bench {
+namespace {
+
+TEST(LogGrid, EmptyWhenLoAboveHi) {
+  EXPECT_TRUE(log_grid(10, 1).empty());
+  EXPECT_TRUE(log_grid(2, 1).empty());
+  EXPECT_TRUE(log_grid(1000000, 999999).empty());
+}
+
+TEST(LogGrid, EmptyWhenArgumentsDegenerate) {
+  EXPECT_TRUE(log_grid(0, 10).empty());   // log10(0) undefined
+  EXPECT_TRUE(log_grid(-5, 10).empty());
+  EXPECT_TRUE(log_grid(1, 10, 0).empty());
+}
+
+TEST(LogGrid, SinglePointWhenLoEqualsHi) {
+  EXPECT_EQ(log_grid(1, 1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(log_grid(500, 500), (std::vector<std::int64_t>{500}));
+}
+
+TEST(LogGrid, CoversEndpointsStrictlyIncreasing) {
+  const auto g = log_grid(1, 1000000);
+  ASSERT_FALSE(g.empty());
+  EXPECT_EQ(g.front(), 1);
+  EXPECT_EQ(g.back(), 1000000);
+  for (std::size_t i = 1; i < g.size(); ++i) EXPECT_LT(g[i - 1], g[i]);
+}
+
+TEST(LogGrid, PerDecadeControlsDensity) {
+  // 4/decade over 6 decades: 4 * 6 + 1 grid points (endpoints included).
+  EXPECT_EQ(log_grid(1, 1000000, 4).size(), 25u);
+  EXPECT_EQ(log_grid(1, 1000, 1).size(), 4u);
+  EXPECT_GT(log_grid(1, 1000, 8).size(), log_grid(1, 1000, 2).size());
+}
+
+TEST(LogGrid, AppendsHiWhenRoundingFallsShort) {
+  const auto g = log_grid(1, 999, 1);
+  EXPECT_EQ(g.back(), 999);
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("layered vs integrated"), "layered vs integrated");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("C:\\bench\\out.json"), "C:\\\\bench\\\\out.json");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("\r\b\f"), "\\r\\b\\f");
+  EXPECT_EQ(json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8MultibyteAlone) {
+  EXPECT_EQ(json_escape("µs — naïve"), "µs — naïve");
+}
+
+TEST(JsonValue, FormatsScalars) {
+  EXPECT_EQ(JsonValue("s").to_string(), "\"s\"");
+  EXPECT_EQ(JsonValue(true).to_string(), "true");
+  EXPECT_EQ(JsonValue(false).to_string(), "false");
+  EXPECT_EQ(JsonValue(42).to_string(), "42");
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).to_string(), "-7");
+  EXPECT_EQ(JsonValue(0.5).to_string(), "0.5");
+}
+
+TEST(JsonValue, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).to_string(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).to_string(),
+            "null");
+}
+
+TEST(JsonValue, DoublesRoundTripExactly) {
+  const double x = 0.1234567890123456789;
+  EXPECT_EQ(std::stod(JsonValue(x).to_string()), x);
+}
+
+TEST(JsonObject, OrderedFields) {
+  EXPECT_EQ(json_object({{"a", 1}, {"b", "x\"y"}}),
+            "{\"a\": 1, \"b\": \"x\\\"y\"}");
+  EXPECT_EQ(json_object({}), "{}");
+}
+
+TEST(BenchJson, EmitsFullSchema) {
+  BenchJson doc("fig05_layered_vs_integrated");
+  doc.setup("p", 0.01);
+  doc.setup("k", 7);
+  doc.perf(2, 0.5, 100);
+  doc.point({{"R", 1}, {"scheme", "no_fec"}, {"mean", 1.25}});
+  doc.point({{"R", 10}, {"scheme", "no_fec"}, {"mean", 1.5}});
+  const std::string s = doc.to_string();
+
+  EXPECT_NE(s.find("\"schema\": \"pbl-bench-v1\""), std::string::npos);
+  EXPECT_NE(s.find("\"bench\": \"fig05_layered_vs_integrated\""),
+            std::string::npos);
+  EXPECT_NE(s.find("\"setup\": {\"p\": 0.01, \"k\": 7}"), std::string::npos);
+  EXPECT_NE(s.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(s.find("\"replications\": 100"), std::string::npos);
+  EXPECT_NE(s.find("\"reps_per_sec\": 200"), std::string::npos);
+  EXPECT_NE(s.find("{\"R\": 10, \"scheme\": \"no_fec\", \"mean\": 1.5}"),
+            std::string::npos);
+  // Two points -> exactly one separating comma inside the array.
+  EXPECT_NE(s.find("\"mean\": 1.25},"), std::string::npos);
+}
+
+TEST(BenchJson, EscapesBenchNameAndKeys) {
+  BenchJson doc("we\"ird\nname");
+  doc.setup("ke\"y", "va\\lue");
+  const std::string s = doc.to_string();
+  EXPECT_NE(s.find("\"bench\": \"we\\\"ird\\nname\""), std::string::npos);
+  EXPECT_NE(s.find("\"ke\\\"y\": \"va\\\\lue\""), std::string::npos);
+}
+
+TEST(BenchJson, EmptyPathWriteIsNoOpSuccess) {
+  BenchJson doc("x");
+  EXPECT_TRUE(doc.write_file(""));
+}
+
+TEST(BenchJson, UnwritablePathFails) {
+  BenchJson doc("x");
+  EXPECT_FALSE(doc.write_file("/nonexistent-dir/deep/out.json"));
+}
+
+}  // namespace
+}  // namespace pbl::bench

@@ -9,6 +9,7 @@
 #include "core/reliable_multicast.hpp"
 #include "protocol/arq_nofec.hpp"
 #include "protocol/np_protocol.hpp"
+#include "sim/replicator.hpp"
 
 namespace pbl {
 namespace {
@@ -27,17 +28,29 @@ TEST(Integration, NpBeatsArqOnBandwidthAtScale) {
   arq_cfg.k = 8;
   arq_cfg.packet_len = 32;
 
-  RunningStats np_tx, arq_tx;
-  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    protocol::NpSession np(model, 60, 8, np_cfg, seed);
-    const auto np_stats = np.run();
-    ASSERT_TRUE(np_stats.all_delivered);
-    np_tx.add(np_stats.tx_per_packet);
+  // Replications fan out across the pool; each returns its sample and the
+  // assertions run on the merged results (GTest asserts are not
+  // thread-safe inside worker tasks).
+  struct Sample {
+    double np_tx, arq_tx;
+    bool ok;
+  };
+  const auto samples = sim::replicate_map<Sample>(
+      5, /*seed=*/1, [&](std::uint64_t, Rng& rng) {
+        const std::uint64_t session_seed = rng();
+        protocol::NpSession np(model, 60, 8, np_cfg, session_seed);
+        const auto np_stats = np.run();
+        protocol::ArqSession arq(model, 60, 8, arq_cfg, session_seed);
+        const auto arq_stats = arq.run();
+        return Sample{np_stats.tx_per_packet, arq_stats.tx_per_packet,
+                      np_stats.all_delivered && arq_stats.all_delivered};
+      });
 
-    protocol::ArqSession arq(model, 60, 8, arq_cfg, seed);
-    const auto arq_stats = arq.run();
-    ASSERT_TRUE(arq_stats.all_delivered);
-    arq_tx.add(arq_stats.tx_per_packet);
+  RunningStats np_tx, arq_tx;
+  for (const auto& s : samples) {
+    ASSERT_TRUE(s.ok);
+    np_tx.add(s.np_tx);
+    arq_tx.add(s.arq_tx);
   }
   EXPECT_LT(np_tx.mean(), arq_tx.mean());
 }
@@ -124,16 +137,26 @@ TEST(Integration, GilbertBurstsHurtSmallGroupsEndToEnd) {
   const auto gilbert =
       loss::GilbertLossModel::from_packet_stats(p, 3.0, cfg.delta);
 
+  struct Sample {
+    double iid_tx, burst_tx;
+    bool ok;
+  };
+  const auto samples = sim::replicate_map<Sample>(
+      6, /*seed=*/1, [&](std::uint64_t, Rng& rng) {
+        const std::uint64_t session_seed = rng();
+        protocol::NpSession a(iid, 40, 6, cfg, session_seed);
+        const auto sa = a.run();
+        protocol::NpSession b(gilbert, 40, 6, cfg, session_seed);
+        const auto sb = b.run();
+        return Sample{sa.tx_per_packet, sb.tx_per_packet,
+                      sa.all_delivered && sb.all_delivered};
+      });
+
   RunningStats iid_tx, burst_tx;
-  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-    protocol::NpSession a(iid, 40, 6, cfg, seed);
-    const auto sa = a.run();
-    ASSERT_TRUE(sa.all_delivered);
-    iid_tx.add(sa.tx_per_packet);
-    protocol::NpSession b(gilbert, 40, 6, cfg, seed);
-    const auto sb = b.run();
-    ASSERT_TRUE(sb.all_delivered);
-    burst_tx.add(sb.tx_per_packet);
+  for (const auto& s : samples) {
+    ASSERT_TRUE(s.ok);
+    iid_tx.add(s.iid_tx);
+    burst_tx.add(s.burst_tx);
   }
   EXPECT_GT(burst_tx.mean(), iid_tx.mean() - 0.02);
 }
@@ -149,14 +172,24 @@ TEST(Integration, ThroughputModelConsistentWithMeasuredEncodeCounts) {
   cfg.h = 80;
   cfg.packet_len = 32;
 
-  RunningStats encodes_per_tg;
   const std::size_t tgs = 10;
-  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-    protocol::NpSession session(model, receivers, tgs, cfg, seed);
-    const auto stats = session.run();
-    ASSERT_TRUE(stats.all_delivered);
-    encodes_per_tg.add(static_cast<double>(stats.parities_encoded) /
-                       static_cast<double>(tgs));
+  struct Sample {
+    double encodes_per_tg;
+    bool ok;
+  };
+  const auto samples = sim::replicate_map<Sample>(
+      6, /*seed=*/1, [&](std::uint64_t, Rng& rng) {
+        protocol::NpSession session(model, receivers, tgs, cfg, rng());
+        const auto stats = session.run();
+        return Sample{static_cast<double>(stats.parities_encoded) /
+                          static_cast<double>(tgs),
+                      stats.all_delivered};
+      });
+
+  RunningStats encodes_per_tg;
+  for (const auto& s : samples) {
+    ASSERT_TRUE(s.ok);
+    encodes_per_tg.add(s.encodes_per_tg);
   }
   const double em = analysis::expected_tx_integrated_ideal(
       10, 0, p, static_cast<double>(receivers));

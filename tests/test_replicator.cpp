@@ -1,0 +1,171 @@
+// Determinism and robustness contract of the parallel replication engine:
+// identical merged statistics for every thread count, pairwise-distinct
+// RNG substreams, and clean exception propagation (the ASan/UBSan CI leg
+// runs this file to prove no task outlives a batch).
+#include "sim/replicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/reliable_multicast.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pbl::sim {
+namespace {
+
+/// A replication with enough RNG traffic to expose substream mixups.
+double noisy_sample(std::uint64_t rep, Rng& rng) {
+  double acc = static_cast<double>(rep) * 1e-9;
+  for (int i = 0; i < 1000; ++i) acc += rng.uniform();
+  return acc;
+}
+
+TEST(Replicator, MergedStatsBitIdenticalAcrossThreadCounts) {
+  const std::uint64_t n = 64;
+  const std::uint64_t seed = 42;
+  const auto base = run_replications(n, seed, noisy_sample, {.threads = 1});
+
+  std::vector<unsigned> counts{2, 3, util::ThreadPool::hardware_threads()};
+  for (const unsigned threads : counts) {
+    const auto r = run_replications(n, seed, noisy_sample, {.threads = threads});
+    EXPECT_EQ(base.stats.count(), r.stats.count()) << threads << " threads";
+    // Bit-identical, not approximately equal: the merge order is fixed.
+    EXPECT_EQ(base.stats.mean(), r.stats.mean()) << threads << " threads";
+    EXPECT_EQ(base.stats.variance(), r.stats.variance())
+        << threads << " threads";
+    EXPECT_EQ(base.stats.min(), r.stats.min()) << threads << " threads";
+    EXPECT_EQ(base.stats.max(), r.stats.max()) << threads << " threads";
+  }
+}
+
+TEST(Replicator, FullSimulationIdenticalAcrossThreadCounts) {
+  // End-to-end: the fig05-style per-replication protocol simulation must
+  // agree bit-for-bit between the inline and pooled paths.
+  const auto replicate = [](std::uint64_t, Rng& rng) {
+    core::MulticastConfig cfg;
+    cfg.k = 7;
+    cfg.receivers = 20;
+    cfg.p = 0.05;
+    cfg.mode = core::RecoveryMode::kIntegratedFec2;
+    cfg.num_tgs = 10;
+    cfg.seed = rng();  // all randomness from the replication substream
+    return core::simulate(cfg).mean_tx;
+  };
+  const auto a = run_replications(24, 7, replicate, {.threads = 1});
+  const auto b = run_replications(24, 7, replicate, {.threads = 4});
+  EXPECT_EQ(a.stats.mean(), b.stats.mean());
+  EXPECT_EQ(a.stats.variance(), b.stats.variance());
+}
+
+TEST(Replicator, SubstreamsPairwiseDistinct) {
+  // The first few outputs of every replication substream must differ —
+  // overlapping streams would silently correlate "independent" runs.
+  const std::uint64_t n = 1000;
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Rng rng = replication_rng(123, i);
+    first_draws.insert(rng());
+  }
+  EXPECT_EQ(first_draws.size(), n);
+
+  // Distinct root seeds must give distinct substream families too.
+  Rng a = replication_rng(1, 0);
+  Rng b = replication_rng(2, 0);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Replicator, ExceptionPropagatesLowestIndexAndPoolSurvives) {
+  const auto failing = [](std::uint64_t rep, Rng&) -> double {
+    if (rep == 7 || rep == 23)
+      throw std::runtime_error("replication " + std::to_string(rep));
+    return 1.0;
+  };
+  for (const unsigned threads : {1u, 4u}) {
+    try {
+      run_replications(32, 1, failing, {.threads = threads});
+      FAIL() << "expected exception with " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      // Deterministic choice: the lowest failing index, not completion order.
+      EXPECT_STREQ(e.what(), "replication 7");
+    }
+    // The shared pool must stay fully usable after a failed batch.
+    const auto ok = run_replications(16, 2, noisy_sample, {.threads = threads});
+    EXPECT_EQ(ok.stats.count(), 16u);
+  }
+}
+
+TEST(Replicator, ReplicateMapReturnsSlotsInIndexOrder) {
+  struct Sample {
+    std::uint64_t rep = 0;
+    std::uint64_t draw = 0;
+  };
+  const auto fn = [](std::uint64_t rep, Rng& rng) {
+    return Sample{rep, rng()};
+  };
+  const auto seq = replicate_map<Sample>(50, 9, fn, {.threads = 1});
+  const auto par = replicate_map<Sample>(50, 9, fn, {.threads = 3});
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::uint64_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].rep, i);
+    EXPECT_EQ(seq[i].draw, par[i].draw) << "slot " << i;
+  }
+}
+
+TEST(Replicator, ReportsThroughputMetadata) {
+  const auto r = run_replications(8, 5, noisy_sample, {.threads = 2});
+  EXPECT_EQ(r.replications, 8u);
+  EXPECT_EQ(r.threads, 2u);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.reps_per_sec, 0.0);
+}
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+  util::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 200);
+}
+
+TEST(ThreadPool, StealsWorkFromLoadedWorkers) {
+  // One long task occupies a worker; many short tasks must still drain
+  // through the remaining workers before the long one ends.
+  util::ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> quick{0};
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&quick] { quick.fetch_add(1, std::memory_order_relaxed); });
+  while (quick.load(std::memory_order_relaxed) < 50)
+    std::this_thread::yield();
+  release.store(true, std::memory_order_release);
+  pool.wait_idle();
+  EXPECT_EQ(quick.load(), 50);
+}
+
+TEST(ThreadPool, NestedFanOutDoesNotDeadlock) {
+  // A replication batch launched from inside another batch must complete
+  // because the inner caller participates in its own batch.
+  const auto outer = [](std::uint64_t, Rng& rng) {
+    const std::uint64_t inner_seed = rng();
+    const auto inner =
+        run_replications(4, inner_seed, noisy_sample, {.threads = 2});
+    return inner.stats.mean();
+  };
+  const auto a = run_replications(6, 11, outer, {.threads = 1});
+  const auto b = run_replications(6, 11, outer, {.threads = 3});
+  EXPECT_EQ(a.stats.mean(), b.stats.mean());
+}
+
+}  // namespace
+}  // namespace pbl::sim

@@ -47,6 +47,54 @@ TEST(RunningStats, CiCoversTrueMean) {
   EXPECT_GT(covered, experiments * 85 / 100);
 }
 
+TEST(RunningStatsMerge, MatchesSequentialAccumulation) {
+  // Splitting a sample stream into chunks and merging the per-chunk
+  // accumulators must reproduce the whole-stream statistics.
+  Rng rng(11);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = rng.uniform() * 10.0 - 3.0;
+
+  RunningStats whole;
+  for (double x : xs) whole.add(x);
+
+  RunningStats merged, a, b, c;
+  for (std::size_t i = 0; i < 300; ++i) a.add(xs[i]);
+  for (std::size_t i = 300; i < 301; ++i) b.add(xs[i]);
+  for (std::size_t i = 301; i < xs.size(); ++i) c.add(xs[i]);
+  merged.merge(a);
+  merged.merge(b);
+  merged.merge(c);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(RunningStatsMerge, EmptyOperandsAreNeutral) {
+  RunningStats empty, s;
+  s.add(1.0);
+  s.add(3.0);
+
+  RunningStats lhs = s;
+  lhs.merge(empty);  // merging empty changes nothing
+  EXPECT_EQ(lhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 2.0);
+
+  RunningStats rhs;
+  rhs.merge(s);  // merging INTO empty copies the operand
+  EXPECT_EQ(rhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(rhs.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(rhs.variance(), s.variance());
+  EXPECT_DOUBLE_EQ(rhs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rhs.max(), 3.0);
+
+  RunningStats both;
+  both.merge(empty);
+  EXPECT_EQ(both.count(), 0u);
+}
+
 TEST(Histogram, CountsAndFractions) {
   Histogram h;
   h.add(0);
