@@ -1,0 +1,35 @@
+// Fuzz target: loss::parse_trace (the pure core of load_trace) over
+// arbitrary text.
+//
+// Contract under test (loss/trace_io.hpp): '0'/'1' map to trace slots,
+// all whitespace is ignored, any other character throws
+// std::runtime_error.  The oracle recounts digits independently and traps
+// if the parsed trace disagrees.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "loss/trace_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const std::vector<bool> trace = pbl::loss::parse_trace(text);
+    std::size_t zeros = 0;
+    std::size_t ones = 0;
+    for (const char c : text) {
+      zeros += c == '0';
+      ones += c == '1';
+    }
+    if (trace.size() != zeros + ones) __builtin_trap();
+    std::size_t set = 0;
+    for (const bool b : trace) set += b;
+    if (set != ones) __builtin_trap();
+  } catch (const std::runtime_error&) {
+    // non-digit, non-whitespace character: the documented failure mode
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Standalone driver used when the toolchain has no libFuzzer (gcc):
+// replays every corpus file or directory given on the command line through
+// LLVMFuzzerTestOneInput.  Oracle violations inside a harness trap
+// (__builtin_trap), so a clean exit means every input passed.  With no
+// file arguments it exits 0, and libFuzzer-style "-flag" arguments are
+// ignored, so the same ctest command line works in both modes.
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "standalone_main: cannot open " << path << "\n";
+    return false;
+  }
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag: ignore
+    const std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        if (!run_file(entry.path())) return 1;
+        ++ran;
+      }
+    } else {
+      if (!run_file(path)) return 1;
+      ++ran;
+    }
+  }
+  std::cout << "standalone_main: ran " << ran << " corpus input(s)\n";
+  return 0;
+}

@@ -67,6 +67,8 @@ Packet deserialize(std::span<const std::uint8_t> bytes) {
   const std::uint8_t type = bytes[0];
   if (type > static_cast<std::uint8_t>(PacketType::kNak))
     throw std::invalid_argument("packet: unknown type");
+  if (bytes[1] != 0)
+    throw std::invalid_argument("packet: nonzero reserved byte");
   p.header.type = static_cast<PacketType>(type);
   p.header.tg = get_u32(bytes, 2);
   p.header.index = get_u16(bytes, 6);
@@ -77,6 +79,22 @@ Packet deserialize(std::span<const std::uint8_t> bytes) {
   p.header.payload_len = get_u32(bytes, 18);
   if (bytes.size() != kHeaderWireSize + p.header.payload_len)
     throw std::invalid_argument("packet: payload length mismatch");
+  // Semantic validation: a CRC-valid but inconsistent block address must
+  // not reach protocol state (it would index decoder arrays out of range
+  // or feed the erasure code a shard it cannot hold).  The (k, index, n)
+  // invariants only bind the block-addressed types; POLL/NAK reuse these
+  // fields for round bookkeeping.
+  if (p.header.type == PacketType::kData ||
+      p.header.type == PacketType::kParity) {
+    if (p.header.k == 0 || p.header.k > p.header.n)
+      throw std::invalid_argument("packet: invalid block shape (k > n)");
+    if (p.header.index >= p.header.n)
+      throw std::invalid_argument("packet: block index out of range");
+    if (p.header.type == PacketType::kData && p.header.index >= p.header.k)
+      throw std::invalid_argument("packet: DATA index in parity range");
+    if (p.header.type == PacketType::kParity && p.header.index < p.header.k)
+      throw std::invalid_argument("packet: PARITY index in data range");
+  }
   p.payload.assign(bytes.begin() + kHeaderWireSize, bytes.end());
   return p;
 }

@@ -55,7 +55,10 @@ std::vector<std::uint8_t> serialize(const Packet& packet);
 /// Parses a buffer produced by serialize(); throws std::invalid_argument
 /// on truncated, inconsistent or corrupted (CRC mismatch) input.  The
 /// erasure code can only repair MISSING packets, so corruption must be
-/// turned into loss here.
+/// turned into loss here.  Beyond the CRC, DATA/PARITY headers are
+/// validated semantically (k >= 1, k <= n, index < n, DATA index < k,
+/// PARITY index >= k, reserved byte zero): a CRC-valid but inconsistent
+/// block address never reaches protocol state.
 Packet deserialize(std::span<const std::uint8_t> bytes);
 
 }  // namespace pbl::fec

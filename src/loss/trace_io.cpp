@@ -25,21 +25,40 @@ void save_trace(const std::string& path, const std::vector<bool>& trace) {
   if (!out) throw std::runtime_error("save_trace: write failed for " + path);
 }
 
-std::vector<bool> load_trace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+std::vector<bool> parse_trace(std::string_view text) {
   std::vector<bool> trace;
-  char c = 0;
-  while (in.get(c)) {
-    if (std::isspace(static_cast<unsigned char>(c))) continue;
-    if (c == '0')
+  trace.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '0') {
       trace.push_back(false);
-    else if (c == '1')
+    } else if (c == '1') {
       trace.push_back(true);
-    else
-      throw std::runtime_error("load_trace: unexpected character in " + path);
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      throw std::runtime_error("parse_trace: unexpected character '" +
+                               std::string(1, c) + "' at offset " +
+                               std::to_string(i));
+    }
   }
   return trace;
+}
+
+std::vector<bool> load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::string text;
+  char buf[4096];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0)
+    text.append(buf, static_cast<std::size_t>(in.gcount()));
+  // in.get()-style loops swallow mid-stream read errors and silently
+  // return a partial trace; distinguish a clean EOF from a failed read.
+  if (in.bad())
+    throw std::runtime_error("load_trace: read failed for " + path);
+  try {
+    return parse_trace(text);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("load_trace: " + path + ": " + e.what());
+  }
 }
 
 }  // namespace pbl::loss

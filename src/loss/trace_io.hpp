@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "loss/loss_model.hpp"
@@ -23,8 +24,16 @@ std::vector<bool> record_trace(LossProcess& process, std::size_t packets,
 /// newline).  Throws std::runtime_error on I/O failure.
 void save_trace(const std::string& path, const std::vector<bool>& trace);
 
+/// Parses trace text: '0'/'1' characters with any whitespace (including
+/// CRLF line endings and a missing trailing newline) ignored; empty input
+/// yields an empty trace.  Throws std::runtime_error on any other
+/// character.  This is the pure core of load_trace(), separated so the
+/// format parser can be driven directly from memory (fuzzing, tests).
+std::vector<bool> parse_trace(std::string_view text);
+
 /// Reads a file written by save_trace() (whitespace ignored).  Throws
-/// std::runtime_error on I/O failure or characters other than 0/1.
+/// std::runtime_error on I/O failure — including read errors after a
+/// successful open — or characters other than 0/1.
 std::vector<bool> load_trace(const std::string& path);
 
 }  // namespace pbl::loss

@@ -1,6 +1,7 @@
 #include "net/channel.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace pbl::net {
 
@@ -18,6 +19,25 @@ MulticastChannel::MulticastChannel(sim::Simulator& sim,
     processes_.push_back(model.make_process(sim.rng().split(r), r));
 }
 
+void MulticastChannel::set_impairment(const ImpairmentConfig& config) {
+  impairments_.clear();
+  if (!config.enabled()) return;
+  impairments_.reserve(processes_.size());
+  for (std::size_t r = 0; r < processes_.size(); ++r) {
+    ImpairmentConfig per = config;
+    // Independent but reproducible per-receiver fault streams.
+    std::uint64_t sm = config.seed ^ (0x696d7061697221ULL + r);
+    per.seed = splitmix64(sm);
+    impairments_.push_back(std::make_unique<Impairment>(per));
+  }
+}
+
+ImpairmentStats MulticastChannel::impairment_stats() const {
+  ImpairmentStats total;
+  for (const auto& imp : impairments_) total += imp->stats();
+  return total;
+}
+
 void MulticastChannel::multicast_down(const fec::Packet& packet) {
   if (tap_) tap_(packet);
   ++stats_.data_multicasts;
@@ -27,10 +47,25 @@ void MulticastChannel::multicast_down(const fec::Packet& packet) {
       ++stats_.data_drops;
       continue;
     }
-    ++stats_.data_deliveries;
-    sim_->schedule_in(delay_, [this, r, packet] {
-      if (on_receiver_) on_receiver_(r, packet);
-    });
+    if (impairments_.empty()) {
+      ++stats_.data_deliveries;
+      sim_->schedule_in(delay_, [this, r, packet] {
+        if (on_receiver_) on_receiver_(r, packet);
+      });
+      continue;
+    }
+    auto deliveries = impairments_[r]->apply(packet, t);
+    if (deliveries.empty()) {
+      ++stats_.data_drops;  // the impairment ate every copy
+      continue;
+    }
+    for (auto& d : deliveries) {
+      ++stats_.data_deliveries;
+      sim_->schedule_in(delay_ + d.extra_delay,
+                        [this, r, p = std::move(d.packet)] {
+                          if (on_receiver_) on_receiver_(r, p);
+                        });
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 
 #include "fec/packet.hpp"
 #include "loss/loss_model.hpp"
+#include "net/impairment.hpp"
 #include "sim/simulator.hpp"
 
 namespace pbl::net {
@@ -50,6 +51,19 @@ class MulticastChannel {
   using WireTap = std::function<void(const fec::Packet&)>;
   void set_wire_tap(WireTap tap) { tap_ = std::move(tap); }
 
+  /// Installs adversarial impairment (reorder/dup/corrupt/truncate/jitter/
+  /// burst drops) on the DATA down-path.  Each receiver gets an
+  /// independent Impairment seeded from config.seed and its index, so a
+  /// given (config, seed) reproduces the exact delivery schedule.  The
+  /// control paths stay clean: the paper's protocols assume reliable
+  /// feedback, and the lossless_control flag already covers the lossy
+  /// case.  Call before any traffic; a disabled config removes it.
+  void set_impairment(const ImpairmentConfig& config);
+
+  /// Sum of the per-receiver impairment fault counters (zeros when no
+  /// impairment is installed).
+  ImpairmentStats impairment_stats() const;
+
   std::size_t receivers() const noexcept { return processes_.size(); }
 
   /// Sender -> all receivers, subject to per-receiver loss.
@@ -67,6 +81,7 @@ class MulticastChannel {
  private:
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<loss::LossProcess>> processes_;
+  std::vector<std::unique_ptr<Impairment>> impairments_;  // empty = clean
   double delay_;
   bool lossless_control_;
   ReceiverHandler on_receiver_;

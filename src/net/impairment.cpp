@@ -1,0 +1,196 @@
+#include "net/impairment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace pbl::net {
+
+ImpairmentStats& ImpairmentStats::operator+=(const ImpairmentStats& o) noexcept {
+  processed += o.processed;
+  dropped += o.dropped;
+  burst_dropped += o.burst_dropped;
+  duplicated += o.duplicated;
+  corrupted += o.corrupted;
+  corrupt_dropped += o.corrupt_dropped;
+  truncated += o.truncated;
+  reordered += o.reordered;
+  delivered += o.delivered;
+  return *this;
+}
+
+namespace {
+
+void validate_prob(double p, const char* name) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument(std::string("Impairment: ") + name +
+                                " must be in [0, 1]");
+}
+
+}  // namespace
+
+Impairment::Impairment(const ImpairmentConfig& config)
+    : cfg_(config), rng_(config.seed) {
+  validate_prob(cfg_.drop_prob, "drop_prob");
+  validate_prob(cfg_.dup_prob, "dup_prob");
+  validate_prob(cfg_.corrupt_prob, "corrupt_prob");
+  validate_prob(cfg_.truncate_prob, "truncate_prob");
+  validate_prob(cfg_.reorder_prob, "reorder_prob");
+  if (cfg_.delay_jitter < 0.0)
+    throw std::invalid_argument("Impairment: delay_jitter must be >= 0");
+  if (cfg_.reorder_step < 0.0)
+    throw std::invalid_argument("Impairment: reorder_step must be >= 0");
+  if (cfg_.burst_drop_p != 0.0) {
+    validate_prob(cfg_.burst_drop_p, "burst_drop_p");
+    burst_ = loss::GilbertLossModel::from_packet_stats(
+                 cfg_.burst_drop_p, cfg_.burst_len, cfg_.burst_delta)
+                 .make_process(rng_.split(0x6275727374ULL), 0);
+  }
+}
+
+bool Impairment::pre_drop(double now) {
+  if (burst_ && burst_->lost(now)) {
+    ++stats_.burst_dropped;
+    return true;
+  }
+  if (cfg_.drop_prob > 0.0 && rng_.bernoulli(cfg_.drop_prob)) {
+    ++stats_.dropped;
+    return true;
+  }
+  return false;
+}
+
+void Impairment::corrupt_bytes(std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return;
+  const std::size_t flips = 1 + static_cast<std::size_t>(rng_.below(4));
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t pos = static_cast<std::size_t>(rng_.below(bytes.size()));
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+  }
+}
+
+void Impairment::truncate_bytes(std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return;
+  bytes.resize(static_cast<std::size_t>(rng_.below(bytes.size())));
+}
+
+std::vector<Impairment::Delivery> Impairment::apply(const fec::Packet& packet,
+                                                    double now) {
+  ++stats_.processed;
+  std::vector<Delivery> out;
+  if (pre_drop(now)) return out;
+
+  std::size_t copies = 1;
+  if (cfg_.dup_prob > 0.0 && rng_.bernoulli(cfg_.dup_prob)) {
+    ++stats_.duplicated;
+    copies = 2;
+  }
+
+  for (std::size_t c = 0; c < copies; ++c) {
+    Delivery d;
+    // Damage is applied to the real wire bytes; the parse decides whether
+    // the damaged copy survives (it virtually never does — the CRC and
+    // the semantic header checks turn corruption into loss).
+    const bool corrupt =
+        cfg_.corrupt_prob > 0.0 && rng_.bernoulli(cfg_.corrupt_prob);
+    const bool truncate =
+        cfg_.truncate_prob > 0.0 && rng_.bernoulli(cfg_.truncate_prob);
+    if (corrupt || truncate) {
+      auto bytes = fec::serialize(packet);
+      if (corrupt) {
+        ++stats_.corrupted;
+        corrupt_bytes(bytes);
+      }
+      if (truncate) {
+        ++stats_.truncated;
+        truncate_bytes(bytes);
+      }
+      try {
+        d.packet = fec::deserialize(bytes);
+      } catch (const std::invalid_argument&) {
+        ++stats_.corrupt_dropped;
+        continue;  // corruption became loss, as the contract requires
+      }
+    } else {
+      d.packet = packet;
+    }
+    if (cfg_.delay_jitter > 0.0) d.extra_delay += rng_.uniform() * cfg_.delay_jitter;
+    if (cfg_.reorder_window > 0 && cfg_.reorder_prob > 0.0 &&
+        rng_.bernoulli(cfg_.reorder_prob)) {
+      ++stats_.reordered;
+      d.extra_delay += cfg_.reorder_step *
+                       static_cast<double>(1 + rng_.below(cfg_.reorder_window));
+    }
+    ++stats_.delivered;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> Impairment::apply_bytes(
+    std::span<const std::uint8_t> bytes) {
+  ++stats_.processed;
+  std::vector<std::vector<std::uint8_t>> out;
+
+  // One slot of forward progress for the reorder queue, whatever happens
+  // to the current datagram.
+  for (auto& h : held_)
+    if (h.release_after > 0) --h.release_after;
+
+  // Drop decisions use the packet counter as the burst clock: datagrams
+  // have no timestamps, so the chain advances one burst_delta per packet.
+  const double now =
+      static_cast<double>(stats_.processed) * cfg_.burst_delta;
+  if (!pre_drop(now)) {
+    std::size_t copies = 1;
+    if (cfg_.dup_prob > 0.0 && rng_.bernoulli(cfg_.dup_prob)) {
+      ++stats_.duplicated;
+      copies = 2;
+    }
+    for (std::size_t c = 0; c < copies; ++c) {
+      std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
+      if (cfg_.corrupt_prob > 0.0 && rng_.bernoulli(cfg_.corrupt_prob)) {
+        ++stats_.corrupted;
+        corrupt_bytes(copy);
+      }
+      if (cfg_.truncate_prob > 0.0 && rng_.bernoulli(cfg_.truncate_prob)) {
+        ++stats_.truncated;
+        truncate_bytes(copy);
+      }
+      if (cfg_.reorder_window > 0 && cfg_.reorder_prob > 0.0 &&
+          rng_.bernoulli(cfg_.reorder_prob)) {
+        ++stats_.reordered;
+        held_.push_back(
+            {std::move(copy), 1 + static_cast<std::size_t>(
+                                      rng_.below(cfg_.reorder_window))});
+      } else {
+        ++stats_.delivered;
+        out.push_back(std::move(copy));
+      }
+    }
+  }
+
+  // Release every held datagram whose slip expired.
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (it->release_after == 0) {
+      ++stats_.delivered;
+      out.push_back(std::move(it->bytes));
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> Impairment::drain() {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (auto& h : held_) {
+    ++stats_.delivered;
+    out.push_back(std::move(h.bytes));
+  }
+  held_.clear();
+  return out;
+}
+
+}  // namespace pbl::net

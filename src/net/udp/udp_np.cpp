@@ -89,12 +89,17 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
 
 UdpNpReceiver::UdpNpReceiver(UdpSocket socket, std::uint16_t sender_port,
                              std::size_t num_tgs, const UdpNpConfig& config,
-                             double inject_loss, Rng rng)
+                             double inject_loss, Rng rng,
+                             const ImpairmentConfig& impairment)
     : socket_(std::move(socket)), sender_port_(sender_port),
       num_tgs_(num_tgs), cfg_(config), inject_loss_(inject_loss), rng_(rng),
       code_(config.k, config.k + config.h) {
   if (inject_loss < 0.0 || inject_loss >= 1.0)
     throw std::invalid_argument("UdpNpReceiver: inject_loss in [0,1)");
+  if (impairment.enabled()) {
+    impairment_ = std::make_shared<Impairment>(impairment);
+    socket_.set_impairment(impairment_);
+  }
 }
 
 UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
@@ -106,6 +111,38 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
   std::vector<bool> done(num_tgs_, false);
   std::size_t done_count = 0;
 
+  // The DATA/PARITY path, shared by live reception and the end-of-stream
+  // drain of the reorder queue.  Must be total over adversarial input:
+  // anything that is not a well-formed shard of this session is counted
+  // and ignored, never thrown on.
+  const auto accept_block_packet = [&](const fec::Packet& packet) {
+    const auto& hdr = packet.header;
+    if (hdr.k != cfg_.k || hdr.n != cfg_.k + cfg_.h ||
+        hdr.index >= cfg_.k + cfg_.h ||
+        packet.payload.size() != cfg_.packet_len) {
+      ++result.rejected;  // foreign block shape: cannot be ours
+      return;
+    }
+    if (inject_loss_ > 0.0 && rng_.bernoulli(inject_loss_)) {
+      ++result.dropped;
+      return;
+    }
+    ++result.received;
+    auto& dec = decoders[hdr.tg];
+    if (!dec.add(packet)) {
+      // Duplicated in flight, reordered past reconstruction, or already
+      // held: idempotent by construction.
+      ++result.duplicates;
+      return;
+    }
+    if (dec.decodable() && !done[hdr.tg]) {
+      (void)dec.reconstruct();
+      result.decoded += dec.decoded_packets();
+      done[hdr.tg] = true;
+      ++done_count;
+    }
+  };
+
   while (true) {
     auto packet = socket_.receive(idle_timeout);
     if (!packet) break;  // sender gone
@@ -116,21 +153,9 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
 
     switch (hdr.type) {
       case fec::PacketType::kData:
-      case fec::PacketType::kParity: {
-        if (inject_loss_ > 0.0 && rng_.bernoulli(inject_loss_)) {
-          ++result.dropped;
-          break;
-        }
-        ++result.received;
-        auto& dec = decoders[hdr.tg];
-        if (dec.add(*packet) && dec.decodable() && !done[hdr.tg]) {
-          (void)dec.reconstruct();
-          result.decoded += dec.decoded_packets();
-          done[hdr.tg] = true;
-          ++done_count;
-        }
+      case fec::PacketType::kParity:
+        accept_block_packet(*packet);
         break;
-      }
       case fec::PacketType::kPoll: {
         const std::size_t l = decoders[hdr.tg].needed();
         if (l == 0) break;
@@ -146,6 +171,23 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
       case fec::PacketType::kNak:
         break;  // unicast topology: receivers do not overhear NAKs
     }
+  }
+
+  // Datagrams still held back by the reorder queue are "in flight" when
+  // the session ends; flush them so a late shard can still complete a TG.
+  if (impairment_) {
+    for (const auto& bytes : impairment_->drain()) {
+      try {
+        const fec::Packet packet = fec::deserialize(bytes);
+        if ((packet.header.type == fec::PacketType::kData ||
+             packet.header.type == fec::PacketType::kParity) &&
+            packet.header.tg < num_tgs_)
+          accept_block_packet(packet);
+      } catch (const std::invalid_argument&) {
+        // damaged in flight: loss
+      }
+    }
+    result.impairment = impairment_->stats();
   }
 
   result.groups.resize(num_tgs_);

@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "fec/rse_code.hpp"
+#include "net/impairment.hpp"
 #include "net/udp/udp_transport.hpp"
 #include "util/rng.hpp"
 
@@ -68,6 +70,9 @@ struct UdpNpReceiverResult {
   std::uint64_t dropped = 0;       ///< packets discarded by injected loss
   std::uint64_t decoded = 0;       ///< packets rebuilt by RSE decoding
   std::uint64_t naks_sent = 0;
+  std::uint64_t duplicates = 0;    ///< redundant DATA/PARITY receptions
+  std::uint64_t rejected = 0;      ///< block-shape/length mismatches dropped
+  ImpairmentStats impairment{};    ///< wire fault counters (zero when clean)
 };
 
 /// Blocking receiver: processes packets until the end-of-session marker
@@ -76,9 +81,13 @@ class UdpNpReceiver {
  public:
   /// `inject_loss`: probability of silently dropping each received
   /// DATA/PARITY packet (simulated network loss); 0 disables.
+  /// `impairment`: adversarial byte-level faults (reorder, duplication,
+  /// corruption, truncation, burst drops) applied to every received
+  /// datagram before parsing; a default config disables it.
   UdpNpReceiver(UdpSocket socket, std::uint16_t sender_port,
                 std::size_t num_tgs, const UdpNpConfig& config,
-                double inject_loss = 0.0, Rng rng = Rng(1));
+                double inject_loss = 0.0, Rng rng = Rng(1),
+                const ImpairmentConfig& impairment = {});
 
   UdpNpReceiverResult run(double idle_timeout = 10.0);
 
@@ -92,6 +101,7 @@ class UdpNpReceiver {
   double inject_loss_;
   Rng rng_;
   fec::RseCode code_;
+  std::shared_ptr<Impairment> impairment_;  // installed on socket_, if any
 };
 
 /// The end-of-session marker the sender multicasts when done.

@@ -7,9 +7,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <system_error>
+#include <utility>
 
 namespace pbl::net {
 
@@ -50,7 +53,9 @@ UdpSocket::~UdpSocket() {
 }
 
 UdpSocket::UdpSocket(UdpSocket&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
+    : fd_(other.fd_), port_(other.port_),
+      impairment_(std::move(other.impairment_)),
+      pending_(std::move(other.pending_)) {
   other.fd_ = -1;
   other.port_ = 0;
 }
@@ -60,10 +65,17 @@ UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
     port_ = other.port_;
+    impairment_ = std::move(other.impairment_);
+    pending_ = std::move(other.pending_);
     other.fd_ = -1;
     other.port_ = 0;
   }
   return *this;
+}
+
+void UdpSocket::set_impairment(std::shared_ptr<Impairment> impairment) {
+  impairment_ = std::move(impairment);
+  pending_.clear();
 }
 
 void UdpSocket::send_to(std::uint16_t dest_port, const fec::Packet& packet) {
@@ -77,17 +89,46 @@ void UdpSocket::send_to(std::uint16_t dest_port, const fec::Packet& packet) {
 }
 
 std::optional<fec::Packet> UdpSocket::receive(double timeout_s) {
-  pollfd pfd{fd_, POLLIN, 0};
-  const int ms = timeout_s < 0 ? -1 : static_cast<int>(timeout_s * 1000.0);
-  const int ready = ::poll(&pfd, 1, ms);
-  if (ready <= 0) return std::nullopt;
-  std::uint8_t buf[65536];
-  const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
-  if (got < 0) return std::nullopt;
-  try {
-    return fec::deserialize({buf, static_cast<std::size_t>(got)});
-  } catch (const std::invalid_argument&) {
-    return std::nullopt;  // malformed datagram: drop
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    // Impaired datagrams queued by an earlier poll round go first.
+    while (!pending_.empty()) {
+      std::vector<std::uint8_t> bytes = std::move(pending_.front());
+      pending_.pop_front();
+      try {
+        return fec::deserialize(bytes);
+      } catch (const std::invalid_argument&) {
+        // corrupted/truncated in flight: the parse turns it into loss
+      }
+    }
+    int ms = -1;
+    if (timeout_s >= 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double remaining = timeout_s - elapsed;
+      if (remaining <= 0.0) return std::nullopt;
+      ms = static_cast<int>(remaining * 1000.0);
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, ms);
+    if (ready <= 0) return std::nullopt;
+    std::uint8_t buf[65536];
+    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got < 0) return std::nullopt;
+    const std::span<const std::uint8_t> raw{buf,
+                                            static_cast<std::size_t>(got)};
+    if (impairment_) {
+      for (auto& bytes : impairment_->apply_bytes(raw))
+        pending_.push_back(std::move(bytes));
+      continue;  // parse (or keep polling) on the next iteration
+    }
+    try {
+      return fec::deserialize(raw);
+    } catch (const std::invalid_argument&) {
+      continue;  // malformed datagram: drop, keep waiting
+    }
   }
 }
 

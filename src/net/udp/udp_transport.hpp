@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "fec/packet.hpp"
+#include "net/impairment.hpp"
 
 namespace pbl::net {
 
@@ -33,12 +36,23 @@ class UdpSocket {
   void send_to(std::uint16_t dest_port, const fec::Packet& packet);
 
   /// Waits up to `timeout_s` for a datagram; returns std::nullopt on
-  /// timeout.  Malformed datagrams are dropped (returns nullopt).
+  /// timeout.  Malformed datagrams are dropped silently (the poll loop
+  /// keeps waiting for the rest of the timeout), so nullopt always means
+  /// "nothing arrived", even under impairment.
   std::optional<fec::Packet> receive(double timeout_s);
+
+  /// Routes every received datagram through an adversarial Impairment
+  /// before parsing: drops, duplicates, bit corruption, truncation and
+  /// holdback reordering all happen on the raw bytes, exercising the
+  /// real fec::deserialize path.  Pass nullptr to remove.  The
+  /// impairment object outlives any pending datagrams it produced.
+  void set_impairment(std::shared_ptr<Impairment> impairment);
 
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  std::shared_ptr<Impairment> impairment_;
+  std::deque<std::vector<std::uint8_t>> pending_;  // impaired, not yet parsed
 };
 
 /// Emulated multicast group: fan-out over member ports.

@@ -76,6 +76,8 @@ struct LayeredSession::Impl {
       rx[r].rng = Rng(seed).split(0x4000 + r);
     }
 
+    if (cfg.impairment.enabled()) channel.set_impairment(cfg.impairment);
+
     channel.set_receiver_handler(
         [this](std::size_t r, const Packet& p) { on_receiver_packet(r, p); });
     channel.set_sender_handler(
@@ -183,6 +185,7 @@ struct LayeredSession::Impl {
 
   void on_sender_feedback(std::size_t /*from*/, const Packet& p) {
     if (p.header.type != PacketType::kNak) return;
+    if (p.header.tg >= blocks.size()) return;  // corrupt/foreign feedback
     auto& block = blocks[p.header.tg];
     if (block.closed) return;  // stale
     if (block.nak_union.size() < p.payload.size())
@@ -228,9 +231,18 @@ struct LayeredSession::Impl {
   }
 
   void on_receiver_packet(std::size_t r, const Packet& p) {
+    // Block ids grow with blocks.size() and all per-block arrays are
+    // indexed by them, so an adversarial channel must not be able to
+    // reach this switch with an id we never issued (decoder() would
+    // otherwise allocate a multi-gigabyte vector for a corrupt tg).
+    if (p.header.tg >= blocks.size()) return;
     switch (p.header.type) {
       case PacketType::kData:
       case PacketType::kParity: {
+        // Wrong block shape or frame size: not a shard of this session.
+        if (p.header.index >= cfg.k + cfg.h ||
+            p.payload.size() != 8 + cfg.packet_len)
+          return;
         auto& dec = decoder(r, p.header.tg);
         const bool was_decodable = dec.decodable();
         if (!dec.add(p)) return;
@@ -267,6 +279,7 @@ struct LayeredSession::Impl {
   }
 
   void on_poll(std::size_t r, const Packet& poll) {
+    if (poll.payload.size() < cfg.k * 8) return;  // manifest incomplete
     auto& rec = rx[r];
     const std::uint32_t b = poll.header.tg;
     // Missing = data slots whose CONTENT (by the manifest) we lack.
@@ -317,6 +330,7 @@ struct LayeredSession::Impl {
     for (const auto& rec : rx)
       if (rec.delivered_count != num_packets) all = false;
     stats.all_delivered = all;
+    stats.impairment = channel.impairment_stats();
     const auto n = static_cast<double>(num_packets);
     stats.tx_per_packet =
         static_cast<double>(stats.data_sent + stats.parity_sent +

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "loss/loss_model.hpp"
+#include "net/impairment.hpp"
 
 namespace pbl::protocol {
 
@@ -34,6 +35,8 @@ struct LayeredConfig {
   double slot = 0.005;          ///< NAK suppression slot size [s]
   double delay = 0.010;         ///< one-way propagation delay [s]
   bool lossless_control = true;
+  /// Adversarial impairment of the DATA down-path; disabled by default.
+  net::ImpairmentConfig impairment{};
 };
 
 struct LayeredStats {
@@ -52,6 +55,7 @@ struct LayeredStats {
   double tx_per_packet = 0.0;
   /// RM-layer transmissions per application packet (E[M'] of the paper).
   double rm_tx_per_packet = 0.0;
+  net::ImpairmentStats impairment{};  ///< channel fault counters (zero when clean)
 };
 
 /// One sender, `receivers` receivers, `num_packets` application packets

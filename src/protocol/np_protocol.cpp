@@ -64,6 +64,8 @@ struct NpSession::Impl {
       rx[r].rng = Rng(seed).split(0x1000 + r);
     }
 
+    if (cfg.impairment.enabled()) channel.set_impairment(cfg.impairment);
+
     channel.set_receiver_handler(
         [this](std::size_t r, const Packet& p) { on_receiver_packet(r, p); });
     channel.set_sender_handler(
@@ -249,6 +251,7 @@ struct NpSession::Impl {
 
   void on_sender_feedback(std::size_t /*from*/, const Packet& p) {
     if (p.header.type != PacketType::kNak) return;
+    if (p.header.tg >= num_tgs) return;  // corrupt/foreign feedback
     const std::size_t tg = p.header.tg;
     auto& st = tg_state[tg];
     if (st.serving || st.failed) return;  // already reacting to this round
@@ -293,9 +296,19 @@ struct NpSession::Impl {
   }
 
   void on_receiver_packet(std::size_t r, const Packet& p) {
+    // An adversarial channel can deliver packets whose headers no longer
+    // address anything we track (foreign traffic, or corruption that
+    // survived the wire checks).  Every per-TG array below is indexed by
+    // tg, so the receive path must be total over arbitrary headers.
+    if (p.header.tg >= num_tgs) return;
     switch (p.header.type) {
       case PacketType::kData:
       case PacketType::kParity: {
+        // A block address outside our code's shape or a wrong-size
+        // payload cannot be a shard of this session; count it as loss
+        // rather than letting TgDecoder::add throw mid-simulation.
+        if (p.header.index >= code.n() || p.payload.size() != cfg.packet_len)
+          return;
         auto& dec = decoder(r, p.header.tg);
         const bool was_done = rx[r].done[p.header.tg];
         if (!dec.add(p)) {
@@ -367,6 +380,7 @@ struct NpSession::Impl {
     }
     stats.packet_deliveries = channel.stats().data_deliveries;
     stats.naks_suppressed = suppressed;
+    stats.impairment = channel.impairment_stats();
     std::vector<double> latencies;
     latencies.reserve(tg_state.size());
     double latency_sum = 0.0;

@@ -37,6 +37,11 @@ struct NpConfig {
   bool pre_encode = false;     ///< compute all parities before sending
   bool lossless_control = true;
 
+  /// Adversarial impairment of the DATA down-path (reorder, duplication,
+  /// corruption, truncation, jitter, burst drops); disabled by default.
+  /// Control traffic stays clean — see MulticastChannel::set_impairment.
+  net::ImpairmentConfig impairment{};
+
   /// Parities sent proactively with each TG's data ("a" in Section 3.2):
   /// trades bandwidth for fewer feedback rounds and lower latency.
   std::size_t proactive = 0;
@@ -68,6 +73,7 @@ struct NpStats {
   double p95_tg_latency = 0.0;             ///< 95th percentile of the same
   bool all_delivered = false;              ///< every receiver got every byte intact
   double tx_per_packet = 0.0;              ///< (data+parity)/(k * num_tgs), E[M]
+  net::ImpairmentStats impairment{};       ///< channel fault counters (zero when clean)
 };
 
 /// One sender, `receivers` receivers, `num_tgs` groups of random data —

@@ -27,6 +27,52 @@ bool Cli::has(const std::string& name) const {
   return values_.count(name) != 0;
 }
 
+namespace {
+
+// std::stoi and friends accept trailing garbage ("12abc" -> 12) and throw
+// bare std::invalid_argument/std::out_of_range with no context — both
+// bite in scripted bench runs (and were surfaced by the CLI fuzz target).
+// Require full consumption and name the offending flag.
+template <typename T, typename Parse>
+T parse_full(const std::string& name, const std::string& value, Parse parse,
+             const char* what) {
+  std::size_t pos = 0;
+  T out;
+  try {
+    out = parse(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": expected " + what +
+                                ", got '" + value + "'");
+  }
+  if (pos != value.size())
+    throw std::invalid_argument("--" + name + ": trailing characters in '" +
+                                value + "'");
+  return out;
+}
+
+int parse_int(const std::string& name, const std::string& value) {
+  return parse_full<int>(
+      name, value,
+      [](const std::string& v, std::size_t* pos) { return std::stoi(v, pos); },
+      "an integer");
+}
+
+std::int64_t parse_int64(const std::string& name, const std::string& value) {
+  return parse_full<std::int64_t>(
+      name, value,
+      [](const std::string& v, std::size_t* pos) { return std::stoll(v, pos); },
+      "an integer");
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  return parse_full<double>(
+      name, value,
+      [](const std::string& v, std::size_t* pos) { return std::stod(v, pos); },
+      "a number");
+}
+
+}  // namespace
+
 std::optional<std::string> Cli::raw(const std::string& name) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return std::nullopt;
@@ -40,19 +86,19 @@ void Cli::record(const std::string& name, const std::string& def) {
 int Cli::get_int(const std::string& name, int def) {
   record(name, std::to_string(def));
   const auto v = raw(name);
-  return v ? std::stoi(*v) : def;
+  return v ? parse_int(name, *v) : def;
 }
 
 std::int64_t Cli::get_int64(const std::string& name, std::int64_t def) {
   record(name, std::to_string(def));
   const auto v = raw(name);
-  return v ? std::stoll(*v) : def;
+  return v ? parse_int64(name, *v) : def;
 }
 
 double Cli::get_double(const std::string& name, double def) {
   record(name, std::to_string(def));
   const auto v = raw(name);
-  return v ? std::stod(*v) : def;
+  return v ? parse_double(name, *v) : def;
 }
 
 std::string Cli::get_string(const std::string& name, std::string def) {
@@ -82,7 +128,7 @@ std::vector<double> Cli::get_doubles(const std::string& name,
   std::stringstream ss(*v);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stod(item));
+    if (!item.empty()) out.push_back(parse_double(name, item));
   }
   return out;
 }

@@ -23,6 +23,9 @@ class Cli {
   /// True if a bare flag (e.g. --verbose) or any valued flag was passed.
   bool has(const std::string& name) const;
 
+  /// Numeric getters parse the full value: trailing garbage, overflow or
+  /// an empty/non-numeric value throws std::invalid_argument naming the
+  /// flag (rather than stoi's silent prefix parse or bare exception).
   int get_int(const std::string& name, int def);
   std::int64_t get_int64(const std::string& name, std::int64_t def);
   double get_double(const std::string& name, double def);

@@ -26,10 +26,25 @@ inline double one_minus_pow_one_minus(double x, double r) noexcept {
   return -std::expm1(r * std::log1p(-x));
 }
 
+/// Thread-safe log-gamma.  std::lgamma writes the global `signgam`, a
+/// data race when the analytical models run inside the parallel
+/// replicator (caught by the TSan CI leg); use the reentrant variant
+/// where libc provides one.  Arguments here are always > 0, where the
+/// sign output is irrelevant anyway.
+inline double lgamma_positive(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// log of the binomial coefficient C(n, k).
 inline double log_binomial(double n, double k) {
   if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
-  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+  return lgamma_positive(n + 1.0) - lgamma_positive(k + 1.0) -
+         lgamma_positive(n - k + 1.0);
 }
 
 /// Binomial pmf P[Bin(n, p) = j], computed in log space.

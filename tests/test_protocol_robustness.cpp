@@ -6,6 +6,7 @@
 #include "loss/loss_model.hpp"
 #include "protocol/arq_nofec.hpp"
 #include "protocol/fec1_protocol.hpp"
+#include "protocol/layered_protocol.hpp"
 #include "protocol/np_protocol.hpp"
 
 namespace pbl::protocol {
@@ -97,6 +98,103 @@ TEST(NpRobustness, LargePopulationSoak) {
   EXPECT_TRUE(stats.all_delivered);
   EXPECT_LT(stats.naks_sent, 2000u);
   EXPECT_LT(stats.tx_per_packet, 2.0);
+}
+
+// --- Adversarial impairment of the data path -------------------------
+//
+// The channel keeps control traffic clean (the paper's lossless-feedback
+// assumption), so under reorder + duplication + corruption the protocols
+// must still deliver every TG exactly once — duplicates are absorbed by
+// the idempotent receive path and corruption becomes loss at the parse.
+
+net::ImpairmentConfig adversarial_impairment(std::uint64_t seed) {
+  net::ImpairmentConfig imp;
+  imp.seed = seed;
+  imp.dup_prob = 0.08;
+  imp.corrupt_prob = 0.06;
+  imp.reorder_prob = 0.15;
+  imp.reorder_window = 4;
+  imp.delay_jitter = 0.0005;
+  return imp;
+}
+
+TEST(NpImpairment, DeliversUnderReorderDupCorruptAcrossLossRates) {
+  for (const double p : {0.01, 0.05, 0.1, 0.25}) {
+    loss::BernoulliLossModel model(p);
+    NpConfig cfg;
+    cfg.k = 8;
+    cfg.h = 80;
+    cfg.packet_len = 32;
+    cfg.impairment = adversarial_impairment(31);
+    NpSession session(model, 10, 4, cfg, 23);
+    const auto stats = session.run();
+    EXPECT_TRUE(stats.all_delivered) << "p = " << p;
+    // Exactly-once completion: no TG completes twice, none is left over.
+    EXPECT_EQ(stats.tgs_completed, 4u) << "p = " << p;
+    EXPECT_EQ(stats.tgs_failed, 0u) << "p = " << p;
+    // The faults actually happened and were counted.
+    EXPECT_GT(stats.impairment.duplicated, 0u);
+    EXPECT_GT(stats.impairment.corrupted, 0u);
+    EXPECT_GT(stats.impairment.corrupt_dropped, 0u);
+    EXPECT_GT(stats.impairment.reordered, 0u);
+    // Duplicated deliveries surface as duplicate receptions, not as data.
+    EXPECT_GT(stats.duplicate_receptions, 0u);
+  }
+}
+
+TEST(NpImpairment, SeededImpairmentIsReproducible) {
+  const auto run_once = [] {
+    loss::BernoulliLossModel model(0.05);
+    NpConfig cfg;
+    cfg.k = 8;
+    cfg.h = 60;
+    cfg.packet_len = 32;
+    cfg.impairment = adversarial_impairment(97);
+    NpSession session(model, 8, 3, cfg, 29);
+    return session.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.data_sent, b.data_sent);
+  EXPECT_EQ(a.parity_sent, b.parity_sent);
+  EXPECT_EQ(a.naks_sent, b.naks_sent);
+  EXPECT_EQ(a.duplicate_receptions, b.duplicate_receptions);
+  EXPECT_EQ(a.impairment.corrupt_dropped, b.impairment.corrupt_dropped);
+  EXPECT_EQ(a.impairment.reordered, b.impairment.reordered);
+  EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+}
+
+TEST(NpImpairment, BurstDropsRecoveredByParities) {
+  loss::BernoulliLossModel model(0.0);  // all loss comes from the bursts
+  NpConfig cfg;
+  cfg.k = 8;
+  cfg.h = 80;
+  cfg.packet_len = 32;
+  cfg.impairment.seed = 41;
+  cfg.impairment.burst_drop_p = 0.15;
+  cfg.impairment.burst_len = 3.0;
+  NpSession session(model, 6, 4, cfg, 37);
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_GT(stats.impairment.burst_dropped, 0u);
+  EXPECT_GT(stats.parity_sent, 0u);  // the bursts forced repair rounds
+}
+
+TEST(LayeredImpairment, DeliversUnderReorderDupCorruptAcrossLossRates) {
+  for (const double p : {0.01, 0.1, 0.25}) {
+    loss::BernoulliLossModel model(p);
+    LayeredConfig cfg;
+    cfg.k = 7;
+    cfg.h = 2;
+    cfg.packet_len = 32;
+    cfg.impairment = adversarial_impairment(43);
+    LayeredSession session(model, 8, 40, cfg, 47);
+    const auto stats = session.run();
+    EXPECT_TRUE(stats.all_delivered) << "p = " << p;
+    EXPECT_GT(stats.impairment.duplicated, 0u);
+    EXPECT_GT(stats.impairment.corrupt_dropped, 0u);
+    EXPECT_GT(stats.impairment.reordered, 0u);
+  }
 }
 
 TEST(ArqRobustness, SinglePacketGroups) {

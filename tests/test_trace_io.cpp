@@ -60,6 +60,76 @@ TEST_F(TraceIoTest, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST_F(TraceIoTest, EmptyFileLoadsAsEmptyTrace) {
+  const auto path = temp_path();
+  { std::ofstream out(path, std::ios::binary); }
+  EXPECT_TRUE(load_trace(path).empty());
+}
+
+TEST_F(TraceIoTest, MissingTrailingNewlineStillLoads) {
+  const auto path = temp_path();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "0011";  // no trailing newline
+  }
+  EXPECT_EQ(load_trace(path),
+            (std::vector<bool>{false, false, true, true}));
+}
+
+TEST_F(TraceIoTest, CrlfLineEndingsAreIgnored) {
+  const auto path = temp_path();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "0101\r\n1010\r\n";
+  }
+  EXPECT_EQ(load_trace(path),
+            (std::vector<bool>{false, true, false, true, true, false, true,
+                               false}));
+}
+
+TEST_F(TraceIoTest, WhitespaceOnlyFileIsEmptyTrace) {
+  const auto path = temp_path();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << " \t\n\r\n  \n";
+  }
+  EXPECT_TRUE(load_trace(path).empty());
+}
+
+TEST_F(TraceIoTest, LoadErrorNamesThePath) {
+  const auto path = temp_path();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "01x";
+  }
+  try {
+    (void)load_trace(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST_F(TraceIoTest, ParseTraceCoreBehaviour) {
+  EXPECT_TRUE(parse_trace("").empty());
+  EXPECT_TRUE(parse_trace(" \r\n\t").empty());
+  EXPECT_EQ(parse_trace("0 1\t0"),
+            (std::vector<bool>{false, true, false}));
+  EXPECT_EQ(parse_trace("01\r\n10"),
+            (std::vector<bool>{false, true, true, false}));
+  EXPECT_THROW(parse_trace("012"), std::runtime_error);
+  EXPECT_THROW(parse_trace("2"), std::runtime_error);
+  try {
+    (void)parse_trace("01x");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // The error pinpoints the offending character and offset.
+    const std::string what = e.what();
+    EXPECT_NE(what.find('x'), std::string::npos);
+    EXPECT_NE(what.find('2'), std::string::npos);
+  }
+}
+
 TEST_F(TraceIoTest, GilbertTraceReplaysWithSameStatistics) {
   // Record a calibrated burst trace, persist it, replay it through
   // TraceLossModel, and confirm the statistics carried over.
