@@ -16,6 +16,8 @@ void MulticastConfig::validate() const {
   if (h < 0) throw std::invalid_argument("MulticastConfig: h >= 0");
   if (receivers == 0) throw std::invalid_argument("MulticastConfig: receivers >= 1");
   if (p < 0.0 || p >= 1.0) throw std::invalid_argument("MulticastConfig: p in [0,1)");
+  if (q_f < 0.0 || q_f >= 1.0)
+    throw std::invalid_argument("MulticastConfig: q_f in [0,1)");
   if (num_tgs < 1) throw std::invalid_argument("MulticastConfig: num_tgs >= 1");
   if (interleave_depth == 0)
     throw std::invalid_argument("MulticastConfig: interleave_depth >= 1");
@@ -84,6 +86,8 @@ MulticastReport simulate(const MulticastConfig& cfg) {
   mc.h = cfg.h;
   mc.num_tgs = cfg.num_tgs;
   mc.timing = cfg.timing;
+  mc.q_f = cfg.q_f;
+  mc.seed = cfg.seed;
 
   protocol::McResult res;
   switch (cfg.mode) {

@@ -47,6 +47,12 @@ struct MulticastConfig {
   std::int64_t num_tgs = 200;   ///< Monte-Carlo samples
   std::uint64_t seed = 1;
 
+  /// Probability that a feedback exchange (NAK/POLL) is lost; each loss
+  /// costs an extra timeout gap and round (protocol::McConfig::q_f).
+  /// 0 keeps the paper's lossless-feedback assumption and its results
+  /// byte-identical.  Closed forms (predict) always assume q_f = 0.
+  double q_f = 0.0;
+
   /// kLayeredFec only: transmit this many FEC blocks interleaved
   /// (Section 4.2's burst countermeasure); 1 = no interleaving.
   std::size_t interleave_depth = 1;

@@ -54,10 +54,16 @@ class MulticastChannel {
   /// Installs adversarial impairment (reorder/dup/corrupt/truncate/jitter/
   /// burst drops) on the DATA down-path.  Each receiver gets an
   /// independent Impairment seeded from config.seed and its index, so a
-  /// given (config, seed) reproduces the exact delivery schedule.  The
-  /// control paths stay clean: the paper's protocols assume reliable
-  /// feedback, and the lossless_control flag already covers the lossy
-  /// case.  Call before any traffic; a disabled config removes it.
+  /// given (config, seed) reproduces the exact delivery schedule.
+  ///
+  /// When the config's control knobs (control_drop/control_dup/
+  /// control_delay) are set, the CONTROL paths are impaired too, from
+  /// RNG streams independent of the data-path ones: one per receiver for
+  /// the POLL down-path and overheard NAKs, plus one for the NAK/ACK
+  /// up-path to the sender.  With the control knobs at zero the control
+  /// paths stay clean (the paper's lossless-feedback assumption, also
+  /// toggled coarsely by lossless_control).  Call before any traffic; a
+  /// fully disabled config removes everything.
   void set_impairment(const ImpairmentConfig& config);
 
   /// Sum of the per-receiver impairment fault counters (zeros when no
@@ -76,12 +82,24 @@ class MulticastChannel {
   /// Receiver `from` -> sender and all other receivers (feedback path).
   void multicast_up(std::size_t from, const fec::Packet& packet);
 
+  /// Receiver `from` -> sender only (per-receiver ACKs of the reliable
+  /// control mode; other receivers never see it, so it cannot perturb
+  /// NAK suppression).  Subject to the control up-path impairment.
+  void unicast_up(std::size_t from, const fec::Packet& packet);
+
   const ChannelStats& stats() const noexcept { return stats_; }
 
  private:
+  /// The sender leg of the feedback path, shared by multicast_up and
+  /// unicast_up: clean, or through the control up-path policy.
+  void unicast_up_impl(std::size_t from, const fec::Packet& packet);
+
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<loss::LossProcess>> processes_;
   std::vector<std::unique_ptr<Impairment>> impairments_;  // empty = clean
+  /// Control-path policies: [r] = down/overhear path to receiver r,
+  /// [receivers()] = up path to the sender.  Empty = clean control.
+  std::vector<std::unique_ptr<Impairment>> control_impairments_;
   double delay_;
   bool lossless_control_;
   ReceiverHandler on_receiver_;

@@ -16,6 +16,11 @@ ImpairmentStats& ImpairmentStats::operator+=(const ImpairmentStats& o) noexcept 
   truncated += o.truncated;
   reordered += o.reordered;
   delivered += o.delivered;
+  control_processed += o.control_processed;
+  control_dropped += o.control_dropped;
+  control_duplicated += o.control_duplicated;
+  control_delayed += o.control_delayed;
+  control_delivered += o.control_delivered;
   return *this;
 }
 
@@ -30,12 +35,20 @@ void validate_prob(double p, const char* name) {
 }  // namespace
 
 Impairment::Impairment(const ImpairmentConfig& config)
-    : cfg_(config), rng_(config.seed) {
+    : cfg_(config), rng_(config.seed),
+      // A split() substream, NOT a reseed: the control stream must be
+      // independent of rng_'s draw sequence so enabling control faults
+      // leaves the data-path schedule of this seed byte-identical.
+      control_rng_(Rng(config.seed).split(0xc0117401ULL)) {
   validate_prob(cfg_.drop_prob, "drop_prob");
   validate_prob(cfg_.dup_prob, "dup_prob");
   validate_prob(cfg_.corrupt_prob, "corrupt_prob");
   validate_prob(cfg_.truncate_prob, "truncate_prob");
   validate_prob(cfg_.reorder_prob, "reorder_prob");
+  validate_prob(cfg_.control_drop, "control_drop");
+  validate_prob(cfg_.control_dup, "control_dup");
+  if (cfg_.control_delay < 0.0)
+    throw std::invalid_argument("Impairment: control_delay must be >= 0");
   if (cfg_.delay_jitter < 0.0)
     throw std::invalid_argument("Impairment: delay_jitter must be >= 0");
   if (cfg_.reorder_step < 0.0)
@@ -127,8 +140,74 @@ std::vector<Impairment::Delivery> Impairment::apply(const fec::Packet& packet,
   return out;
 }
 
+std::vector<Impairment::Delivery> Impairment::apply_control(
+    const fec::Packet& packet) {
+  ++stats_.control_processed;
+  std::vector<Delivery> out;
+  if (cfg_.control_drop > 0.0 && control_rng_.bernoulli(cfg_.control_drop)) {
+    ++stats_.control_dropped;
+    return out;
+  }
+  std::size_t copies = 1;
+  if (cfg_.control_dup > 0.0 && control_rng_.bernoulli(cfg_.control_dup)) {
+    ++stats_.control_duplicated;
+    copies = 2;
+  }
+  for (std::size_t c = 0; c < copies; ++c) {
+    Delivery d;
+    d.packet = packet;
+    if (cfg_.control_delay > 0.0) {
+      d.extra_delay = control_rng_.uniform() * cfg_.control_delay;
+      ++stats_.control_delayed;
+    }
+    ++stats_.control_delivered;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
 std::vector<std::vector<std::uint8_t>> Impairment::apply_bytes(
     std::span<const std::uint8_t> bytes) {
+  // On the byte path control datagrams are recognisable by the wire type
+  // (byte 0: 2 = POLL, 3 = NAK).  With control faults configured they are
+  // diverted to the control policy (drop/dup only; extra delay has no
+  // meaning for a datagram already received); with the control knobs at
+  // zero they flow through the data-path faults unchanged, preserving the
+  // pre-existing byte schedules per seed.
+  if (cfg_.control_enabled() && bytes.size() >= 1 &&
+      (bytes[0] == 2 || bytes[0] == 3)) {
+    ++stats_.control_processed;
+    std::vector<std::vector<std::uint8_t>> out;
+    // The reorder queue still makes one slot of forward progress: a
+    // control datagram occupies a receive slot whether or not it survives.
+    for (auto& h : held_)
+      if (h.release_after > 0) --h.release_after;
+    if (!(cfg_.control_drop > 0.0 &&
+          control_rng_.bernoulli(cfg_.control_drop))) {
+      std::size_t copies = 1;
+      if (cfg_.control_dup > 0.0 && control_rng_.bernoulli(cfg_.control_dup)) {
+        ++stats_.control_duplicated;
+        copies = 2;
+      }
+      for (std::size_t c = 0; c < copies; ++c) {
+        ++stats_.control_delivered;
+        out.emplace_back(bytes.begin(), bytes.end());
+      }
+    } else {
+      ++stats_.control_dropped;
+    }
+    for (auto it = held_.begin(); it != held_.end();) {
+      if (it->release_after == 0) {
+        ++stats_.delivered;
+        out.push_back(std::move(it->bytes));
+        it = held_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
   ++stats_.processed;
   std::vector<std::vector<std::uint8_t>> out;
 

@@ -60,11 +60,25 @@ struct ImpairmentConfig {
   double burst_len = 2.0;
   double burst_delta = 0.001;
 
-  /// True if any fault is active; a default-constructed config is a no-op.
+  /// Control-path (NAK/POLL) faults: the feedback-loss policy q_f of
+  /// docs/ROBUSTNESS.md.  Drawn from an RNG stream independent of the
+  /// data-path faults above, derived from the same seed — enabling them
+  /// leaves the DATA-path fault schedule byte-identical per seed.
+  double control_drop = 0.0;   ///< i.i.d. control-packet drop probability
+  double control_dup = 0.0;    ///< probability a control packet is doubled
+  double control_delay = 0.0;  ///< extra control delay uniform in [0, x) s
+
+  /// True if any DATA-path fault is active; a default-constructed config
+  /// is a no-op.
   bool enabled() const noexcept {
     return drop_prob > 0.0 || dup_prob > 0.0 || corrupt_prob > 0.0 ||
            truncate_prob > 0.0 || delay_jitter > 0.0 ||
            (reorder_prob > 0.0 && reorder_window > 0) || burst_drop_p > 0.0;
+  }
+
+  /// True if any control-path fault is active.
+  bool control_enabled() const noexcept {
+    return control_drop > 0.0 || control_dup > 0.0 || control_delay > 0.0;
   }
 };
 
@@ -78,6 +92,12 @@ struct ImpairmentStats {
   std::uint64_t truncated = 0;        ///< copies cut short
   std::uint64_t reordered = 0;        ///< copies held back
   std::uint64_t delivered = 0;        ///< copies that survived to delivery
+
+  std::uint64_t control_processed = 0;   ///< control packets offered
+  std::uint64_t control_dropped = 0;     ///< control packets lost
+  std::uint64_t control_duplicated = 0;  ///< extra control copies created
+  std::uint64_t control_delayed = 0;     ///< control copies given extra delay
+  std::uint64_t control_delivered = 0;   ///< control copies delivered
 
   ImpairmentStats& operator+=(const ImpairmentStats& o) noexcept;
 };
@@ -100,6 +120,13 @@ class Impairment {
   /// real wire path would drop it.
   std::vector<Delivery> apply(const fec::Packet& packet, double now);
 
+  /// Control path (NAK/POLL): drop, duplication and delay only — control
+  /// packets are never corrupted or reordered (corruption would just be
+  /// loss, which control_drop already models).  Decisions come from an
+  /// RNG stream independent of apply()/apply_bytes(), so enabling
+  /// control faults never perturbs the data-path schedule of a seed.
+  std::vector<Delivery> apply_control(const fec::Packet& packet);
+
   /// Byte path: returns the datagrams to deliver, in order, given one
   /// received datagram.  Held-back (reordered) datagrams are returned by
   /// a LATER call, after up to reorder_window successors; drain() flushes
@@ -121,7 +148,8 @@ class Impairment {
   void truncate_bytes(std::vector<std::uint8_t>& bytes);
 
   ImpairmentConfig cfg_;
-  Rng rng_;
+  Rng rng_;          // data-path fault stream
+  Rng control_rng_;  // control-path fault stream (independent of rng_)
   std::unique_ptr<loss::LossProcess> burst_;
   ImpairmentStats stats_;
 

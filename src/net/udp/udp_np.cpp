@@ -8,6 +8,10 @@
 
 namespace pbl::net {
 
+using protocol::Backoff;
+using protocol::Deadline;
+using protocol::retry_clock_now;
+
 UdpNpSender::UdpNpSender(UdpSocket socket, UdpGroup group,
                          const UdpNpConfig& config)
     : socket_(std::move(socket)), group_(std::move(group)), cfg_(config),
@@ -16,15 +20,36 @@ UdpNpSender::UdpNpSender(UdpSocket socket, UdpGroup group,
     throw std::invalid_argument("UdpNpSender: k + h must be <= 255");
   if (group_.size() == 0)
     throw std::invalid_argument("UdpNpSender: empty group");
+  if (config.reliable_control) config.retry.validate();
 }
 
 UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
   UdpNpSenderStats stats;
   std::uint32_t round_id = 0;
 
+  // Reliable-mode per-member state, addressed by group index; a NAK/ACK
+  // names its member by carrying the receiver's own port in header.index.
+  const auto& members = group_.members();
+  std::vector<bool> evicted(members.size(), false);
+  std::vector<std::size_t> silent(members.size(), 0);
+  std::vector<std::vector<bool>> delivered(
+      members.size(), std::vector<bool>(groups.size(), false));
+  const auto member_of = [&](std::uint16_t port) -> std::size_t {
+    for (std::size_t m = 0; m < members.size(); ++m)
+      if (members[m] == port) return m;
+    return members.size();  // unknown port: foreign feedback
+  };
+  const Deadline deadline(retry_clock_now(), cfg_.reliable_control
+                                                 ? cfg_.retry.session_deadline
+                                                 : 0.0);
+
   for (std::uint32_t i = 0; i < groups.size(); ++i) {
     if (groups[i].size() != cfg_.k)
       throw std::invalid_argument("UdpNpSender: each TG needs k packets");
+    if (deadline.expired(retry_clock_now())) {
+      stats.report.deadline_expired = true;
+      break;
+    }
     fec::TgEncoder encoder(i, code_, groups[i]);
 
     for (std::size_t j = 0; j < cfg_.k; ++j) {
@@ -32,7 +57,17 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
       ++stats.data_sent;
     }
 
+    std::vector<bool> acked(members.size(), false);
+    std::vector<bool> heard(members.size(), false);
+    Backoff poll_backoff(cfg_.retry, Rng(cfg_.seed).split(0x9100 + i));
+    const auto confirmed = [&] {
+      for (std::size_t m = 0; m < members.size(); ++m)
+        if (!evicted[m] && !acked[m]) return false;
+      return true;
+    };
+
     std::size_t parities_used = 0;
+    double window_pad = 0.0;  // re-POLL backoff widens the collect window
     for (int round = 0; round < cfg_.max_rounds; ++round) {
       fec::Packet poll;
       poll.header.type = fec::PacketType::kPoll;
@@ -44,23 +79,73 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
 
       // Collect this round's NAKs; serve the maximum request.
       std::size_t l = 0;
+      std::fill(heard.begin(), heard.end(), false);
       const auto t0 = std::chrono::steady_clock::now();
-      double remaining = cfg_.poll_window;
+      const double window =
+          std::min(cfg_.poll_window + window_pad,
+                   deadline.remaining(retry_clock_now()));
+      double remaining = window;
       while (remaining > 0.0) {
         if (auto nak = socket_.receive(remaining)) {
           if (nak->header.type == fec::PacketType::kNak &&
-              nak->header.tg == i && nak->header.seq == round_id) {
-            ++stats.naks_received;
-            l = std::max(l, static_cast<std::size_t>(nak->header.count));
+              nak->header.tg == i) {
+            if (cfg_.reliable_control) {
+              const std::size_t m = member_of(nak->header.index);
+              if (m < members.size()) {
+                heard[m] = true;
+                silent[m] = 0;
+                if (nak->header.count == 0) {
+                  ++stats.acks_received;
+                  if (!acked[m]) {
+                    acked[m] = true;
+                    delivered[m][i] = true;
+                  }
+                }
+              }
+            }
+            if (nak->header.count > 0 && nak->header.seq == round_id) {
+              ++stats.naks_received;
+              l = std::max(l, static_cast<std::size_t>(nak->header.count));
+            }
           }
         }
         remaining =
-            cfg_.poll_window -
+            window -
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)
                 .count();
       }
-      if (l == 0) break;  // silence: all receivers reconstructed TG i
+
+      if (!cfg_.reliable_control) {
+        if (l == 0) break;  // silence: all receivers reconstructed TG i
+      } else {
+        if (confirmed()) break;  // every live member positively acked
+        if (deadline.expired(retry_clock_now())) {
+          stats.report.deadline_expired = true;
+          break;
+        }
+        if (l == 0) {
+          // A totally unanswered round: age every unconfirmed member and
+          // re-POLL with a widened window — unless the budget is spent.
+          for (std::size_t m = 0; m < members.size(); ++m) {
+            if (evicted[m] || acked[m] || heard[m]) continue;
+            if (++silent[m] >= cfg_.retry.grace_rounds) {
+              evicted[m] = true;
+              ++stats.evictions;
+            }
+          }
+          if (confirmed()) break;
+          if (poll_backoff.exhausted()) {
+            ++stats.tgs_unconfirmed;
+            break;
+          }
+          ++stats.poll_retries;
+          window_pad = poll_backoff.next();
+          continue;
+        }
+        window_pad = 0.0;  // progress: the next round is a normal one
+      }
+
       l = std::min(l, cfg_.h - parities_used);
       if (l == 0) {
         ++stats.tgs_exhausted;
@@ -72,6 +157,9 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
       }
       parities_used += l;
     }
+    if (deadline.expired(retry_clock_now()) && !stats.report.deadline_expired)
+      stats.report.deadline_expired = true;
+    if (stats.report.deadline_expired) break;
   }
 
   fec::Packet end;
@@ -83,6 +171,20 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
     stats.tx_per_packet =
         static_cast<double>(stats.data_sent + stats.parity_sent) /
         (static_cast<double>(cfg_.k) * static_cast<double>(groups.size()));
+  }
+  if (cfg_.reliable_control) {
+    auto& rep = stats.report;
+    rep.delivered = std::move(delivered);
+    rep.evicted.assign(members.size(), false);
+    for (std::size_t m = 0; m < members.size(); ++m) rep.evicted[m] = evicted[m];
+    rep.evictions = stats.evictions;
+    rep.units_failed = stats.tgs_exhausted + stats.tgs_unconfirmed;
+    rep.poll_retries = stats.poll_retries;
+    rep.complete = !rep.deadline_expired && rep.evictions == 0 &&
+                   rep.units_failed == 0;
+    if (rep.complete)
+      for (const auto& row : rep.delivered)
+        for (const bool b : row) rep.complete = rep.complete && b;
   }
   return stats;
 }
@@ -96,7 +198,8 @@ UdpNpReceiver::UdpNpReceiver(UdpSocket socket, std::uint16_t sender_port,
       code_(config.k, config.k + config.h) {
   if (inject_loss < 0.0 || inject_loss >= 1.0)
     throw std::invalid_argument("UdpNpReceiver: inject_loss in [0,1)");
-  if (impairment.enabled()) {
+  if (config.reliable_control) config.retry.validate();
+  if (impairment.enabled() || impairment.control_enabled()) {
     impairment_ = std::make_shared<Impairment>(impairment);
     socket_.set_impairment(impairment_);
   }
@@ -110,6 +213,26 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
     decoders.emplace_back(i, code_, cfg_.packet_len);
   std::vector<bool> done(num_tgs_, false);
   std::size_t done_count = 0;
+
+  // Reliable mode: one NAK retransmit slot for the TG currently being
+  // repaired (the sender serves one TG at a time), with a per-TG backoff.
+  std::vector<std::unique_ptr<Backoff>> nak_backoffs(num_tgs_);
+  bool nak_pending = false;
+  std::uint32_t nak_tg = 0;
+  std::uint32_t nak_round = 0;
+  double nak_retry_at = 0.0;
+  const auto send_feedback = [&](std::uint32_t tg, std::size_t count,
+                                 std::uint32_t seq) {
+    fec::Packet fb;
+    fb.header.type = fec::PacketType::kNak;
+    fb.header.tg = tg;
+    fb.header.count = static_cast<std::uint16_t>(count);
+    fb.header.seq = seq;
+    // The sender's liveness tracking needs to know who spoke: receive()
+    // discards the source address, so the port rides in the header.
+    if (cfg_.reliable_control) fb.header.index = socket_.port();
+    socket_.send_to(sender_port_, fb);
+  };
 
   // The DATA/PARITY path, shared by live reception and the end-of-stream
   // drain of the reorder queue.  Must be total over adversarial input:
@@ -143,29 +266,89 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
     }
   };
 
+  // Phase-aware idle clock: mid-session silence (sender stalled) and the
+  // post-completion drain for a possibly-lost end marker are distinct
+  // timeouts with distinct end reasons — the old single idle_timeout
+  // conflated "sender finished" with "sender stalled".
+  double last_rx = retry_clock_now();
+  result.end_reason = UdpNpEndReason::kMidSessionSilence;
   while (true) {
-    auto packet = socket_.receive(idle_timeout);
-    if (!packet) break;  // sender gone
-    const auto& hdr = packet->header;
-    if (hdr.type == fec::PacketType::kPoll && hdr.tg == kUdpEndOfSession)
+    if (done_count >= cfg_.crash_after_tgs) {
+      // Fault injection: fall silent mid-session, exactly like a crash.
+      result.end_reason = UdpNpEndReason::kCrashed;
       break;
+    }
+    const double idle_budget =
+        done_count == num_tgs_ ? cfg_.drain_timeout : idle_timeout;
+    const double now = retry_clock_now();
+    const double idle_left = last_rx + idle_budget - now;
+    if (idle_left <= 0.0) {
+      result.end_reason = done_count == num_tgs_
+                              ? UdpNpEndReason::kDrainTimeout
+                              : UdpNpEndReason::kMidSessionSilence;
+      break;
+    }
+    double wait = idle_left;
+    if (cfg_.reliable_control && nak_pending)
+      wait = std::min(wait, std::max(0.0, nak_retry_at - now));
+
+    auto packet = socket_.receive(wait);
+    if (!packet) {
+      if (cfg_.reliable_control && nak_pending &&
+          retry_clock_now() >= nak_retry_at) {
+        // The NAK (or its repair) may have been lost: retransmit under
+        // this TG's backoff until served or the budget runs out.
+        const std::size_t need = decoders[nak_tg].needed();
+        auto& bo = nak_backoffs[nak_tg];
+        if (need == 0 || !bo || bo->exhausted()) {
+          nak_pending = false;
+        } else {
+          ++result.nak_retries;
+          ++result.naks_sent;
+          send_feedback(nak_tg, need, nak_round);
+          nak_retry_at = retry_clock_now() + cfg_.poll_window + bo->next();
+        }
+      }
+      continue;  // the idle clock decides at the top of the loop
+    }
+    last_rx = retry_clock_now();
+    const auto& hdr = packet->header;
+    if (hdr.type == fec::PacketType::kPoll && hdr.tg == kUdpEndOfSession) {
+      result.end_reason = UdpNpEndReason::kEndOfSession;
+      break;
+    }
     if (hdr.tg >= num_tgs_) continue;  // foreign traffic
 
     switch (hdr.type) {
       case fec::PacketType::kData:
       case fec::PacketType::kParity:
+        // Repair traffic for the NAKed TG: the request was heard.
+        if (nak_pending && hdr.tg == nak_tg) nak_pending = false;
         accept_block_packet(*packet);
         break;
       case fec::PacketType::kPoll: {
         const std::size_t l = decoders[hdr.tg].needed();
-        if (l == 0) break;
-        fec::Packet nak;
-        nak.header.type = fec::PacketType::kNak;
-        nak.header.tg = hdr.tg;
-        nak.header.count = static_cast<std::uint16_t>(l);
-        nak.header.seq = hdr.seq;  // answer this round
-        socket_.send_to(sender_port_, nak);
+        if (l == 0) {
+          if (cfg_.reliable_control) {
+            // Reliable mode answers every POLL; silence is for the dead.
+            send_feedback(hdr.tg, 0, hdr.seq);
+            ++result.acks_sent;
+          }
+          break;
+        }
+        send_feedback(hdr.tg, l, hdr.seq);
         ++result.naks_sent;
+        if (cfg_.reliable_control) {
+          auto& bo = nak_backoffs[hdr.tg];
+          if (!bo)
+            bo = std::make_unique<Backoff>(
+                cfg_.retry, rng_.split(0x7000 + hdr.tg));
+          nak_pending = true;
+          nak_tg = hdr.tg;
+          nak_round = hdr.seq;
+          nak_retry_at = retry_clock_now() + cfg_.poll_window +
+                         (bo->exhausted() ? cfg_.poll_window : bo->next());
+        }
         break;
       }
       case fec::PacketType::kNak:

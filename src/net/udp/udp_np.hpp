@@ -22,6 +22,7 @@
 #include "fec/rse_code.hpp"
 #include "net/impairment.hpp"
 #include "net/udp/udp_transport.hpp"
+#include "protocol/retry.hpp"
 #include "util/rng.hpp"
 
 namespace pbl::net {
@@ -34,6 +35,32 @@ struct UdpNpConfig {
   std::size_t packet_len = 512;
   double poll_window = 0.08;     ///< seconds the sender collects NAKs per round
   int max_rounds = 200;          ///< per-TG round cap (safety against livelock)
+
+  /// Control-plane reliability layer (docs/ROBUSTNESS.md).  When set,
+  /// "silence after a POLL" no longer closes a TG: every receiver answers
+  /// every POLL (NAK, or an ACK — a NAK with count == 0 — when it needs
+  /// nothing; both carry the receiver's own port in header.index so the
+  /// sender can track per-member liveness), unanswered rounds are
+  /// re-POLLed with a widened collect window under `retry`'s seeded
+  /// backoff, receivers retransmit NAKs whose repair never arrives, and
+  /// members silent for retry.grace_rounds rounds are evicted instead of
+  /// stalling the transfer.  Wall-clock deadlines (retry.session_deadline)
+  /// bound the whole session; every exit fills UdpNpSenderStats::report.
+  /// Off by default — the legacy silence-is-consent path is unchanged.
+  bool reliable_control = false;
+  protocol::RetryConfig retry{};
+  std::uint64_t seed = 1;        ///< seeds the reliable-mode backoff jitter
+
+  /// Receiver-side phase-aware timers (always active): once a receiver
+  /// holds every TG it waits only `drain_timeout` seconds of silence for
+  /// the (possibly lost) end-of-session marker instead of the full
+  /// mid-session idle timeout, and reports which of the two ended the
+  /// run (see UdpNpReceiverResult::end_reason).
+  double drain_timeout = 1.0;
+
+  /// Fault injection for liveness tests: the receiver returns (as if
+  /// crashed) after completing this many TGs.  SIZE_MAX disables.
+  std::size_t crash_after_tgs = static_cast<std::size_t>(-1);
 };
 
 struct UdpNpSenderStats {
@@ -43,6 +70,14 @@ struct UdpNpSenderStats {
   std::uint64_t naks_received = 0;
   std::uint64_t tgs_exhausted = 0;  ///< parity budget ran out
   double tx_per_packet = 0.0;
+
+  // Reliable-control accounting (all zero unless reliable_control).
+  std::uint64_t acks_received = 0;
+  std::uint64_t poll_retries = 0;   ///< re-POLLs after unconfirmed rounds
+  std::uint64_t evictions = 0;      ///< members evicted for silence
+  std::uint64_t tgs_unconfirmed = 0;  ///< re-POLL budget ran out
+  /// Structured degradation outcome; filled on every exit path.
+  protocol::PartialDeliveryReport report{};
 };
 
 /// Blocking sender: transfers the groups, then multicasts an end-of-
@@ -63,6 +98,15 @@ class UdpNpSender {
   fec::RseCode code_;
 };
 
+/// What ended a receiver's run — the old single idle_timeout conflated
+/// "sender finished" with "sender stalled"; these are now distinct.
+enum class UdpNpEndReason {
+  kEndOfSession,      ///< the end-of-session marker arrived (clean)
+  kDrainTimeout,      ///< all TGs held; the (lost) marker never came
+  kMidSessionSilence, ///< sender went silent with TGs still missing
+  kCrashed,           ///< fault injection: crash_after_tgs reached
+};
+
 struct UdpNpReceiverResult {
   std::vector<TgBytes> groups;     ///< reconstructed data, in TG order
   bool complete = false;           ///< every TG reconstructed
@@ -73,6 +117,10 @@ struct UdpNpReceiverResult {
   std::uint64_t duplicates = 0;    ///< redundant DATA/PARITY receptions
   std::uint64_t rejected = 0;      ///< block-shape/length mismatches dropped
   ImpairmentStats impairment{};    ///< wire fault counters (zero when clean)
+
+  UdpNpEndReason end_reason = UdpNpEndReason::kMidSessionSilence;
+  std::uint64_t acks_sent = 0;     ///< reliable mode: positive poll answers
+  std::uint64_t nak_retries = 0;   ///< reliable mode: NAK retransmissions
 };
 
 /// Blocking receiver: processes packets until the end-of-session marker

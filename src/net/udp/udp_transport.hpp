@@ -61,6 +61,12 @@ class UdpGroup {
   void add_member(std::uint16_t port) { members_.push_back(port); }
   std::size_t size() const noexcept { return members_.size(); }
 
+  /// Member ports in join order — the reliable control plane addresses
+  /// per-member state (ACKs, liveness, eviction) by this index.
+  const std::vector<std::uint16_t>& members() const noexcept {
+    return members_;
+  }
+
   /// Replicates the packet to every member (optionally excluding one,
   /// e.g. the NAK's own sender).
   void multicast(UdpSocket& from, const fec::Packet& packet,

@@ -50,7 +50,7 @@ struct LayeredSession::Impl {
   Impl(const loss::LossModel& loss, std::size_t receivers,
        std::size_t num_packets, const LayeredConfig& config,
        std::uint64_t seed)
-      : cfg(config), num_packets(num_packets), sim(seed),
+      : cfg(config), num_packets(num_packets), session_seed(seed), sim(seed),
         code(config.k, config.k + config.h),
         channel(sim, loss, receivers, config.delay, config.lossless_control) {
     if (receivers == 0)
@@ -59,6 +59,7 @@ struct LayeredSession::Impl {
       throw std::invalid_argument("LayeredSession: num_packets >= 1");
     if (config.k + config.h > 255)
       throw std::invalid_argument("LayeredSession: k + h must be <= 255");
+    if (config.reliable_control) config.retry.validate();
 
     Rng data_rng(seed ^ 0x1a7e6edULL);
     originals.resize(num_packets);
@@ -76,7 +77,13 @@ struct LayeredSession::Impl {
       rx[r].rng = Rng(seed).split(0x4000 + r);
     }
 
-    if (cfg.impairment.enabled()) channel.set_impairment(cfg.impairment);
+    if (cfg.reliable_control) {
+      evicted.assign(receivers, false);
+      silent_rounds.assign(receivers, 0);
+    }
+
+    if (cfg.impairment.enabled() || cfg.impairment.control_enabled())
+      channel.set_impairment(cfg.impairment);
 
     channel.set_receiver_handler(
         [this](std::size_t r, const Packet& p) { on_receiver_packet(r, p); });
@@ -90,6 +97,10 @@ struct LayeredSession::Impl {
     std::vector<std::uint64_t> seqs;        // slot -> original seq (or kPadSeq)
     std::vector<std::uint8_t> nak_union;    // union of this round's bitmaps
     bool closed = false;
+
+    // Reliable-control state (sized only when reliable_control).
+    std::vector<bool> responded;            // per-receiver: ACK or NAK seen
+    std::unique_ptr<Backoff> poll_backoff;  // re-POLL budget for this block
   };
 
   /// Sends the next block if enough packets are queued — or a padded
@@ -124,6 +135,11 @@ struct LayeredSession::Impl {
       framed.push_back(std::move(frame));
     }
     const auto block_id = static_cast<std::uint32_t>(blocks.size());
+    if (cfg.reliable_control) {
+      block.responded.assign(rx.size(), false);
+      block.poll_backoff = std::make_unique<Backoff>(
+          cfg.retry, Rng(session_seed).split(0x9100000000ULL + block_id));
+    }
     blocks.push_back(std::move(block));
     encoders.emplace_back(block_id, code, std::move(framed));
     ++outstanding_blocks;
@@ -149,6 +165,13 @@ struct LayeredSession::Impl {
       return;
     }
     // Block done: poll (manifest rides in the control payload).
+    send_poll(block_id);
+    sending = false;
+    sim.schedule_in(cfg.delta, [this] { try_form_block(); });
+  }
+
+  void send_poll(std::uint32_t block_id) {
+    const std::size_t n = cfg.k + cfg.h;
     Packet poll;
     poll.header.type = PacketType::kPoll;
     poll.header.tg = block_id;
@@ -162,10 +185,59 @@ struct LayeredSession::Impl {
 
     const double window = 2.0 * cfg.delay +
                           (static_cast<double>(n) + 1.0) * cfg.slot;
-    sim.schedule_in(window, [this, block_id] { close_block(block_id); });
+    if (cfg.reliable_control) {
+      sim.schedule_in(window,
+                      [this, block_id] { on_block_window_closed(block_id); });
+    } else {
+      sim.schedule_in(window, [this, block_id] { close_block(block_id); });
+    }
+  }
 
-    sending = false;
-    sim.schedule_in(cfg.delta, [this] { try_form_block(); });
+  // ---- reliable control plane (sender side) ------------------------------
+
+  bool all_responded(std::uint32_t block_id) const {
+    const auto& block = blocks[block_id];
+    for (std::size_t r = 0; r < rx.size(); ++r)
+      if (!evicted[r] && !block.responded[r]) return false;
+    return true;
+  }
+
+  void evict(std::size_t r) {
+    if (evicted[r]) return;
+    evicted[r] = true;
+    ++stats.evictions;
+  }
+
+  /// Reliable mode's round close: a block only closes once every live
+  /// receiver has answered its POLL (with a NAK or an ACK); silent
+  /// receivers age toward eviction and unanswered rounds are re-POLLed
+  /// under the block's backoff until the budget runs out.
+  void on_block_window_closed(std::uint32_t block_id) {
+    auto& block = blocks[block_id];
+    if (block.closed) return;
+    if (all_responded(block_id)) {
+      close_block(block_id);
+      return;
+    }
+    for (std::size_t r = 0; r < rx.size(); ++r) {
+      if (evicted[r] || block.responded[r]) continue;
+      if (++silent_rounds[r] >= cfg.retry.grace_rounds) evict(r);
+    }
+    if (all_responded(block_id)) {
+      close_block(block_id);
+      return;
+    }
+    if (block.poll_backoff->exhausted()) {
+      // Degrade, don't spin: the block closes unconfirmed, which the
+      // late-NAK path and the final report make visible.
+      ++stats.blocks_unconfirmed;
+      close_block(block_id);
+      return;
+    }
+    ++stats.poll_retries;
+    sim.schedule_in(block.poll_backoff->next(), [this, block_id] {
+      if (!blocks[block_id].closed) send_poll(block_id);
+    });
   }
 
   void close_block(std::uint32_t block_id) {
@@ -183,11 +255,37 @@ struct LayeredSession::Impl {
     try_form_block();
   }
 
-  void on_sender_feedback(std::size_t /*from*/, const Packet& p) {
+  void on_sender_feedback(std::size_t from, const Packet& p) {
     if (p.header.type != PacketType::kNak) return;
     if (p.header.tg >= blocks.size()) return;  // corrupt/foreign feedback
     auto& block = blocks[p.header.tg];
-    if (block.closed) return;  // stale
+    bool any_bit = false;
+    for (const std::uint8_t b : p.payload) any_bit |= b != 0;
+    if (cfg.reliable_control && from < rx.size()) {
+      // Any feedback proves the receiver alive and answers this block's
+      // round, whether it names missing slots or confirms (empty bitmap).
+      silent_rounds[from] = 0;
+      if (!evicted[from]) block.responded[from] = true;
+      if (!any_bit) ++stats.acks_received;
+    }
+    if (block.closed) {
+      // Late NAK: with a reliable control plane this is a real repair
+      // request whose earlier copies were lost, not stale noise — the
+      // named originals ride in a future block.
+      if (!cfg.reliable_control || !any_bit) return;
+      ++stats.late_naks;
+      bool requeued = false;
+      for (std::size_t i = 0; i < cfg.k; ++i) {
+        if (!bit_at(p.payload, i)) continue;
+        const std::uint64_t seq = block.seqs[i];
+        if (seq == kPadSeq || queued_flag[seq]) continue;
+        queued_flag[seq] = true;
+        queue.push_back(seq);
+        requeued = true;
+      }
+      if (requeued) try_form_block();
+      return;
+    }
     if (block.nak_union.size() < p.payload.size())
       block.nak_union.resize(p.payload.size(), 0);
     for (std::size_t i = 0; i < p.payload.size(); ++i)
@@ -203,7 +301,126 @@ struct LayeredSession::Impl {
     std::vector<std::unique_ptr<NakTimer>> timers;        // per block
     std::vector<std::vector<std::uint8_t>> pending_bitmap;  // per block
     Rng rng;
+
+    // Reliable-control state, all per block and lazily sized (see
+    // ensure_reliable_arrays).
+    std::vector<char> poll_seen;
+    std::vector<std::vector<std::uint64_t>> manifest;  // empty until polled
+    std::vector<std::vector<bool>> held;  // data slots observed on the wire
+    std::vector<sim::EventId> watchdog;   // fires if a block's POLL is lost
+    std::vector<std::unique_ptr<Backoff>> retry_backoff;
+    std::vector<sim::EventId> retry_event;  // pending NAK retransmit
   };
+
+  void ensure_reliable_arrays(Receiver& rec, std::uint32_t b) {
+    if (rec.poll_seen.size() > b) return;
+    rec.poll_seen.resize(b + 1, 0);
+    rec.manifest.resize(b + 1);
+    rec.held.resize(b + 1);
+    rec.watchdog.resize(b + 1, sim::kInvalidEvent);
+    rec.retry_backoff.resize(b + 1);
+    rec.retry_event.resize(b + 1, sim::kInvalidEvent);
+  }
+
+  /// Data slots of block `b` that receiver `r` still needs: by content
+  /// once the manifest is known, by held wire slots before that (the
+  /// conservative fallback a lost POLL forces).
+  std::vector<bool> compute_missing(std::size_t r, std::uint32_t b) {
+    auto& rec = rx[r];
+    ensure_reliable_arrays(rec, b);
+    std::vector<bool> missing(cfg.k, false);
+    auto& dec = decoder(r, b);
+    if (dec.decodable()) return missing;  // everything recoverable locally
+    if (!rec.manifest[b].empty()) {
+      for (std::size_t i = 0; i < cfg.k; ++i) {
+        const std::uint64_t seq = rec.manifest[b][i];
+        if (seq == kPadSeq || rec.delivered[seq]) continue;
+        missing[i] = true;
+      }
+    } else {
+      auto& held = rec.held[b];
+      if (held.size() < cfg.k) held.resize(cfg.k, false);
+      for (std::size_t i = 0; i < cfg.k; ++i) missing[i] = !held[i];
+    }
+    return missing;
+  }
+
+  void send_nak_bitmap(std::size_t r, std::uint32_t b,
+                       const std::vector<bool>& missing) {
+    Packet nak;
+    nak.header.type = PacketType::kNak;
+    nak.header.tg = b;
+    nak.payload = bitmap_of(missing);
+    nak.header.count = 0;
+    nak.header.payload_len = static_cast<std::uint32_t>(nak.payload.size());
+    channel.multicast_up(r, nak);
+  }
+
+  /// The empty-bitmap ACK: unicast, so other receivers' damping never
+  /// sees it.
+  void send_ack(std::size_t r, std::uint32_t b) {
+    ++stats.acks_sent;
+    Packet ack;
+    ack.header.type = PacketType::kNak;
+    ack.header.tg = b;
+    ack.header.count = 0;
+    ack.header.payload_len = 0;
+    channel.unicast_up(r, ack);
+  }
+
+  void cancel_retry(std::size_t r, std::uint32_t b) {
+    auto& rec = rx[r];
+    if (rec.retry_event.size() <= b) return;
+    auto& ev = rec.retry_event[b];
+    if (ev != sim::kInvalidEvent) {
+      sim.cancel(ev);
+      ev = sim::kInvalidEvent;
+    }
+  }
+
+  /// A NAK for block `b` is in flight; if its repair does not show up
+  /// (in a future block, by content) it is retransmitted under backoff
+  /// until nothing is missing or the budget runs out.
+  void arm_retry(std::size_t r, std::uint32_t b) {
+    auto& rec = rx[r];
+    ensure_reliable_arrays(rec, b);
+    cancel_retry(r, b);
+    auto& bo = rec.retry_backoff[b];
+    if (!bo)
+      bo = std::make_unique<Backoff>(
+          cfg.retry, Rng(session_seed).split(
+                         0x7000000000ULL +
+                         (static_cast<std::uint64_t>(r) << 32) + b));
+    if (bo->exhausted()) return;
+    const double wait = 2.0 * cfg.delay + bo->next();
+    rec.retry_event[b] = sim.schedule_in(wait, [this, r, b] {
+      rx[r].retry_event[b] = sim::kInvalidEvent;
+      const auto missing = compute_missing(r, b);
+      if (std::none_of(missing.begin(), missing.end(),
+                       [](bool m) { return m; }))
+        return;
+      ++stats.nak_retries;
+      ++stats.naks_sent;
+      send_nak_bitmap(r, b, missing);
+      arm_retry(r, b);
+    });
+  }
+
+  /// Fires when a block's shards were seen but its POLL never arrived:
+  /// the receiver opens the feedback round itself with an unsolicited
+  /// NAK for the wire slots it is missing.
+  void on_watchdog(std::size_t r, std::uint32_t b) {
+    auto& rec = rx[r];
+    rec.watchdog[b] = sim::kInvalidEvent;
+    if (rec.poll_seen[b]) return;
+    const auto missing = compute_missing(r, b);
+    if (std::none_of(missing.begin(), missing.end(),
+                     [](bool m) { return m; }))
+      return;
+    ++stats.naks_sent;
+    send_nak_bitmap(r, b, missing);
+    arm_retry(r, b);
+  }
 
   fec::TgDecoder& decoder(std::size_t r, std::uint32_t block_id) {
     auto& rec = rx[r];
@@ -243,6 +460,28 @@ struct LayeredSession::Impl {
         if (p.header.index >= cfg.k + cfg.h ||
             p.payload.size() != 8 + cfg.packet_len)
           return;
+        if (cfg.reliable_control) {
+          auto& rec = rx[r];
+          const std::uint32_t b = p.header.tg;
+          ensure_reliable_arrays(rec, b);
+          if (p.header.index < cfg.k) {
+            auto& held = rec.held[b];
+            if (held.size() < cfg.k) held.resize(cfg.k, false);
+            held[p.header.index] = true;
+          }
+          // A shard announces the block; if its POLL never shows up the
+          // watchdog opens the feedback round from this side.  The wait
+          // covers the rest of the block, the POLL round trip, and the
+          // widest NAK backoff, plus one retry quantum of slack.
+          if (!rec.poll_seen[b] && rec.watchdog[b] == sim::kInvalidEvent) {
+            const double n = static_cast<double>(cfg.k + cfg.h);
+            const double wait = n * cfg.delta + 2.0 * cfg.delay +
+                                (n + 1.0) * cfg.slot +
+                                cfg.retry.initial_backoff;
+            rec.watchdog[b] =
+                sim.schedule_in(wait, [this, r, b] { on_watchdog(r, b); });
+          }
+        }
         auto& dec = decoder(r, p.header.tg);
         const bool was_decodable = dec.decodable();
         if (!dec.add(p)) return;
@@ -287,16 +526,34 @@ struct LayeredSession::Impl {
     std::size_t count = 0;
     auto& dec = decoder(r, b);
     const bool decoded = dec.decodable();
+    std::vector<std::uint64_t> seqs(cfg.k, kPadSeq);
     for (std::size_t i = 0; i < cfg.k; ++i) {
       std::uint64_t seq = 0;
       for (int byte = 0; byte < 8; ++byte)
         seq |= static_cast<std::uint64_t>(
                    poll.payload[i * 8 + static_cast<std::size_t>(byte)])
                << (8 * byte);
+      seqs[i] = seq;
       if (seq == kPadSeq) continue;
       if (decoded || rec.delivered[seq]) continue;
       missing[i] = true;
       ++count;
+    }
+    if (cfg.reliable_control) {
+      ensure_reliable_arrays(rec, b);
+      rec.poll_seen[b] = 1;
+      rec.manifest[b] = std::move(seqs);
+      if (rec.watchdog[b] != sim::kInvalidEvent) {
+        sim.cancel(rec.watchdog[b]);
+        rec.watchdog[b] = sim::kInvalidEvent;
+      }
+      if (count == 0) {
+        // Reliable mode answers every POLL: silence is reserved for the
+        // dead.
+        cancel_retry(r, b);
+        send_ack(r, b);
+        return;
+      }
     }
     if (count == 0) return;
 
@@ -315,6 +572,8 @@ struct LayeredSession::Impl {
         nak.header.count = 0;
         nak.header.payload_len = static_cast<std::uint32_t>(nak.payload.size());
         channel.multicast_up(r, nak);
+        // If this NAK (or its repair) is lost, retransmit under backoff.
+        if (cfg.reliable_control) arm_retry(r, b);
       });
     }
     rec.timers[b]->arm(count,
@@ -325,7 +584,15 @@ struct LayeredSession::Impl {
 
   LayeredStats run() {
     try_form_block();
-    sim.run();
+    if (cfg.reliable_control && cfg.retry.session_deadline > 0.0) {
+      sim.run(cfg.retry.session_deadline);
+      if (!sim.queue().empty()) {
+        stats.report.deadline_expired = true;
+        sim.queue().clear();
+      }
+    } else {
+      sim.run();
+    }
     bool all = !corrupted;
     for (const auto& rec : rx)
       if (rec.delivered_count != num_packets) all = false;
@@ -337,11 +604,31 @@ struct LayeredSession::Impl {
                             stats.padding_sent) /
         n;
     stats.rm_tx_per_packet = static_cast<double>(stats.data_sent) / n;
+    build_report();
     return stats;
+  }
+
+  /// Fills LayeredStats::report on every exit path.
+  void build_report() {
+    auto& rep = stats.report;
+    rep.delivered.assign(rx.size(), std::vector<bool>(num_packets, false));
+    for (std::size_t r = 0; r < rx.size(); ++r)
+      for (std::size_t u = 0; u < num_packets; ++u)
+        rep.delivered[r][u] = rx[r].delivered[u];
+    rep.evicted.assign(rx.size(), false);
+    for (std::size_t r = 0; r < evicted.size(); ++r)
+      rep.evicted[r] = evicted[r];
+    rep.evictions = stats.evictions;
+    rep.units_failed = stats.blocks_unconfirmed;
+    rep.poll_retries = stats.poll_retries;
+    rep.nak_retries = stats.nak_retries;
+    rep.complete = stats.all_delivered && stats.evictions == 0 &&
+                   stats.blocks_unconfirmed == 0 && !rep.deadline_expired;
   }
 
   LayeredConfig cfg;
   std::size_t num_packets;
+  std::uint64_t session_seed;
   sim::Simulator sim;
   fec::RseCode code;
   net::MulticastChannel channel;
@@ -356,6 +643,11 @@ struct LayeredSession::Impl {
 
   std::vector<Receiver> rx;
   bool corrupted = false;
+
+  // Reliable-control liveness (sized only when reliable_control).
+  std::vector<bool> evicted;
+  std::vector<std::size_t> silent_rounds;
+
   LayeredStats stats;
 };
 

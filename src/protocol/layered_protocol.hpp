@@ -24,6 +24,7 @@
 
 #include "loss/loss_model.hpp"
 #include "net/impairment.hpp"
+#include "protocol/retry.hpp"
 
 namespace pbl::protocol {
 
@@ -35,8 +36,23 @@ struct LayeredConfig {
   double slot = 0.005;          ///< NAK suppression slot size [s]
   double delay = 0.010;         ///< one-way propagation delay [s]
   bool lossless_control = true;
-  /// Adversarial impairment of the DATA down-path; disabled by default.
+  /// Adversarial impairment of the DATA down-path; the control knobs
+  /// (impairment.control_*) additionally impair the POLL/NAK paths.
   net::ImpairmentConfig impairment{};
+
+  /// Control-plane reliability layer (docs/ROBUSTNESS.md).  When set, a
+  /// block's poll round is no longer closed on silence: every receiver
+  /// answers every POLL (a NAK bitmap, or an empty-bitmap ACK unicast to
+  /// the sender when nothing is missing), unanswered rounds are re-POLLed
+  /// under `retry`'s seeded backoff, receivers that saw a block's shards
+  /// but never its POLL reconstruct the feedback round from a watchdog
+  /// NAK, lost NAKs are retransmitted under backoff, late NAKs on closed
+  /// blocks re-enqueue the named originals instead of being dropped, and
+  /// receivers silent for retry.grace_rounds are evicted.  Every exit is
+  /// total and fills LayeredStats::report.  Off by default — the
+  /// lossless-feedback fast path stays byte-identical.
+  bool reliable_control = false;
+  RetryConfig retry{};
 };
 
 struct LayeredStats {
@@ -56,6 +72,17 @@ struct LayeredStats {
   /// RM-layer transmissions per application packet (E[M'] of the paper).
   double rm_tx_per_packet = 0.0;
   net::ImpairmentStats impairment{};  ///< channel fault counters (zero when clean)
+
+  // Reliable-control accounting (all zero unless reliable_control).
+  std::uint64_t acks_sent = 0;        ///< empty-bitmap poll answers
+  std::uint64_t acks_received = 0;
+  std::uint64_t poll_retries = 0;     ///< block re-POLLs after silent rounds
+  std::uint64_t nak_retries = 0;      ///< receiver NAK retransmissions
+  std::uint64_t late_naks = 0;        ///< NAKs honoured on closed blocks
+  std::uint64_t evictions = 0;        ///< receivers evicted for silence
+  std::uint64_t blocks_unconfirmed = 0;  ///< closed with the budget spent
+  /// Structured degradation outcome; filled on every exit path.
+  PartialDeliveryReport report{};
 };
 
 /// One sender, `receivers` receivers, `num_packets` application packets

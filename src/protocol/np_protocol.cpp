@@ -17,13 +17,18 @@ struct NpSession::Impl {
   Impl(const loss::LossModel& loss, std::size_t receivers, std::size_t num_tgs,
        const NpConfig& config, std::uint64_t seed,
        std::vector<std::vector<std::vector<std::uint8_t>>> provided)
-      : cfg(config), num_receivers(receivers), num_tgs(num_tgs), sim(seed),
+      : cfg(config), num_receivers(receivers), num_tgs(num_tgs),
+        session_seed(seed), sim(seed),
         code(config.k, config.k + config.h),
         channel(sim, loss, receivers, config.delay, config.lossless_control) {
     if (receivers == 0) throw std::invalid_argument("NpSession: receivers >= 1");
     if (num_tgs == 0) throw std::invalid_argument("NpSession: num_tgs >= 1");
     if (config.k + config.h > 255)
       throw std::invalid_argument("NpSession: k + h must be <= 255");
+    if (config.reliable_control) config.retry.validate();
+    if (config.crash_receiver != kNoCrashReceiver &&
+        config.crash_receiver >= receivers)
+      throw std::invalid_argument("NpSession: crash_receiver out of range");
 
     if (provided.empty()) {
       // Random source data, one TG at a time.
@@ -64,7 +69,40 @@ struct NpSession::Impl {
       rx[r].rng = Rng(seed).split(0x1000 + r);
     }
 
-    if (cfg.impairment.enabled()) channel.set_impairment(cfg.impairment);
+    if (cfg.reliable_control) {
+      evicted.assign(receivers, false);
+      silent_rounds.assign(receivers, 0);
+      const Rng root(seed);
+      for (std::size_t i = 0; i < num_tgs; ++i) {
+        auto& st = tg_state[i];
+        st.acked.assign(receivers, false);
+        st.heard.assign(receivers, 0);
+        // Independent substream per TG: re-POLL schedules are
+        // bit-reproducible and insensitive to other TGs' retry counts.
+        st.poll_backoff =
+            std::make_unique<Backoff>(cfg.retry, root.split(0x9100 + i));
+      }
+      for (std::size_t r = 0; r < receivers; ++r) {
+        rx[r].nak_backoffs.resize(num_tgs);
+        rx[r].nak_retry.assign(num_tgs, sim::kInvalidEvent);
+      }
+    }
+
+    if (cfg.crash_receiver != kNoCrashReceiver) {
+      // Fault injection: the receiver falls silent mid-session — its
+      // timers die with it, and it ignores everything from then on.
+      sim.schedule_at(cfg.crash_time, [this, r = cfg.crash_receiver] {
+        auto& rec = rx[r];
+        rec.crashed = true;
+        for (auto& t : rec.timers)
+          if (t) t->disarm();
+        for (std::size_t tg = 0; tg < this->num_tgs; ++tg)
+          cancel_nak_retry(r, tg);
+      });
+    }
+
+    if (cfg.impairment.enabled() || cfg.impairment.control_enabled())
+      channel.set_impairment(cfg.impairment);
 
     channel.set_receiver_handler(
         [this](std::size_t r, const Packet& p) { on_receiver_packet(r, p); });
@@ -85,6 +123,14 @@ struct NpSession::Impl {
     bool serving = false;              // parities queued, ignore further NAKs
     bool failed = false;
     bool round1_observed = false;      // fed the adaptive loss estimator
+
+    // Reliable-control state (unused on the lossless fast path).
+    std::vector<bool> acked;           // per-receiver TG confirmation
+    std::size_t acked_count = 0;
+    std::vector<char> heard;           // feedback seen since the last POLL
+    std::unique_ptr<Backoff> poll_backoff;  // re-POLL budget for this TG
+    std::size_t last_poll_count = 0;   // s of the latest POLL (re-poll window)
+    bool completed = false;            // counted in tgs_completed exactly once
   };
 
   void start() {
@@ -166,9 +212,12 @@ struct NpSession::Impl {
     p.header.k = static_cast<std::uint16_t>(cfg.k);
     p.header.n = static_cast<std::uint16_t>(cfg.k + cfg.h);
     p.header.count = static_cast<std::uint16_t>(s);
+    auto& st = tg_state[tg];
+    st.last_poll_count = s;
+    if (cfg.reliable_control) std::fill(st.heard.begin(), st.heard.end(), 0);
     // A fresh feedback round opens with every POLL; stale NAKs answering
     // an earlier round are recognisable by their round id and ignored.
-    p.header.seq = ++tg_state[tg].round;
+    p.header.seq = ++st.round;
     return p;
   }
 
@@ -180,10 +229,84 @@ struct NpSession::Impl {
     // poll's downlink and the NAK's uplink propagation.
     const double window =
         2.0 * cfg.delay + static_cast<double>(s) * cfg.slot + cfg.slot;
+    if (cfg.reliable_control) {
+      st.deadline =
+          sim.schedule_in(window, [this, tg] { on_poll_window_closed(tg); });
+      return;
+    }
     st.deadline = sim.schedule_in(window, [this, tg] {
       tg_state[tg].deadline = sim::kInvalidEvent;
       ++stats.tgs_completed;  // silence after a poll means the TG is done
       observe_round1(tg, 0);  // nobody needed anything this round
+    });
+  }
+
+  // ---- reliable control plane (sender side) ----------------------------
+
+  /// Every receiver has either acknowledged `tg` or been evicted.
+  bool confirmed(std::size_t tg) const {
+    const auto& st = tg_state[tg];
+    for (std::size_t r = 0; r < num_receivers; ++r)
+      if (!evicted[r] && !st.acked[r]) return false;
+    return true;
+  }
+
+  /// Marks `tg` done exactly once (reliable mode's replacement for the
+  /// silence-means-done deadline lambda).
+  void finish_tg(std::size_t tg) {
+    auto& st = tg_state[tg];
+    if (st.completed || st.failed) return;
+    st.completed = true;
+    ++stats.tgs_completed;
+    if (st.deadline != sim::kInvalidEvent) {
+      sim.cancel(st.deadline);
+      st.deadline = sim::kInvalidEvent;
+    }
+    observe_round1(tg, 0);  // a round-1 confirmation means nobody NAKed
+  }
+
+  void evict(std::size_t r) {
+    if (evicted[r]) return;
+    evicted[r] = true;
+    ++stats.evictions;
+  }
+
+  /// Reliable mode's window close: silence no longer means completion.
+  /// Confirmed -> done; silent blockers age toward eviction; otherwise
+  /// re-POLL under the TG's backoff until the retry budget runs out.
+  void on_poll_window_closed(std::size_t tg) {
+    auto& st = tg_state[tg];
+    st.deadline = sim::kInvalidEvent;
+    if (st.completed || st.failed || st.serving) return;
+    if (confirmed(tg)) {
+      finish_tg(tg);
+      return;
+    }
+    // Liveness: every blocking receiver that stayed silent this round ages
+    // by one; any feedback (for any TG) resets its counter.  Damping is
+    // off in reliable mode, so a live blocked receiver always answers —
+    // per-member silence is a valid crash signal.
+    for (std::size_t r = 0; r < num_receivers; ++r) {
+      if (evicted[r] || st.acked[r] || st.heard[r]) continue;
+      if (++silent_rounds[r] >= cfg.retry.grace_rounds) evict(r);
+    }
+    if (confirmed(tg)) {
+      finish_tg(tg);
+      return;
+    }
+    if (st.poll_backoff->exhausted()) {
+      st.failed = true;  // retry budget spent: degrade, don't spin
+      ++stats.tgs_failed;
+      return;
+    }
+    ++stats.poll_retries;
+    const double wait = st.poll_backoff->next();
+    sim.schedule_in(wait, [this, tg] {
+      auto& s = tg_state[tg];
+      if (s.completed || s.failed || s.serving) return;
+      urgent.push_back(
+          make_poll(tg, std::max<std::size_t>(s.last_poll_count, 1)));
+      schedule_send();
     });
   }
 
@@ -249,11 +372,32 @@ struct NpSession::Impl {
     current_proactive = a;
   }
 
-  void on_sender_feedback(std::size_t /*from*/, const Packet& p) {
+  void on_sender_feedback(std::size_t from, const Packet& p) {
     if (p.header.type != PacketType::kNak) return;
     if (p.header.tg >= num_tgs) return;  // corrupt/foreign feedback
     const std::size_t tg = p.header.tg;
     auto& st = tg_state[tg];
+    if (cfg.reliable_control) {
+      // Any feedback proves the receiver alive — mark before any staleness
+      // or duplicate filtering, so even a late NAK resets its silence age.
+      if (from < num_receivers && !evicted[from]) {
+        silent_rounds[from] = 0;
+        st.heard[from] = 1;
+      }
+      if (p.header.count == 0) {
+        // ACK: per-receiver positive confirmation of the whole TG.  Not
+        // round-scoped (a TG once decoded stays decoded), so no stale-seq
+        // check; duplicates from control_dup are absorbed by the bitmap.
+        ++stats.acks_received;
+        if (from < num_receivers && !evicted[from] && !st.acked[from]) {
+          st.acked[from] = true;
+          ++st.acked_count;
+          if (confirmed(tg)) finish_tg(tg);
+        }
+        return;
+      }
+      if (st.completed) return;  // late NAK after confirmation is moot
+    }
     if (st.serving || st.failed) return;  // already reacting to this round
     if (p.header.seq != st.round) return; // stale NAK from an earlier round
     observe_round1(tg, p.header.count);
@@ -286,7 +430,63 @@ struct NpSession::Impl {
     std::vector<bool> done;
     std::size_t done_count = 0;
     Rng rng;
+
+    // Reliable-control state (sized only when reliable_control).
+    bool crashed = false;  // fault injection: ignores everything from now on
+    std::vector<std::unique_ptr<Backoff>> nak_backoffs;  // per-TG, lazy
+    std::vector<sim::EventId> nak_retry;  // pending retransmit per TG
   };
+
+  void cancel_nak_retry(std::size_t r, std::size_t tg) {
+    if (rx[r].nak_retry.empty()) return;
+    auto& ev = rx[r].nak_retry[tg];
+    if (ev != sim::kInvalidEvent) {
+      sim.cancel(ev);
+      ev = sim::kInvalidEvent;
+    }
+  }
+
+  /// Receiver r's NAK for `tg` is in flight; if no repair (or new POLL)
+  /// shows up within an RTT plus backoff, retransmit it.  Covers the NAK
+  /// itself being lost — the re-POLL only covers rounds the sender knows
+  /// went unanswered.
+  void arm_nak_retry(std::size_t r, std::size_t tg) {
+    auto& rec = rx[r];
+    cancel_nak_retry(r, tg);
+    auto& bo = rec.nak_backoffs[tg];
+    if (!bo)
+      bo = std::make_unique<Backoff>(
+          cfg.retry, Rng(session_seed).split(0x7000 + r * num_tgs + tg));
+    if (bo->exhausted()) return;  // budget spent; the sender's re-POLL remains
+    const double wait = 2.0 * cfg.delay + bo->next();
+    rec.nak_retry[tg] = sim.schedule_in(wait, [this, r, tg] {
+      rx[r].nak_retry[tg] = sim::kInvalidEvent;
+      if (rx[r].crashed || rx[r].done[tg]) return;
+      const std::size_t need = decoder(r, tg).needed();
+      if (need == 0) return;
+      ++stats.nak_retries;
+      ++stats.naks_sent;
+      Packet nak;
+      nak.header.type = PacketType::kNak;
+      nak.header.tg = static_cast<std::uint32_t>(tg);
+      nak.header.count = static_cast<std::uint16_t>(need);
+      nak.header.seq = rx[r].poll_round[tg];
+      channel.multicast_up(r, nak);
+      arm_nak_retry(r, tg);
+    });
+  }
+
+  /// An ACK is a NAK with count == 0, unicast to the sender only — other
+  /// receivers never see it, so NAK suppression statistics are untouched.
+  void send_ack(std::size_t r, std::size_t tg) {
+    ++stats.acks_sent;
+    Packet ack;
+    ack.header.type = PacketType::kNak;
+    ack.header.tg = static_cast<std::uint32_t>(tg);
+    ack.header.count = 0;
+    ack.header.seq = rx[r].poll_round[tg];
+    channel.unicast_up(r, ack);
+  }
 
   fec::TgDecoder& decoder(std::size_t r, std::size_t tg) {
     auto& slot = rx[r].decoders[tg];
@@ -301,6 +501,7 @@ struct NpSession::Impl {
     // survived the wire checks).  Every per-TG array below is indexed by
     // tg, so the receive path must be total over arbitrary headers.
     if (p.header.tg >= num_tgs) return;
+    if (rx[r].crashed) return;  // a crashed receiver hears nothing
     switch (p.header.type) {
       case PacketType::kData:
       case PacketType::kParity: {
@@ -309,6 +510,8 @@ struct NpSession::Impl {
         // rather than letting TgDecoder::add throw mid-simulation.
         if (p.header.index >= code.n() || p.payload.size() != cfg.packet_len)
           return;
+        // Repair traffic arrived: the in-flight NAK was heard, stand down.
+        if (cfg.reliable_control) cancel_nak_retry(r, p.header.tg);
         auto& dec = decoder(r, p.header.tg);
         const bool was_done = rx[r].done[p.header.tg];
         if (!dec.add(p)) {
@@ -319,13 +522,18 @@ struct NpSession::Impl {
         break;
       }
       case PacketType::kPoll:
+        // A new POLL supersedes any pending NAK retransmit for this TG.
+        if (cfg.reliable_control) cancel_nak_retry(r, p.header.tg);
         rx[r].poll_round[p.header.tg] = p.header.seq;
         on_poll(r, p.header.tg, p.header.count);
         break;
       case PacketType::kNak:
-        // Another receiver's NAK: damping.
-        if (auto& timer = rx[r].timers[p.header.tg])
-          timer->on_heard(p.header.count);
+        // Another receiver's NAK: damping — except in reliable mode,
+        // where a suppressed receiver is indistinguishable from a crashed
+        // one, so everyone answers (reliability costs feedback traffic).
+        if (!cfg.reliable_control)
+          if (auto& timer = rx[r].timers[p.header.tg])
+            timer->on_heard(p.header.count);
         break;
     }
   }
@@ -333,7 +541,11 @@ struct NpSession::Impl {
   void on_poll(std::size_t r, std::size_t tg, std::size_t s) {
     auto& dec = decoder(r, tg);
     const std::size_t l = dec.needed();
-    if (l == 0) return;
+    if (l == 0) {
+      // Reliable mode: a POLL is answered positively, never with silence.
+      if (cfg.reliable_control) send_ack(r, tg);
+      return;
+    }
     auto& timer = rx[r].timers[tg];
     if (!timer) {
       timer = std::make_unique<NakTimer>(sim, [this, r, tg](std::size_t need) {
@@ -344,6 +556,8 @@ struct NpSession::Impl {
         nak.header.count = static_cast<std::uint16_t>(need);
         nak.header.seq = rx[r].poll_round[tg];  // answers this round's POLL
         channel.multicast_up(r, nak);
+        // If the NAK (or the repair) is lost, retransmit under backoff.
+        if (cfg.reliable_control) arm_nak_retry(r, tg);
       });
     }
     timer->arm(l, nak_backoff(s, l, cfg.slot, rx[r].rng));
@@ -362,13 +576,29 @@ struct NpSession::Impl {
       stats.completion_time = std::max(stats.completion_time, sim.now());
     // A pending NAK for this TG is moot now.
     if (auto& timer = rx[r].timers[tg]) timer->disarm();
+    if (cfg.reliable_control) {
+      cancel_nak_retry(r, tg);
+      // Proactive confirmation: don't make the sender poll again to learn
+      // what it could be told now.
+      send_ack(r, tg);
+    }
   }
 
   // ---- run -------------------------------------------------------------
 
   NpStats run() {
     start();
-    sim.run();
+    if (cfg.reliable_control && cfg.retry.session_deadline > 0.0) {
+      sim.run(cfg.retry.session_deadline);
+      if (!sim.queue().empty()) {
+        // The deadline ended the run with work still pending: a total,
+        // reported exit (never a hang) — discard the stale events.
+        stats.report.deadline_expired = true;
+        sim.queue().clear();
+      }
+    } else {
+      sim.run();
+    }
     for (std::size_t i = 0; i < num_tgs; ++i)
       stats.parities_encoded += encoders[i].parities_encoded();
     std::uint64_t suppressed = 0;
@@ -405,12 +635,33 @@ struct NpSession::Impl {
         static_cast<double>(stats.data_sent + stats.parity_sent +
                             stats.proactive_sent) /
         (static_cast<double>(cfg.k) * static_cast<double>(num_tgs));
+    build_report();
     return stats;
+  }
+
+  /// Fills NpStats::report on every exit path — complete, degraded, or
+  /// deadline-expired alike.
+  void build_report() {
+    auto& rep = stats.report;
+    rep.delivered.assign(num_receivers, std::vector<bool>(num_tgs, false));
+    for (std::size_t r = 0; r < num_receivers; ++r)
+      for (std::size_t i = 0; i < num_tgs; ++i)
+        rep.delivered[r][i] = rx[r].done[i];
+    rep.evicted.assign(num_receivers, false);
+    for (std::size_t r = 0; r < evicted.size(); ++r)
+      rep.evicted[r] = evicted[r];
+    rep.evictions = stats.evictions;
+    rep.units_failed = stats.tgs_failed;
+    rep.poll_retries = stats.poll_retries;
+    rep.nak_retries = stats.nak_retries;
+    rep.complete = stats.all_delivered && stats.evictions == 0 &&
+                   stats.tgs_failed == 0 && !rep.deadline_expired;
   }
 
   NpConfig cfg;
   std::size_t num_receivers;
   std::size_t num_tgs;
+  std::uint64_t session_seed;
   sim::Simulator sim;
   fec::RseCode code;
   net::MulticastChannel channel;
@@ -428,6 +679,11 @@ struct NpSession::Impl {
 
   std::vector<Receiver> rx;
   bool corrupted = false;
+
+  // Reliable-control liveness (sized only when reliable_control).
+  std::vector<bool> evicted;
+  std::vector<std::size_t> silent_rounds;
+
   NpStats stats;
 };
 

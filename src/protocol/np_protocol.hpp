@@ -23,9 +23,14 @@
 #include "loss/loss_model.hpp"
 #include "net/channel.hpp"
 #include "protocol/nak_suppression.hpp"
+#include "protocol/retry.hpp"
 #include "sim/simulator.hpp"
 
 namespace pbl::protocol {
+
+/// "No receiver crashes" sentinel for NpConfig::crash_receiver.
+inline constexpr std::size_t kNoCrashReceiver =
+    static_cast<std::size_t>(-1);
 
 struct NpConfig {
   std::size_t k = 20;          ///< data packets per TG
@@ -39,8 +44,31 @@ struct NpConfig {
 
   /// Adversarial impairment of the DATA down-path (reorder, duplication,
   /// corruption, truncation, jitter, burst drops); disabled by default.
-  /// Control traffic stays clean — see MulticastChannel::set_impairment.
+  /// The control knobs (impairment.control_*) additionally impair the
+  /// NAK/POLL paths — see MulticastChannel::set_impairment.
   net::ImpairmentConfig impairment{};
+
+  /// Control-plane reliability layer (docs/ROBUSTNESS.md).  When set,
+  /// "silence after a POLL" no longer means completion: every receiver
+  /// positively acknowledges each TG (an ACK is a NAK with count == 0,
+  /// unicast to the sender), unanswered POLL rounds are re-polled under
+  /// `retry`'s seeded exponential backoff, receivers whose NAKs go
+  /// unanswered retransmit them, and receivers silent for
+  /// retry.grace_rounds consecutive rounds are evicted instead of
+  /// stalling the session.  NAK damping is disabled in this mode (a
+  /// suppressed receiver is indistinguishable from a crashed one), so
+  /// reliability is bought with more feedback traffic.  Every exit path
+  /// is total: budget or deadline exhaustion ends the session with
+  /// NpStats::report filled in, never a hang.  Off by default — the
+  /// paper's lossless-feedback fast path stays byte-identical.
+  bool reliable_control = false;
+  RetryConfig retry{};
+
+  /// Fault injection for liveness tests: receiver `crash_receiver` stops
+  /// sending and receiving at sim time `crash_time` seconds
+  /// (kNoCrashReceiver disables).
+  std::size_t crash_receiver = kNoCrashReceiver;
+  double crash_time = 0.0;
 
   /// Parities sent proactively with each TG's data ("a" in Section 3.2):
   /// trades bandwidth for fewer feedback rounds and lower latency.
@@ -74,6 +102,15 @@ struct NpStats {
   bool all_delivered = false;              ///< every receiver got every byte intact
   double tx_per_packet = 0.0;              ///< (data+parity)/(k * num_tgs), E[M]
   net::ImpairmentStats impairment{};       ///< channel fault counters (zero when clean)
+
+  // Reliable-control accounting (all zero unless reliable_control).
+  std::uint64_t acks_sent = 0;      ///< per-receiver TG acknowledgements
+  std::uint64_t acks_received = 0;  ///< ACKs that reached the sender
+  std::uint64_t poll_retries = 0;   ///< re-POLLs after unconfirmed rounds
+  std::uint64_t nak_retries = 0;    ///< receiver NAK retransmissions
+  std::uint64_t evictions = 0;      ///< receivers evicted for silence
+  /// Structured degradation outcome; filled on every exit path.
+  PartialDeliveryReport report{};
 };
 
 /// One sender, `receivers` receivers, `num_tgs` groups of random data —

@@ -1,0 +1,75 @@
+#include "protocol/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pbl::protocol {
+
+void RetryConfig::validate() const {
+  if (initial_backoff <= 0.0)
+    throw std::invalid_argument("RetryConfig: initial_backoff must be > 0");
+  if (multiplier < 1.0)
+    throw std::invalid_argument("RetryConfig: multiplier must be >= 1");
+  if (max_backoff < initial_backoff)
+    throw std::invalid_argument(
+        "RetryConfig: max_backoff must be >= initial_backoff");
+  if (jitter < 0.0 || jitter >= 1.0)
+    throw std::invalid_argument("RetryConfig: jitter must be in [0, 1)");
+  if (session_deadline < 0.0)
+    throw std::invalid_argument("RetryConfig: session_deadline must be >= 0");
+}
+
+Backoff::Backoff(const RetryConfig& config, Rng rng)
+    : cfg_(config), rng_(rng) {
+  cfg_.validate();
+}
+
+double Backoff::next() {
+  if (exhausted()) throw std::logic_error("Backoff: retry budget exhausted");
+  const double base =
+      std::min(cfg_.max_backoff,
+               cfg_.initial_backoff *
+                   std::pow(cfg_.multiplier,
+                            static_cast<double>(attempts_)));
+  ++attempts_;
+  // Symmetric jitter desynchronises retries without changing the mean.
+  return base * (1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0));
+}
+
+double Deadline::remaining(double now) const noexcept {
+  if (!bounded()) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, expires_at() - now);
+}
+
+double retry_clock_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double PartialDeliveryReport::completion_fraction() const noexcept {
+  std::size_t total = 0;
+  std::size_t got = 0;
+  for (const auto& row : delivered) {
+    total += row.size();
+    for (const bool b : row) got += b ? 1 : 0;
+  }
+  if (total == 0) return complete ? 1.0 : 0.0;
+  return static_cast<double>(got) / static_cast<double>(total);
+}
+
+std::string PartialDeliveryReport::summary() const {
+  std::string s = complete ? "complete" : "partial";
+  s += " (" + std::to_string(completion_fraction() * 100.0) + "% delivered";
+  if (deadline_expired) s += ", deadline expired";
+  if (evictions) s += ", " + std::to_string(evictions) + " evicted";
+  if (units_failed) s += ", " + std::to_string(units_failed) + " units failed";
+  s += ", " + std::to_string(poll_retries) + " poll retries, " +
+       std::to_string(nak_retries) + " nak retries)";
+  return s;
+}
+
+}  // namespace pbl::protocol

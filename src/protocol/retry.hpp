@@ -1,0 +1,106 @@
+// Control-plane reliability primitives: seeded exponential backoff with
+// jitter, retry budgets, monotonic deadlines, and the structured
+// PartialDeliveryReport every degraded session exit returns.
+//
+// The paper assumes NAKs and POLLs always arrive; these pieces are what
+// the protocols need once that assumption is dropped (docs/ROBUSTNESS.md).
+// Everything is deterministic: a Backoff draws its jitter from an explicit
+// Rng substream, so a fixed seed reproduces the exact retry schedule —
+// in simulation the delays feed sim::EventQueue, over UDP they feed
+// wall-clock timeouts (retry_clock_now).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl::protocol {
+
+struct RetryConfig {
+  double initial_backoff = 0.05;  ///< first retry delay [s]
+  double multiplier = 2.0;        ///< geometric growth per retry
+  double max_backoff = 0.4;      ///< delay ceiling [s]
+  double jitter = 0.1;            ///< symmetric fraction: d *= 1 + j*(2u-1)
+  std::size_t max_retries = 8;    ///< retry budget per unit (TG/block/NAK)
+  std::size_t grace_rounds = 3;   ///< unanswered polls before eviction
+  double session_deadline = 0.0;  ///< total session budget [s]; 0 = unbounded
+
+  void validate() const;  ///< throws std::invalid_argument on nonsense
+};
+
+/// Deterministic jittered exponential backoff: delay i (0-based) is
+/// min(max_backoff, initial * multiplier^i) * (1 + jitter * (2u - 1)),
+/// u uniform in [0, 1) from the Rng handed in at construction.  The
+/// schedule depends only on (config, rng state) — bit-reproducible.
+class Backoff {
+ public:
+  Backoff() : Backoff(RetryConfig{}, Rng(1)) {}
+  Backoff(const RetryConfig& config, Rng rng);
+
+  /// True once the retry budget is spent; next() must not be called then.
+  bool exhausted() const noexcept { return attempts_ >= cfg_.max_retries; }
+
+  /// Delay before the next retry [s]; consumes one unit of budget.
+  double next();
+
+  std::size_t attempts() const noexcept { return attempts_; }
+  void reset() noexcept { attempts_ = 0; }
+
+ private:
+  RetryConfig cfg_;
+  Rng rng_;
+  std::size_t attempts_ = 0;
+};
+
+/// Monotonic deadline on whatever clock the caller runs (sim time or
+/// retry_clock_now()).  A budget <= 0 means unbounded.
+class Deadline {
+ public:
+  Deadline() = default;
+  Deadline(double start, double budget) : start_(start), budget_(budget) {}
+
+  bool bounded() const noexcept { return budget_ > 0.0; }
+  double expires_at() const noexcept { return start_ + budget_; }
+  bool expired(double now) const noexcept {
+    return bounded() && now >= expires_at();
+  }
+  /// Seconds left (clamped at 0); a huge value when unbounded.
+  double remaining(double now) const noexcept;
+
+ private:
+  double start_ = 0.0;
+  double budget_ = 0.0;
+};
+
+/// Wall-clock seconds on a monotonic clock (std::chrono::steady_clock),
+/// for driving Deadline outside the simulator (net::UdpNpSender/Receiver).
+double retry_clock_now();
+
+/// Structured outcome of a session that may have degraded rather than
+/// completed: who got what, who was evicted, and which budget ended it.
+/// Every exit path of a reliable-control session is total and fills one
+/// of these — budget exhaustion and deadline expiry are reported, never
+/// thrown or spun on.
+struct PartialDeliveryReport {
+  bool complete = false;          ///< every receiver delivered every unit
+  bool deadline_expired = false;  ///< the session Deadline ended the run
+  /// delivered[r][u]: receiver r completed unit u (TG for NP/UDP,
+  /// application packet for layered).
+  std::vector<std::vector<bool>> delivered;
+  std::vector<bool> evicted;      ///< receivers evicted for silence
+  std::uint64_t evictions = 0;
+  std::uint64_t units_failed = 0; ///< units whose retry/parity budget ran out
+  std::uint64_t poll_retries = 0; ///< sender re-POLLs after silent rounds
+  std::uint64_t nak_retries = 0;  ///< receiver NAK retransmissions
+
+  /// Fraction of (receiver, unit) pairs delivered; 1.0 when complete.
+  double completion_fraction() const noexcept;
+
+  /// One-line human-readable summary for logs and test failure messages.
+  std::string summary() const;
+};
+
+}  // namespace pbl::protocol

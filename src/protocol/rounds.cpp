@@ -57,7 +57,27 @@ void validate(const McConfig& cfg) {
   if (cfg.k < 1) throw std::invalid_argument("McConfig: need k >= 1");
   if (cfg.h < 0) throw std::invalid_argument("McConfig: need h >= 0");
   if (cfg.num_tgs < 1) throw std::invalid_argument("McConfig: need num_tgs >= 1");
+  if (cfg.q_f < 0.0 || cfg.q_f >= 1.0)
+    throw std::invalid_argument("McConfig: need q_f in [0, 1)");
   cfg.timing.validate();
+}
+
+/// Extra feedback exchanges forced by control-plane loss: each NAK/POLL
+/// exchange is independently lost with probability q_f, and every lost
+/// one costs a timeout gap before the retry (geometric).  With q_f = 0
+/// the Rng is never touched.
+std::uint64_t lost_feedback_rounds(double q_f, Rng& rng) {
+  std::uint64_t extra = 0;
+  while (q_f > 0.0 && rng.bernoulli(q_f)) ++extra;
+  return extra;
+}
+
+/// Charges the inter-round feedback gap, inflated by any lost feedback
+/// exchanges; returns the rounds the retries added.
+std::uint64_t charge_feedback_gap(const McConfig& cfg, Rng& rng, double& t) {
+  const std::uint64_t lost = lost_feedback_rounds(cfg.q_f, rng);
+  t += cfg.timing.gap * static_cast<double>(1 + lost);
+  return lost;
 }
 
 McResult finish(const RunningStats& tx_stats, const RunningStats& round_stats,
@@ -85,6 +105,7 @@ McResult sim_nofec(PacketTransmitter& tx, const McConfig& cfg) {
   RunningStats tx_stats, round_stats, time_stats;
   std::uint64_t sent_total = 0;
   double t = 0.0;
+  Rng fb_rng(cfg.seed ^ 0xfeedbaccULL);
 
   for (std::int64_t tg = 0; tg < cfg.num_tgs; ++tg) {
     const double tg_start = t;
@@ -114,7 +135,7 @@ McResult sim_nofec(PacketTransmitter& tx, const McConfig& cfg) {
       for (const std::size_t i : pending)
         if (miss_count[i] > 0) next.push_back(i);
       pending = std::move(next);
-      if (!pending.empty()) t += cfg.timing.gap;
+      if (!pending.empty()) rounds += charge_feedback_gap(cfg, fb_rng, t);
     }
     sent_total += sent;
     tx_stats.add(static_cast<double>(sent) / static_cast<double>(k));
@@ -140,6 +161,7 @@ McResult sim_layered(PacketTransmitter& tx, const McConfig& cfg) {
   RunningStats tx_stats, round_stats, time_stats;
   std::uint64_t sent_total = 0;
   double t = 0.0;
+  Rng fb_rng(cfg.seed ^ 0xfeedbaccULL);
 
   for (std::int64_t tg = 0; tg < cfg.num_tgs; ++tg) {
     const double tg_start = t;
@@ -208,7 +230,7 @@ McResult sim_layered(PacketTransmitter& tx, const McConfig& cfg) {
           }
         }
       }
-      if (pending_count > 0) t += cfg.timing.gap;
+      if (pending_count > 0) rounds += charge_feedback_gap(cfg, fb_rng, t);
     }
     tx_stats.add(cost / static_cast<double>(k));
     round_stats.add(static_cast<double>(rounds));
@@ -255,6 +277,7 @@ McResult sim_layered_interleaved(PacketTransmitter& tx, const McConfig& cfg,
   RunningStats tx_stats, round_stats, time_stats;
   std::uint64_t sent_total = 0;
   double t = 0.0;
+  Rng fb_rng(cfg.seed ^ 0xfeedbaccULL);
 
   // Process whole interleaving windows of `depth` groups at a time.
   std::int64_t windows =
@@ -346,7 +369,14 @@ McResult sim_layered_interleaved(PacketTransmitter& tx, const McConfig& cfg,
           time_stats.add(t - g.start_time);
         }
       }
-      if (unfinished > 0) t += cfg.timing.gap;
+      if (unfinished > 0) {
+        // A lost exchange stalls the whole window, so every still-active
+        // group pays the retry rounds.
+        const std::uint64_t lost = charge_feedback_gap(cfg, fb_rng, t);
+        if (lost > 0)
+          for (auto& g : groups)
+            if (!g.finished) g.rounds += lost;
+      }
     }
     t += cfg.timing.gap;
   }
@@ -364,6 +394,7 @@ McResult sim_integrated_naks(PacketTransmitter& tx, const McConfig& cfg) {
   RunningStats tx_stats, round_stats, time_stats;
   std::uint64_t sent_total = 0;
   double t = 0.0;
+  Rng fb_rng(cfg.seed ^ 0xfeedbaccULL);
 
   for (std::int64_t tg = 0; tg < cfg.num_tgs; ++tg) {
     const double tg_start = t;
@@ -388,7 +419,7 @@ McResult sim_integrated_naks(PacketTransmitter& tx, const McConfig& cfg) {
         l = std::max(l, k - std::min(cnt[r], k));
       if (l == 0) break;
       burst = l;
-      t += cfg.timing.gap;
+      rounds += charge_feedback_gap(cfg, fb_rng, t);
     }
     sent_total += sent;
     tx_stats.add(static_cast<double>(sent) / static_cast<double>(k));
@@ -416,6 +447,7 @@ McResult sim_integrated_finite(PacketTransmitter& tx, const McConfig& cfg) {
   RunningStats tx_stats, round_stats, time_stats;
   std::uint64_t sent_total = 0;
   double t = 0.0;
+  Rng fb_rng(cfg.seed ^ 0xfeedbaccULL);
 
   for (std::int64_t tg = 0; tg < cfg.num_tgs; ++tg) {
     const double tg_start = t;
@@ -462,7 +494,7 @@ McResult sim_integrated_finite(PacketTransmitter& tx, const McConfig& cfg) {
         if (l == 0) break;
         l = std::min(l, h - parities_used);
         if (l == 0) break;  // budget exhausted
-        t += cfg.timing.gap;
+        rounds += charge_feedback_gap(cfg, fb_rng, t);
         ++rounds;
         for (std::size_t j = 0; j < l; ++j) {
           for (std::size_t r = 0; r < R; ++r) ws.active[r] = wants_block(r);
@@ -508,7 +540,7 @@ McResult sim_integrated_finite(PacketTransmitter& tx, const McConfig& cfg) {
           }
         }
       }
-      if (pending_count > 0) t += cfg.timing.gap;
+      if (pending_count > 0) rounds += charge_feedback_gap(cfg, fb_rng, t);
     }
     tx_stats.add(cost / static_cast<double>(k));
     round_stats.add(static_cast<double>(rounds));

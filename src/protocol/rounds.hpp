@@ -71,6 +71,14 @@ struct McConfig {
   std::int64_t h = 0;        ///< parities per FEC block (layered) / initial parities a (integrated)
   std::int64_t num_tgs = 200;///< transmission groups to sample
   Timing timing{};
+
+  /// Probability that one feedback exchange (NAK/POLL round trip) is
+  /// lost.  A lost exchange costs one extra timeout gap and one extra
+  /// round before the retry succeeds (geometric), modelling the paper's
+  /// lossless-feedback assumption being dropped (docs/ROBUSTNESS.md).
+  /// q_f = 0 draws nothing, so lossless results stay byte-identical.
+  double q_f = 0.0;
+  std::uint64_t seed = 0x5eedf00dULL;  ///< feedback-loss stream seed
 };
 
 struct McResult {

@@ -18,6 +18,12 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  cancelled_.clear();
+  pending_ids_.clear();
+}
+
 void EventQueue::skip_cancelled() const {
   while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
     cancelled_.erase(heap_.top().id);

@@ -26,6 +26,11 @@ class EventQueue {
   bool empty() const;
   std::size_t pending() const { return pending_ids_.size(); }
 
+  /// Discards every pending event without running it.  Used by sessions
+  /// whose deadline expired: the run is over, whatever was still
+  /// scheduled (retries, NAK timers) must not fire.
+  void clear();
+
   /// Time of the earliest pending event; requires !empty().
   double next_time() const;
 

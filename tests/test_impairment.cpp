@@ -292,5 +292,122 @@ TEST(Impairment, StatsAccumulateAcrossInstances) {
   EXPECT_EQ(total.dropped, 3u);
 }
 
+// --- Control-path (NAK/POLL) faults ----------------------------------
+
+fec::Packet control_packet(fec::PacketType type, std::uint32_t tg) {
+  fec::Packet p;
+  p.header.type = type;
+  p.header.tg = tg;
+  p.header.k = 5;
+  p.header.n = 8;
+  p.header.seq = tg;
+  return p;
+}
+
+TEST(Impairment, ControlKnobsDoNotCountAsDataFaults) {
+  ImpairmentConfig cfg;
+  cfg.control_drop = 0.5;
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_TRUE(cfg.control_enabled());
+}
+
+TEST(Impairment, ControlFaultsLeaveDataScheduleByteIdentical) {
+  // Enabling the control knobs must not shift a single draw of the
+  // data-path fault stream: the same seed yields the same data schedule
+  // with control faults on or off, even with control decisions
+  // interleaved between data packets.
+  ImpairmentConfig plain = everything_config(1234);
+  ImpairmentConfig with_control = plain;
+  with_control.control_drop = 0.3;
+  with_control.control_dup = 0.2;
+  with_control.control_delay = 0.002;
+  Impairment a(plain);
+  Impairment b(with_control);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const auto p = sample_packet(i / 8, static_cast<std::uint16_t>(i % 8));
+    const double now = 0.001 * i;
+    const auto da = a.apply(p, now);
+    // b additionally processes control traffic between data packets.
+    (void)b.apply_control(control_packet(fec::PacketType::kPoll, i));
+    const auto db = b.apply(p, now);
+    (void)b.apply_control(control_packet(fec::PacketType::kNak, i));
+    ASSERT_EQ(da.size(), db.size()) << "packet " << i;
+    for (std::size_t j = 0; j < da.size(); ++j) {
+      EXPECT_EQ(da[j].packet, db[j].packet);
+      EXPECT_DOUBLE_EQ(da[j].extra_delay, db[j].extra_delay);
+    }
+  }
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().duplicated, b.stats().duplicated);
+  EXPECT_GT(b.stats().control_processed, 0u);
+}
+
+TEST(Impairment, ControlScheduleIsSeedDeterministic) {
+  ImpairmentConfig cfg;
+  cfg.seed = 77;
+  cfg.control_drop = 0.25;
+  cfg.control_dup = 0.25;
+  cfg.control_delay = 0.003;
+  Impairment a(cfg);
+  Impairment b(cfg);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const auto p = control_packet(
+        i % 2 ? fec::PacketType::kNak : fec::PacketType::kPoll, i);
+    const auto da = a.apply_control(p);
+    const auto db = b.apply_control(p);
+    ASSERT_EQ(da.size(), db.size()) << "packet " << i;
+    for (std::size_t j = 0; j < da.size(); ++j)
+      EXPECT_DOUBLE_EQ(da[j].extra_delay, db[j].extra_delay);
+  }
+  EXPECT_EQ(a.stats().control_dropped, b.stats().control_dropped);
+  EXPECT_GT(a.stats().control_dropped, 0u);
+  EXPECT_GT(a.stats().control_duplicated, 0u);
+  EXPECT_GT(a.stats().control_delayed, 0u);
+}
+
+TEST(Impairment, CertainControlDropEatsControlOnly) {
+  ImpairmentConfig cfg;
+  cfg.control_drop = 1.0;
+  Impairment imp(cfg);
+  EXPECT_TRUE(imp.apply_control(control_packet(fec::PacketType::kPoll, 0))
+                  .empty());
+  // Data traffic is untouched by control knobs.
+  const auto p = sample_packet(0, 1);
+  const auto out = imp.apply(p, 0.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].packet, p);
+  EXPECT_EQ(imp.stats().control_processed, 1u);
+  EXPECT_EQ(imp.stats().control_dropped, 1u);
+  EXPECT_EQ(imp.stats().dropped, 0u);
+}
+
+TEST(Impairment, CertainControlDupDoublesEveryControlPacket) {
+  ImpairmentConfig cfg;
+  cfg.control_dup = 1.0;
+  Impairment imp(cfg);
+  const auto out =
+      imp.apply_control(control_packet(fec::PacketType::kNak, 3));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].packet, out[1].packet);
+  EXPECT_EQ(imp.stats().control_duplicated, 1u);
+  EXPECT_EQ(imp.stats().control_delivered, 2u);
+}
+
+TEST(Impairment, BytePathDivertsControlDatagramsByWireType) {
+  // On the UDP byte path the first wire byte is the packet type: POLL
+  // and NAK datagrams take the control policy, DATA/PARITY the data one.
+  ImpairmentConfig cfg;
+  cfg.control_drop = 1.0;
+  Impairment imp(cfg);
+  const auto poll_wire =
+      fec::serialize(control_packet(fec::PacketType::kPoll, 0));
+  ASSERT_EQ(poll_wire[0], 2u);
+  EXPECT_TRUE(imp.apply_bytes(poll_wire).empty());
+  const auto data_wire = fec::serialize(sample_packet(0, 1));
+  EXPECT_EQ(imp.apply_bytes(data_wire).size(), 1u);
+  EXPECT_EQ(imp.stats().control_dropped, 1u);
+  EXPECT_EQ(imp.stats().dropped, 0u);
+}
+
 }  // namespace
 }  // namespace pbl::net

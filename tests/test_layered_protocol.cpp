@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "analysis/layered.hpp"
 #include "util/stats.hpp"
 
@@ -152,6 +154,78 @@ TEST(LayeredSession, BurstLossDegradesItAsInFig15) {
     burst_tx.add(sb.rm_tx_per_packet);
   }
   EXPECT_GT(burst_tx.mean(), iid_tx.mean());
+}
+
+// --- Reliable control plane (docs/ROBUSTNESS.md) ---------------------
+
+std::uint64_t chaos_seed(std::uint64_t base) {
+  if (const char* env = std::getenv("PBL_CHAOS_SEED"))
+    return base + std::strtoull(env, nullptr, 10);
+  return base;
+}
+
+LayeredConfig reliable_config() {
+  LayeredConfig cfg = small_config();
+  cfg.reliable_control = true;
+  // Liveness thresholds sized for control_drop up to 0.2 (see
+  // docs/ROBUSTNESS.md on choosing grace_rounds vs q_f).
+  cfg.retry.grace_rounds = 20;
+  cfg.retry.max_retries = 16;
+  return cfg;
+}
+
+TEST(LayeredReliableControl, CleanRunIsCompleteWithNoRetries) {
+  loss::BernoulliLossModel model(0.0);
+  LayeredSession session(model, 8, 21, reliable_config(), chaos_seed(1));
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_TRUE(stats.report.complete);
+  EXPECT_EQ(stats.poll_retries, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GE(stats.acks_received, 8u * 3u);  // one per receiver per block
+}
+
+TEST(LayeredReliableControl, ExactlyOnceUnderControlAndDataLoss) {
+  loss::BernoulliLossModel model(0.1);
+  LayeredConfig cfg = reliable_config();
+  cfg.h = 2;
+  cfg.impairment.control_drop = 0.2;
+  cfg.impairment.seed = chaos_seed(19);
+  LayeredSession session(model, 10, 35, cfg, chaos_seed(4));
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_TRUE(stats.report.complete) << stats.report.summary();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GT(stats.impairment.control_dropped, 0u);
+}
+
+TEST(LayeredReliableControl, DeterministicForSameSeed) {
+  loss::BernoulliLossModel model(0.08);
+  LayeredConfig cfg = reliable_config();
+  cfg.impairment.control_drop = 0.15;
+  cfg.impairment.seed = chaos_seed(6);
+  const std::uint64_t seed = chaos_seed(42);
+  LayeredSession a(model, 8, 28, cfg, seed);
+  LayeredSession b(model, 8, 28, cfg, seed);
+  const auto sa = a.run();
+  const auto sb = b.run();
+  EXPECT_EQ(sa.poll_retries, sb.poll_retries);
+  EXPECT_EQ(sa.nak_retries, sb.nak_retries);
+  EXPECT_EQ(sa.late_naks, sb.late_naks);
+  EXPECT_EQ(sa.data_sent, sb.data_sent);
+  EXPECT_DOUBLE_EQ(sa.completion_time, sb.completion_time);
+}
+
+TEST(LayeredReliableControl, SessionDeadlineEndsTheRun) {
+  loss::BernoulliLossModel model(0.3);
+  LayeredConfig cfg = reliable_config();
+  cfg.impairment.control_drop = 0.3;
+  cfg.impairment.seed = chaos_seed(9);
+  cfg.retry.session_deadline = 0.004;
+  LayeredSession session(model, 10, 42, cfg, chaos_seed(8));
+  const auto stats = session.run();  // must return, not hang
+  EXPECT_TRUE(stats.report.deadline_expired);
+  EXPECT_FALSE(stats.report.complete);
 }
 
 }  // namespace

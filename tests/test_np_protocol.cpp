@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "analysis/integrated.hpp"
 #include "util/stats.hpp"
 
@@ -171,6 +173,107 @@ TEST(NpSession, SourceDataExposedForVerification) {
   ASSERT_EQ(src.size(), 3u);
   ASSERT_EQ(src[0].size(), 8u);
   ASSERT_EQ(src[0][0].size(), 64u);
+}
+
+// --- Reliable control plane (docs/ROBUSTNESS.md) ---------------------
+
+std::uint64_t chaos_seed(std::uint64_t base) {
+  if (const char* env = std::getenv("PBL_CHAOS_SEED"))
+    return base + std::strtoull(env, nullptr, 10);
+  return base;
+}
+
+NpConfig reliable_config() {
+  NpConfig cfg = small_config();
+  cfg.reliable_control = true;
+  return cfg;
+}
+
+TEST(NpReliableControl, CleanRunDeliversAndFillsReport) {
+  loss::BernoulliLossModel model(0.0);
+  NpSession session(model, 6, 4, reliable_config(), chaos_seed(1));
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_TRUE(stats.report.complete);
+  EXPECT_DOUBLE_EQ(stats.report.completion_fraction(), 1.0);
+  EXPECT_EQ(stats.evictions, 0u);
+  // Every receiver positively acknowledges every TG (proactively on
+  // completion and again in answer to the POLL), and with a clean
+  // channel every ACK arrives.
+  EXPECT_GE(stats.acks_received, 6u * 4u);
+  EXPECT_EQ(stats.acks_received, stats.acks_sent);
+  EXPECT_EQ(stats.poll_retries, 0u);
+}
+
+TEST(NpReliableControl, ExactlyOnceUnderHeavyControlLoss) {
+  // The documented limitation of the legacy path (NpRobustness.
+  // LossyControlTerminatesButMayFail) is gone: with q_f = 0.2 on the
+  // NAK/POLL paths plus data loss, every TG still completes exactly once.
+  loss::BernoulliLossModel model(0.1);
+  NpConfig cfg = reliable_config();
+  cfg.impairment.control_drop = 0.2;
+  cfg.impairment.seed = chaos_seed(77);
+  // Liveness thresholds must be sized to the control-loss rate: a round
+  // is unheard with probability ~ 2 q_f - q_f^2, so grace_rounds and the
+  // re-POLL budget get headroom (docs/ROBUSTNESS.md) to keep spurious
+  // evictions out of the exactly-once guarantee.
+  cfg.retry.grace_rounds = 20;
+  cfg.retry.max_retries = 16;
+  NpSession session(model, 10, 5, cfg, chaos_seed(3));
+  const auto stats = session.run();
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.tgs_completed, 5u);
+  EXPECT_EQ(stats.tgs_failed, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_TRUE(stats.report.complete) << stats.report.summary();
+  // Recovery leaves traces: lost control must have forced retries.
+  EXPECT_GT(stats.poll_retries + stats.nak_retries, 0u);
+  EXPECT_GT(stats.impairment.control_dropped, 0u);
+}
+
+TEST(NpReliableControl, CrashedReceiverIsEvictedNotWaitedFor) {
+  loss::BernoulliLossModel model(0.05);
+  NpConfig cfg = reliable_config();
+  cfg.crash_receiver = 2;
+  cfg.crash_time = 0.01;  // dies almost immediately
+  NpSession session(model, 5, 4, cfg, chaos_seed(11));
+  const auto stats = session.run();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.tgs_completed, 4u);  // the others still finish
+  ASSERT_EQ(stats.report.evicted.size(), 5u);
+  EXPECT_TRUE(stats.report.evicted[2]);
+  EXPECT_FALSE(stats.report.complete);  // eviction = degraded, not clean
+  EXPECT_LT(stats.report.completion_fraction(), 1.0);
+  EXPECT_GT(stats.report.completion_fraction(), 0.5);
+}
+
+TEST(NpReliableControl, DeterministicForSameSeed) {
+  loss::BernoulliLossModel model(0.08);
+  NpConfig cfg = reliable_config();
+  cfg.impairment.control_drop = 0.15;
+  cfg.impairment.seed = chaos_seed(5);
+  const std::uint64_t seed = chaos_seed(42);
+  NpSession a(model, 8, 4, cfg, seed);
+  NpSession b(model, 8, 4, cfg, seed);
+  const auto sa = a.run();
+  const auto sb = b.run();
+  EXPECT_EQ(sa.poll_retries, sb.poll_retries);
+  EXPECT_EQ(sa.nak_retries, sb.nak_retries);
+  EXPECT_EQ(sa.acks_received, sb.acks_received);
+  EXPECT_EQ(sa.parity_sent, sb.parity_sent);
+  EXPECT_DOUBLE_EQ(sa.completion_time, sb.completion_time);
+}
+
+TEST(NpReliableControl, SessionDeadlineEndsTheRun) {
+  loss::BernoulliLossModel model(0.3);
+  NpConfig cfg = reliable_config();
+  cfg.impairment.control_drop = 0.3;
+  cfg.impairment.seed = chaos_seed(23);
+  cfg.retry.session_deadline = 0.005;  // far too short for 6 TGs
+  NpSession session(model, 10, 6, cfg, chaos_seed(7));
+  const auto stats = session.run();  // must return, not hang
+  EXPECT_TRUE(stats.report.deadline_expired);
+  EXPECT_FALSE(stats.report.complete);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "core/file_transfer.hpp"
@@ -59,7 +60,8 @@ Session run_session(const std::vector<TgBytes>& groups, std::size_t receivers,
   for (std::size_t r = 0; r < receivers; ++r) {
     threads.emplace_back([&, r, sock = std::move(rx_sockets[r])]() mutable {
       ImpairmentConfig imp = impairment;
-      if (imp.enabled()) imp.seed += r;  // independent per-receiver streams
+      if (imp.enabled() || imp.control_enabled())
+        imp.seed += r;  // independent per-receiver streams
       UdpNpReceiver receiver(std::move(sock), sender_port, groups.size(), cfg,
                              inject_loss, Rng(99).split(r), imp);
       session.receivers[r] = receiver.run(5.0);
@@ -198,6 +200,121 @@ TEST(UdpNp, SenderRejectsWrongGroupShape) {
   UdpNpSender sender(std::move(sock), group, small_config());
   std::vector<TgBytes> bad{TgBytes(3, std::vector<std::uint8_t>(128))};
   EXPECT_THROW(sender.transfer(bad), std::invalid_argument);
+}
+
+// --- Reliable control plane over real sockets ------------------------
+
+std::uint64_t chaos_seed(std::uint64_t base) {
+  if (const char* env = std::getenv("PBL_CHAOS_SEED"))
+    return base + std::strtoull(env, nullptr, 10);
+  return base;
+}
+
+UdpNpConfig reliable_config() {
+  UdpNpConfig cfg = small_config();
+  cfg.reliable_control = true;
+  cfg.seed = chaos_seed(301);
+  // Sized for control-loss rates up to ~0.2 (docs/ROBUSTNESS.md).
+  cfg.retry.grace_rounds = 20;
+  cfg.retry.max_retries = 16;
+  return cfg;
+}
+
+TEST(UdpNpReliable, CleanSessionConfirmsEveryTgPositively) {
+  const auto groups = random_groups(3, 6, 128, 7);
+  const auto session = run_session(groups, 3, reliable_config(), 0.0);
+  EXPECT_TRUE(session.sender.report.complete)
+      << session.sender.report.summary();
+  EXPECT_GE(session.sender.acks_received, 3u * 3u);
+  EXPECT_EQ(session.sender.evictions, 0u);
+  for (const auto& r : session.receivers) {
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.groups, groups);
+    EXPECT_EQ(r.end_reason, UdpNpEndReason::kEndOfSession);
+    EXPECT_GT(r.acks_sent, 0u);
+  }
+}
+
+TEST(UdpNpReliable, SurvivesControlLossExactlyOnce) {
+  // POLLs are dropped on the receivers' control path while data also
+  // suffers injected loss: the retry layer must still deliver every TG
+  // to every receiver exactly once, with no evictions.
+  const auto groups = random_groups(3, 6, 128, 8);
+  ImpairmentConfig imp;
+  imp.seed = chaos_seed(404);
+  imp.control_drop = 0.2;
+  const auto session = run_session(groups, 3, reliable_config(), 0.1, imp);
+  EXPECT_TRUE(session.sender.report.complete)
+      << session.sender.report.summary();
+  EXPECT_EQ(session.sender.evictions, 0u);
+  std::uint64_t control_dropped = 0;
+  for (const auto& r : session.receivers) {
+    ASSERT_TRUE(r.complete);
+    EXPECT_EQ(r.groups, groups);  // bit-exact, exactly once
+    control_dropped += r.impairment.control_dropped;
+  }
+  EXPECT_GT(control_dropped, 0u);
+}
+
+TEST(UdpNpReliable, CrashedReceiverIsEvictedOthersComplete) {
+  const auto groups = random_groups(2, 6, 64, 9);
+  UdpNpConfig cfg = reliable_config();
+  cfg.packet_len = 64;
+  cfg.retry.grace_rounds = 3;  // evict fast; the peer is really gone
+  cfg.retry.max_retries = 6;
+
+  UdpSocket sender_socket;
+  const std::uint16_t sender_port = sender_socket.port();
+  UdpSocket live_sock, crash_sock;
+  UdpGroup group;
+  group.add_member(live_sock.port());
+  group.add_member(crash_sock.port());
+
+  UdpNpConfig crash_cfg = cfg;
+  crash_cfg.crash_after_tgs = 1;  // dies after the first TG
+
+  UdpNpReceiverResult live_result, crash_result;
+  std::thread live_thread([&, sock = std::move(live_sock)]() mutable {
+    UdpNpReceiver receiver(std::move(sock), sender_port, groups.size(), cfg,
+                           0.0, Rng(99).split(0));
+    live_result = receiver.run(5.0);
+  });
+  std::thread crash_thread([&, sock = std::move(crash_sock)]() mutable {
+    UdpNpReceiver receiver(std::move(sock), sender_port, groups.size(),
+                           crash_cfg, 0.0, Rng(99).split(1));
+    crash_result = receiver.run(5.0);
+  });
+
+  UdpNpSender sender(std::move(sender_socket), group, cfg);
+  const auto stats = sender.transfer(groups);
+  live_thread.join();
+  crash_thread.join();
+
+  EXPECT_EQ(crash_result.end_reason, UdpNpEndReason::kCrashed);
+  EXPECT_EQ(stats.evictions, 1u);
+  ASSERT_EQ(stats.report.evicted.size(), 2u);
+  EXPECT_TRUE(stats.report.evicted[1]);
+  EXPECT_FALSE(stats.report.complete);  // eviction = degraded exit
+  EXPECT_TRUE(live_result.complete);    // the live member got everything
+  EXPECT_EQ(live_result.groups, groups);
+  EXPECT_GT(stats.poll_retries, 0u);  // silence forced re-POLLs first
+}
+
+TEST(UdpNpReliable, EndReasonDistinguishesDrainFromStall) {
+  // No sender at all.  A receiver that already holds every TG (zero of
+  // them) is just draining for the end marker: it must report
+  // kDrainTimeout after drain_timeout, not the mid-session idle timeout.
+  UdpNpConfig cfg = small_config();
+  cfg.drain_timeout = 0.1;
+  UdpNpReceiver drained(UdpSocket(), 1, 0, cfg);
+  const auto drain = drained.run(5.0);
+  EXPECT_EQ(drain.end_reason, UdpNpEndReason::kDrainTimeout);
+
+  // A receiver still missing TGs whose sender goes silent is a stall.
+  UdpNpReceiver stalled(UdpSocket(), 1, 2, cfg);
+  const auto stall = stalled.run(0.1);
+  EXPECT_EQ(stall.end_reason, UdpNpEndReason::kMidSessionSilence);
+  EXPECT_FALSE(stall.complete);
 }
 
 }  // namespace
