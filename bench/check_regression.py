@@ -24,9 +24,25 @@ import json
 import sys
 
 
-def load(path):
-    with open(path, encoding="utf-8") as f:
-        return json.load(f)
+def load(path, role):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        if role == "baseline":
+            raise SystemExit(
+                f"baseline not found: {path}\n"
+                f"Every bench wired into the perf-smoke CI leg needs a "
+                f"committed baseline.  Generate one with:\n"
+                f"    ./build/bench/<bench> --json={path}\n"
+                f"(run on a quiet machine, then commit the file; see "
+                f"bench/baselines/)")
+        raise SystemExit(
+            f"candidate not found: {path}\n"
+            f"The bench run that should have produced it failed or wrote "
+            f"elsewhere — check the preceding CI step's --json= path.")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"{role} {path} is not valid JSON: {e}")
 
 
 def metrics_of(doc):
@@ -69,8 +85,8 @@ def main():
                          "(default 0.7 = fail on a >30%% drop)")
     args = ap.parse_args()
 
-    base = metrics_of(load(args.baseline))
-    cand = metrics_of(load(args.candidate))
+    base = metrics_of(load(args.baseline, "baseline"))
+    cand = metrics_of(load(args.candidate, "candidate"))
 
     failures = []
     for name in sorted(base.keys() | cand.keys()):

@@ -1,0 +1,55 @@
+// Fuzz target: util::scan_journal — the single parsing routine behind
+// Journal::open()'s crash recovery — over arbitrary bytes.
+//
+// Contract under test (util/journal.hpp): the scan is total (never
+// crashes, never reads out of bounds), and obeys PREFIX-RECOVERY
+// semantics.  The oracle re-frames every recovered record and checks
+// that the re-encoded stream is byte-identical to the input's valid
+// prefix — so the scan can neither invent, reorder, nor alter a record,
+// and valid_bytes is exactly the bytes those records (plus the magic
+// header) occupy.  A second pass checks idempotence: scanning the valid
+// prefix alone must recover the same records with nothing truncated.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/journal.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using pbl::util::encode_journal_record;
+  using pbl::util::scan_journal;
+
+  const std::span<const std::uint8_t> bytes(data, size);
+  const auto scan = scan_journal(bytes);
+
+  if (scan.valid_bytes > size) __builtin_trap();
+  if (scan.truncated != (scan.valid_bytes != size)) __builtin_trap();
+  if (scan.valid_bytes == 0 && !scan.records.empty()) __builtin_trap();
+
+  // Oracle: re-encoding the recovered records must reproduce the valid
+  // prefix byte for byte (after the 8-byte magic header).
+  if (scan.valid_bytes > 0) {
+    if (scan.valid_bytes < pbl::util::kJournalMagicSize) __builtin_trap();
+    std::vector<std::uint8_t> rebuilt;
+    for (const auto& rec : scan.records) {
+      const auto frame = encode_journal_record(rec.type, rec.payload);
+      rebuilt.insert(rebuilt.end(), frame.begin(), frame.end());
+    }
+    if (pbl::util::kJournalMagicSize + rebuilt.size() != scan.valid_bytes)
+      __builtin_trap();
+    if (!rebuilt.empty() &&
+        std::memcmp(rebuilt.data(), data + pbl::util::kJournalMagicSize,
+                    rebuilt.size()) != 0)
+      __builtin_trap();
+
+    // Idempotence: the valid prefix is itself a clean journal image.
+    const auto again = scan_journal(bytes.first(scan.valid_bytes));
+    if (again.truncated || again.valid_bytes != scan.valid_bytes ||
+        again.records.size() != scan.records.size())
+      __builtin_trap();
+  }
+  return 0;
+}

@@ -42,7 +42,7 @@ std::vector<std::uint8_t> serialize(const Packet& packet) {
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderWireSize + packet.payload.size());
   out.push_back(static_cast<std::uint8_t>(packet.header.type));
-  out.push_back(0);  // reserved / alignment
+  out.push_back(packet.header.incarnation);
   put_u32(out, packet.header.tg);
   put_u16(out, packet.header.index);
   put_u16(out, packet.header.k);
@@ -67,9 +67,8 @@ Packet deserialize(std::span<const std::uint8_t> bytes) {
   const std::uint8_t type = bytes[0];
   if (type > static_cast<std::uint8_t>(PacketType::kNak))
     throw std::invalid_argument("packet: unknown type");
-  if (bytes[1] != 0)
-    throw std::invalid_argument("packet: nonzero reserved byte");
   p.header.type = static_cast<PacketType>(type);
+  p.header.incarnation = bytes[1];
   p.header.tg = get_u32(bytes, 2);
   p.header.index = get_u16(bytes, 6);
   p.header.k = get_u16(bytes, 8);

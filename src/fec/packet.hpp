@@ -27,6 +27,14 @@ std::string to_string(PacketType t);
 
 struct PacketHeader {
   PacketType type = PacketType::kData;
+  /// Sender incarnation: bumped each time a crashed sender restarts from
+  /// its journal (core/session_state.hpp).  Receivers remember the
+  /// highest incarnation they have seen and drop packets from earlier
+  /// ones — a dead incarnation's in-flight traffic must not pollute
+  /// rounds of its successor.  Incarnation 0 is the first life of a
+  /// session, so the field is wire-compatible with the old always-zero
+  /// reserved byte.
+  std::uint8_t incarnation = 0;
   std::uint32_t tg = 0;      ///< transmission-group id
   std::uint16_t index = 0;   ///< position in the FEC block (data: <k, parity: [k,n))
   std::uint16_t k = 0;       ///< TG size
@@ -57,8 +65,9 @@ std::vector<std::uint8_t> serialize(const Packet& packet);
 /// erasure code can only repair MISSING packets, so corruption must be
 /// turned into loss here.  Beyond the CRC, DATA/PARITY headers are
 /// validated semantically (k >= 1, k <= n, index < n, DATA index < k,
-/// PARITY index >= k, reserved byte zero): a CRC-valid but inconsistent
-/// block address never reaches protocol state.
+/// PARITY index >= k): a CRC-valid but inconsistent block address never
+/// reaches protocol state.  Incarnation filtering is protocol policy,
+/// not framing: any incarnation parses.
 Packet deserialize(std::span<const std::uint8_t> bytes);
 
 }  // namespace pbl::fec

@@ -26,6 +26,28 @@ UdpNpSender::UdpNpSender(UdpSocket socket, UdpGroup group,
 UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
   UdpNpSenderStats stats;
   std::uint32_t round_id = 0;
+  if (!cfg_.resume_completed.empty() &&
+      cfg_.resume_completed.size() != groups.size())
+    throw std::invalid_argument("UdpNpSender: resume_completed size mismatch");
+  if (!cfg_.resume_parities.empty() &&
+      cfg_.resume_parities.size() != groups.size())
+    throw std::invalid_argument("UdpNpSender: resume_parities size mismatch");
+
+  // Crash-aware transmit: every datagram carries this life's incarnation,
+  // and the crash_after_sends'th send kills the sender mid-session (the
+  // datagram never leaves) instead of going out.
+  std::size_t sends = 0;
+  const auto send_mc = [&](fec::Packet p) -> bool {
+    if (stats.crashed) return false;
+    if (sends >= cfg_.crash_after_sends) {
+      stats.crashed = true;
+      return false;
+    }
+    ++sends;
+    p.header.incarnation = static_cast<std::uint8_t>(cfg_.incarnation);
+    group_.multicast(socket_, p);
+    return true;
+  };
 
   // Reliable-mode per-member state, addressed by group index; a NAK/ACK
   // names its member by carrying the receiver's own port in header.index.
@@ -46,6 +68,11 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
   for (std::uint32_t i = 0; i < groups.size(); ++i) {
     if (groups[i].size() != cfg_.k)
       throw std::invalid_argument("UdpNpSender: each TG needs k packets");
+    if (i < cfg_.resume_completed.size() && cfg_.resume_completed[i]) {
+      ++stats.tgs_skipped;  // confirmed in a prior life: never re-sent
+      continue;
+    }
+    if (stats.crashed) break;
     if (deadline.expired(retry_clock_now())) {
       stats.report.deadline_expired = true;
       break;
@@ -53,7 +80,7 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
     fec::TgEncoder encoder(i, code_, groups[i]);
 
     for (std::size_t j = 0; j < cfg_.k; ++j) {
-      group_.multicast(socket_, encoder.data_packet(j));
+      if (!send_mc(encoder.data_packet(j))) break;
       ++stats.data_sent;
     }
 
@@ -66,7 +93,12 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
       return true;
     };
 
-    std::size_t parities_used = 0;
+    // A resumed TG picks up above its journaled parity high-water mark:
+    // repair indices receivers already hold are never re-multicast.
+    std::size_t parities_used =
+        i < cfg_.resume_parities.size()
+            ? std::min<std::size_t>(cfg_.resume_parities[i], cfg_.h)
+            : 0;
     double window_pad = 0.0;  // re-POLL backoff widens the collect window
     for (int round = 0; round < cfg_.max_rounds; ++round) {
       fec::Packet poll;
@@ -74,7 +106,7 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
       poll.header.tg = i;
       poll.header.k = static_cast<std::uint16_t>(cfg_.k);
       poll.header.seq = ++round_id;
-      group_.multicast(socket_, poll);
+      if (!send_mc(poll)) break;
       ++stats.polls_sent;
 
       // Collect this round's NAKs; serve the maximum request.
@@ -116,10 +148,21 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
                 .count();
       }
 
+      // Write-ahead: "TG i complete" is journaled before the sender acts
+      // on it, so a crash immediately after never forgets the completion.
+      const auto complete_tg = [&] {
+        if (cfg_.on_tg_completed) cfg_.on_tg_completed(i);
+      };
       if (!cfg_.reliable_control) {
-        if (l == 0) break;  // silence: all receivers reconstructed TG i
+        if (l == 0) {
+          complete_tg();  // silence: all receivers reconstructed TG i
+          break;
+        }
       } else {
-        if (confirmed()) break;  // every live member positively acked
+        if (confirmed()) {
+          complete_tg();  // every live member positively acked
+          break;
+        }
         if (deadline.expired(retry_clock_now())) {
           stats.report.deadline_expired = true;
           break;
@@ -134,7 +177,10 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
               ++stats.evictions;
             }
           }
-          if (confirmed()) break;
+          if (confirmed()) {
+            complete_tg();
+            break;
+          }
           if (poll_backoff.exhausted()) {
             ++stats.tgs_unconfirmed;
             break;
@@ -151,21 +197,31 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
         ++stats.tgs_exhausted;
         break;
       }
+      // Journal the new high-water BEFORE the parities leave: if the
+      // sender dies in between, the next life merely skips indices that
+      // were never sent (wasteful, never wrong) — the reverse order could
+      // re-send indices receivers already hold.
+      parities_used += l;
+      if (cfg_.on_parities_sent) cfg_.on_parities_sent(i, parities_used);
       for (std::size_t j = 0; j < l; ++j) {
-        group_.multicast(socket_, encoder.parity_packet(parities_used + j));
+        if (!send_mc(encoder.parity_packet(parities_used - l + j))) break;
         ++stats.parity_sent;
       }
-      parities_used += l;
     }
+    if (stats.crashed) break;
     if (deadline.expired(retry_clock_now()) && !stats.report.deadline_expired)
       stats.report.deadline_expired = true;
     if (stats.report.deadline_expired) break;
   }
 
-  fec::Packet end;
-  end.header.type = fec::PacketType::kPoll;
-  end.header.tg = kUdpEndOfSession;
-  group_.multicast(socket_, end);
+  if (!stats.crashed) {
+    // A crashed sender never says goodbye — the receivers' phase-aware
+    // idle clocks (or its own next incarnation) must end their runs.
+    fec::Packet end;
+    end.header.type = fec::PacketType::kPoll;
+    end.header.tg = kUdpEndOfSession;
+    send_mc(end);
+  }
 
   if (!groups.empty()) {
     stats.tx_per_packet =
@@ -221,6 +277,9 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
   std::uint32_t nak_tg = 0;
   std::uint32_t nak_round = 0;
   double nak_retry_at = 0.0;
+  // Highest sender incarnation heard; anything older is a dead life's
+  // straggler and is dropped before it can answer for the live session.
+  std::uint8_t known_inc = static_cast<std::uint8_t>(cfg_.incarnation);
   const auto send_feedback = [&](std::uint32_t tg, std::size_t count,
                                  std::uint32_t seq) {
     fec::Packet fb;
@@ -228,6 +287,7 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
     fb.header.tg = tg;
     fb.header.count = static_cast<std::uint16_t>(count);
     fb.header.seq = seq;
+    fb.header.incarnation = known_inc;
     // The sender's liveness tracking needs to know who spoke: receive()
     // discards the source address, so the port rides in the header.
     if (cfg_.reliable_control) fb.header.index = socket_.port();
@@ -311,8 +371,16 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
       }
       continue;  // the idle clock decides at the top of the loop
     }
-    last_rx = retry_clock_now();
     const auto& hdr = packet->header;
+    // Stale-incarnation filtering comes first: a dead sender's straggler
+    // must neither end the session (its end marker), repair anything, nor
+    // count as liveness for the idle clock.
+    if (hdr.incarnation < known_inc) {
+      ++result.stale_rejected;
+      continue;
+    }
+    known_inc = hdr.incarnation;
+    last_rx = retry_clock_now();
     if (hdr.type == fec::PacketType::kPoll && hdr.tg == kUdpEndOfSession) {
       result.end_reason = UdpNpEndReason::kEndOfSession;
       break;
@@ -362,6 +430,10 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
     for (const auto& bytes : impairment_->drain()) {
       try {
         const fec::Packet packet = fec::deserialize(bytes);
+        if (packet.header.incarnation < known_inc) {
+          ++result.stale_rejected;
+          continue;
+        }
         if ((packet.header.type == fec::PacketType::kData ||
              packet.header.type == fec::PacketType::kParity) &&
             packet.header.tg < num_tgs_)

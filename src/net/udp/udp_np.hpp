@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -61,6 +62,30 @@ struct UdpNpConfig {
   /// Fault injection for liveness tests: the receiver returns (as if
   /// crashed) after completing this many TGs.  SIZE_MAX disables.
   std::size_t crash_after_tgs = static_cast<std::size_t>(-1);
+
+  // ---- crash-tolerant sessions (docs/ROBUSTNESS.md) --------------------
+
+  /// Sender incarnation, stamped into every outgoing packet's header.
+  /// Receivers remember the highest incarnation heard and drop anything
+  /// older — a dead life's stragglers (including its end-of-session
+  /// marker) cannot answer for the live one.
+  std::uint32_t incarnation = 0;
+  /// Resume: TGs confirmed complete in a prior life are skipped outright
+  /// (empty = fresh session; otherwise one flag per TG).
+  std::vector<bool> resume_completed;
+  /// Resume: per-TG parities-sent high-water, so a resumed TG serves
+  /// fresh parity indices instead of re-multicasting repair packets the
+  /// receivers already hold.
+  std::vector<std::uint16_t> resume_parities;
+  /// Deterministic crash injection: the sender process "dies" after this
+  /// many datagram sends (data, parity or poll) — no end-of-session
+  /// marker, no further feedback processing.  SIZE_MAX disables.
+  std::size_t crash_after_sends = static_cast<std::size_t>(-1);
+  /// Write-ahead hooks, invoked the moment durable progress changes
+  /// (same shapes as NpConfig's — plug core::SessionJournal straight in).
+  std::function<void(std::size_t tg)> on_tg_completed;
+  std::function<void(std::size_t tg, std::size_t parities_used)>
+      on_parities_sent;
 };
 
 struct UdpNpSenderStats {
@@ -78,6 +103,10 @@ struct UdpNpSenderStats {
   std::uint64_t tgs_unconfirmed = 0;  ///< re-POLL budget ran out
   /// Structured degradation outcome; filled on every exit path.
   protocol::PartialDeliveryReport report{};
+
+  // Crash-recovery accounting.
+  bool crashed = false;              ///< crash_after_sends fired
+  std::uint64_t tgs_skipped = 0;     ///< resumed TGs never retransmitted
 };
 
 /// Blocking sender: transfers the groups, then multicasts an end-of-
@@ -121,6 +150,7 @@ struct UdpNpReceiverResult {
   UdpNpEndReason end_reason = UdpNpEndReason::kMidSessionSilence;
   std::uint64_t acks_sent = 0;     ///< reliable mode: positive poll answers
   std::uint64_t nak_retries = 0;   ///< reliable mode: NAK retransmissions
+  std::uint64_t stale_rejected = 0;///< dead-incarnation packets dropped
 };
 
 /// Blocking receiver: processes packets until the end-of-session marker

@@ -29,6 +29,36 @@ struct NpSession::Impl {
     if (config.crash_receiver != kNoCrashReceiver &&
         config.crash_receiver >= receivers)
       throw std::invalid_argument("NpSession: crash_receiver out of range");
+    if (config.join_receiver != kNoJoinReceiver) {
+      if (config.join_receiver >= receivers)
+        throw std::invalid_argument("NpSession: join_receiver out of range");
+      if (!config.reliable_control)
+        throw std::invalid_argument(
+            "NpSession: late join requires reliable_control (catch-up "
+            "bookkeeping runs on per-receiver ACKs)");
+      if (config.join_receiver == config.crash_receiver)
+        throw std::invalid_argument(
+            "NpSession: a receiver cannot both crash and late-join");
+    }
+    if (!cfg.resume.completed.empty() &&
+        cfg.resume.completed.size() != num_tgs)
+      throw std::invalid_argument("NpSession: resume.completed size mismatch");
+    if (!cfg.resume.parities_sent.empty() &&
+        cfg.resume.parities_sent.size() != num_tgs)
+      throw std::invalid_argument(
+          "NpSession: resume.parities_sent size mismatch");
+    for (const auto hw : cfg.resume.parities_sent)
+      if (hw > config.h)
+        throw std::invalid_argument(
+            "NpSession: resume.parities_sent exceeds parity budget h");
+    for (const auto& prior : cfg.resume.receiver_decoded)
+      if (prior.size() != num_tgs)
+        throw std::invalid_argument(
+            "NpSession: resume.receiver_decoded shape mismatch");
+    if (!cfg.resume.receiver_decoded.empty() &&
+        cfg.resume.receiver_decoded.size() != receivers)
+      throw std::invalid_argument(
+          "NpSession: resume.receiver_decoded needs one bitmap per receiver");
 
     if (provided.empty()) {
       // Random source data, one TG at a time.
@@ -88,6 +118,50 @@ struct NpSession::Impl {
       }
     }
 
+    // ---- crash-recovery priming (a restarted sender's second life) ----
+    if (cfg.resume.enabled()) {
+      // Every receiver remembers the newest incarnation it heard, even
+      // when it decoded nothing in the prior life.
+      for (auto& rec : rx)
+        rec.known_incarnation =
+            static_cast<std::uint8_t>(cfg.resume.receiver_incarnation);
+      // Receiver priors first, so per-TG receivers_done counts are right.
+      for (std::size_t r = 0; r < cfg.resume.receiver_decoded.size(); ++r) {
+        auto& rec = rx[r];
+        for (std::size_t i = 0; i < num_tgs; ++i) {
+          if (!cfg.resume.receiver_decoded[r][i]) continue;
+          rec.done[i] = true;
+          ++rec.done_count;
+          ++tg_state[i].receivers_done;
+          if (cfg.reliable_control) {
+            tg_state[i].acked[r] = true;
+            ++tg_state[i].acked_count;
+          }
+        }
+      }
+      for (std::size_t i = 0; i < num_tgs; ++i) {
+        auto& st = tg_state[i];
+        if (!cfg.resume.parities_sent.empty())
+          st.parities_used = cfg.resume.parities_sent[i];
+        if (!cfg.resume.completed.empty() && cfg.resume.completed[i]) {
+          // Confirmed in a prior life: never retransmitted.  Without
+          // receiver priors the count is pinned so nothing under-counts.
+          st.completed = true;
+          ++stats.resumed_tgs_skipped;
+          if (cfg.resume.receiver_decoded.empty())
+            st.receivers_done = num_receivers;
+        }
+      }
+    }
+
+    // Late join: the joiner is deaf and non-blocking until join_time,
+    // then the sender reopens whatever it missed (catch-up via parity).
+    joined.assign(receivers, true);
+    if (cfg.join_receiver != kNoJoinReceiver) {
+      joined[cfg.join_receiver] = false;
+      sim.schedule_at(cfg.join_time, [this] { on_join(cfg.join_receiver); });
+    }
+
     if (cfg.crash_receiver != kNoCrashReceiver) {
       // Fault injection: the receiver falls silent mid-session — its
       // timers die with it, and it ignores everything from then on.
@@ -134,11 +208,18 @@ struct NpSession::Impl {
   };
 
   void start() {
+    skip_completed_tgs();
     schedule_send();
   }
 
+  /// Resume-at-first-incomplete: TGs confirmed in a prior incarnation are
+  /// never re-entered by the data pump.
+  void skip_completed_tgs() {
+    while (next_tg < num_tgs && tg_state[next_tg].completed) ++next_tg;
+  }
+
   void schedule_send() {
-    if (send_scheduled) return;
+    if (sender_dead || send_scheduled) return;
     if (urgent.empty() && next_tg >= num_tgs) return;  // nothing to send
     const double at = std::max(sim.now(), last_send_time + cfg.delta);
     send_scheduled = true;
@@ -149,6 +230,7 @@ struct NpSession::Impl {
   }
 
   void send_next() {
+    if (sender_dead) return;
     last_send_time = sim.now();
     if (!urgent.empty()) {
       Packet p = std::move(urgent.front());
@@ -169,17 +251,48 @@ struct NpSession::Impl {
             parity.header.count = 1;  // marks a proactive parity
             urgent.push_back(std::move(parity));
           }
-          st.parities_used = st.proactive;
+          // A resumed TG's high-water mark stays capped at h so the
+          // fresh-parity arithmetic below never wraps.
+          st.parities_used = std::min(cfg.h, st.parities_used + st.proactive);
+          if (cfg.on_parities_sent && st.proactive > 0)
+            cfg.on_parities_sent(i, st.parities_used);
           urgent.push_back(make_poll(i, cfg.k + st.proactive));
           next_data_index = 0;
           ++next_tg;
+          skip_completed_tgs();
         }
       }
     }
     schedule_send();
   }
 
-  void emit(const Packet& p) {
+  /// The sender process dies: nothing further is sent, heard or decided.
+  /// Receivers live on — their timers drain against silence, bounded by
+  /// their retry budgets, exactly as if the peer were gone for real.
+  void crash_sender() {
+    if (sender_dead) return;
+    sender_dead = true;
+    stats.sender_crashed = true;
+    urgent.clear();
+    next_tg = num_tgs;
+    for (auto& st : tg_state) {
+      if (st.deadline != sim::kInvalidEvent) {
+        sim.cancel(st.deadline);
+        st.deadline = sim::kInvalidEvent;
+      }
+    }
+  }
+
+  void emit(Packet p) {
+    if (sender_dead) return;
+    if (cfg.crash_after_tx != kNoSenderCrash && tx_count >= cfg.crash_after_tx) {
+      crash_sender();  // dies BEFORE the (N+1)th transmission leaves
+      return;
+    }
+    ++tx_count;
+    // Every downstream packet carries the sender's incarnation so a dead
+    // incarnation's stragglers are recognisable at the receivers.
+    p.header.incarnation = static_cast<std::uint8_t>(cfg.resume.incarnation);
     switch (p.header.type) {
       case PacketType::kData:
         if (tg_state[p.header.tg].first_send < 0.0)
@@ -235,19 +348,25 @@ struct NpSession::Impl {
       return;
     }
     st.deadline = sim.schedule_in(window, [this, tg] {
-      tg_state[tg].deadline = sim::kInvalidEvent;
-      ++stats.tgs_completed;  // silence after a poll means the TG is done
+      auto& s = tg_state[tg];
+      s.deadline = sim::kInvalidEvent;
+      if (!s.completed) {
+        s.completed = true;
+        ++stats.tgs_completed;  // silence after a poll means the TG is done
+        if (cfg.on_tg_completed) cfg.on_tg_completed(tg);
+      }
       observe_round1(tg, 0);  // nobody needed anything this round
     });
   }
 
   // ---- reliable control plane (sender side) ----------------------------
 
-  /// Every receiver has either acknowledged `tg` or been evicted.
+  /// Every attached receiver has either acknowledged `tg` or been
+  /// evicted.  A late joiner that hasn't joined yet never blocks.
   bool confirmed(std::size_t tg) const {
     const auto& st = tg_state[tg];
     for (std::size_t r = 0; r < num_receivers; ++r)
-      if (!evicted[r] && !st.acked[r]) return false;
+      if (joined[r] && !evicted[r] && !st.acked[r]) return false;
     return true;
   }
 
@@ -258,6 +377,7 @@ struct NpSession::Impl {
     if (st.completed || st.failed) return;
     st.completed = true;
     ++stats.tgs_completed;
+    if (cfg.on_tg_completed) cfg.on_tg_completed(tg);
     if (st.deadline != sim::kInvalidEvent) {
       sim.cancel(st.deadline);
       st.deadline = sim::kInvalidEvent;
@@ -277,9 +397,11 @@ struct NpSession::Impl {
   void on_poll_window_closed(std::size_t tg) {
     auto& st = tg_state[tg];
     st.deadline = sim::kInvalidEvent;
-    if (st.completed || st.failed || st.serving) return;
+    // No early-out on st.completed: a completed TG REOPENED for a late
+    // joiner still re-polls until the joiner confirms or is evicted.
+    if (sender_dead || st.failed || st.serving) return;
     if (confirmed(tg)) {
-      finish_tg(tg);
+      finish_tg(tg);  // no-op for a reopened, already-counted TG
       return;
     }
     // Liveness: every blocking receiver that stayed silent this round ages
@@ -287,7 +409,7 @@ struct NpSession::Impl {
     // off in reliable mode, so a live blocked receiver always answers —
     // per-member silence is a valid crash signal.
     for (std::size_t r = 0; r < num_receivers; ++r) {
-      if (evicted[r] || st.acked[r] || st.heard[r]) continue;
+      if (evicted[r] || !joined[r] || st.acked[r] || st.heard[r]) continue;
       if (++silent_rounds[r] >= cfg.retry.grace_rounds) evict(r);
     }
     if (confirmed(tg)) {
@@ -295,15 +417,21 @@ struct NpSession::Impl {
       return;
     }
     if (st.poll_backoff->exhausted()) {
-      st.failed = true;  // retry budget spent: degrade, don't spin
-      ++stats.tgs_failed;
+      if (!st.completed) {   // a reopened TG keeps its completed status
+        st.failed = true;    // retry budget spent: degrade, don't spin
+        ++stats.tgs_failed;
+      }
       return;
     }
     ++stats.poll_retries;
     const double wait = st.poll_backoff->next();
     sim.schedule_in(wait, [this, tg] {
       auto& s = tg_state[tg];
-      if (s.completed || s.failed || s.serving) return;
+      if (sender_dead || s.failed || s.serving) return;
+      if (confirmed(tg)) {
+        finish_tg(tg);  // resolved while we waited (e.g. by an eviction)
+        return;
+      }
       urgent.push_back(
           make_poll(tg, std::max<std::size_t>(s.last_poll_count, 1)));
       schedule_send();
@@ -373,6 +501,7 @@ struct NpSession::Impl {
   }
 
   void on_sender_feedback(std::size_t from, const Packet& p) {
+    if (sender_dead) return;  // a dead sender hears nothing
     if (p.header.type != PacketType::kNak) return;
     if (p.header.tg >= num_tgs) return;  // corrupt/foreign feedback
     const std::size_t tg = p.header.tg;
@@ -396,7 +525,13 @@ struct NpSession::Impl {
         }
         return;
       }
-      if (st.completed) return;  // late NAK after confirmation is moot
+      if (st.completed) {
+        // Normally a late NAK after confirmation is moot — unless it is a
+        // live, attached receiver that never confirmed the TG (a late
+        // joiner) asking to be caught up.
+        serve_catch_up(tg, from, p);
+        return;
+      }
     }
     if (st.serving || st.failed) return;  // already reacting to this round
     if (p.header.seq != st.round) return; // stale NAK from an earlier round
@@ -417,8 +552,57 @@ struct NpSession::Impl {
     for (std::size_t j = 0; j < l; ++j)
       urgent.push_back(encoders[tg].parity_packet(st.parities_used + j));
     st.parities_used += l;
+    if (cfg.on_parities_sent) cfg.on_parities_sent(tg, st.parities_used);
     urgent.push_back(make_poll(tg, l));
     schedule_send();
+  }
+
+  /// A NAK against a TG already confirmed complete, from a live, attached
+  /// receiver that never acknowledged it: a late joiner asking to be
+  /// caught up.  Repair runs through the same multicast parity rounds as
+  /// ordinary loss recovery — fresh parity indices first, plain data
+  /// packets only once the parity budget is spent — never a per-receiver
+  /// unicast replay.
+  void serve_catch_up(std::size_t tg, std::size_t from, const Packet& p) {
+    auto& st = tg_state[tg];
+    if (from >= num_receivers || evicted[from] || !joined[from] ||
+        st.acked[from])
+      return;
+    if (st.serving || p.header.seq != st.round) return;
+    if (st.deadline != sim::kInvalidEvent) {
+      sim.cancel(st.deadline);
+      st.deadline = sim::kInvalidEvent;
+    }
+    st.serving = true;
+    const std::size_t need = std::max<std::size_t>(p.header.count, 1);
+    const std::size_t fresh = std::min(need, cfg.h - st.parities_used);
+    for (std::size_t j = 0; j < fresh; ++j)
+      urgent.push_back(encoders[tg].parity_packet(st.parities_used + j));
+    st.parities_used += fresh;
+    if (cfg.on_parities_sent && fresh > 0)
+      cfg.on_parities_sent(tg, st.parities_used);
+    for (std::size_t j = 0; fresh + j < need && j < cfg.k; ++j)
+      urgent.push_back(encoders[tg].data_packet(j));
+    ++stats.catch_up_polls;
+    urgent.push_back(make_poll(tg, need));
+    schedule_send();
+  }
+
+  /// Late join: receiver `r` attaches now.  From here on it hears and
+  /// answers like everyone else, and the sender reopens every TG it has
+  /// already moved past so the joiner is caught up through ordinary
+  /// multicast parity rounds.
+  void on_join(std::size_t r) {
+    joined[r] = true;
+    if (sender_dead) return;
+    for (std::size_t tg = 0; tg < num_tgs; ++tg) {
+      auto& st = tg_state[tg];
+      const bool opened = st.completed || st.first_send >= 0.0;
+      if (!opened || st.failed || rx[r].done[tg]) continue;
+      ++stats.catch_up_polls;
+      urgent.push_back(make_poll(tg, cfg.k));
+      schedule_send();
+    }
   }
 
   // ---- receivers -------------------------------------------------------
@@ -429,6 +613,10 @@ struct NpSession::Impl {
     std::vector<std::uint32_t> poll_round;  // round id of the latest POLL per TG
     std::vector<bool> done;
     std::size_t done_count = 0;
+    /// Highest sender incarnation heard; packets from older incarnations
+    /// (a dead sender's stragglers) are rejected.  Primed from
+    /// NpResume::receiver_incarnation on restart.
+    std::uint8_t known_incarnation = 0;
     Rng rng;
 
     // Reliable-control state (sized only when reliable_control).
@@ -471,6 +659,7 @@ struct NpSession::Impl {
       nak.header.tg = static_cast<std::uint32_t>(tg);
       nak.header.count = static_cast<std::uint16_t>(need);
       nak.header.seq = rx[r].poll_round[tg];
+      nak.header.incarnation = rx[r].known_incarnation;
       channel.multicast_up(r, nak);
       arm_nak_retry(r, tg);
     });
@@ -485,6 +674,7 @@ struct NpSession::Impl {
     ack.header.tg = static_cast<std::uint32_t>(tg);
     ack.header.count = 0;
     ack.header.seq = rx[r].poll_round[tg];
+    ack.header.incarnation = rx[r].known_incarnation;
     channel.unicast_up(r, ack);
   }
 
@@ -502,6 +692,15 @@ struct NpSession::Impl {
     // tg, so the receive path must be total over arbitrary headers.
     if (p.header.tg >= num_tgs) return;
     if (rx[r].crashed) return;  // a crashed receiver hears nothing
+    if (!joined[r]) return;     // a late joiner hears nothing before joining
+    // Stale-incarnation filtering: traffic from a sender life older than
+    // the newest one heard is a dead incarnation's straggler — drop it
+    // rather than let it answer (or corrupt) the live session.
+    if (p.header.incarnation < rx[r].known_incarnation) {
+      ++stats.stale_rejected;
+      return;
+    }
+    rx[r].known_incarnation = p.header.incarnation;
     switch (p.header.type) {
       case PacketType::kData:
       case PacketType::kParity: {
@@ -539,6 +738,13 @@ struct NpSession::Impl {
   }
 
   void on_poll(std::size_t r, std::size_t tg, std::size_t s) {
+    // A receiver that already delivered the TG — possibly in the sender's
+    // previous incarnation, so this life's decoder may be empty — answers
+    // from its done bitmap, never by re-requesting content it has.
+    if (rx[r].done[tg]) {
+      if (cfg.reliable_control) send_ack(r, tg);
+      return;
+    }
     auto& dec = decoder(r, tg);
     const std::size_t l = dec.needed();
     if (l == 0) {
@@ -555,6 +761,7 @@ struct NpSession::Impl {
         nak.header.tg = static_cast<std::uint32_t>(tg);
         nak.header.count = static_cast<std::uint16_t>(need);
         nak.header.seq = rx[r].poll_round[tg];  // answers this round's POLL
+        nak.header.incarnation = rx[r].known_incarnation;
         channel.multicast_up(r, nak);
         // If the NAK (or the repair) is lost, retransmit under backoff.
         if (cfg.reliable_control) arm_nak_retry(r, tg);
@@ -570,7 +777,10 @@ struct NpSession::Impl {
     if (rebuilt != source[tg]) corrupted = true;
     rx[r].done[tg] = true;
     auto& st = tg_state[tg];
-    if (++st.receivers_done == num_receivers)
+    // Resumed TGs that were never (re)sent this life have no first_send;
+    // their latency belongs to the incarnation that actually sent them.
+    if (++st.receivers_done >= num_receivers && st.first_send >= 0.0 &&
+        st.latency < 0.0)
       st.latency = sim.now() - st.first_send;
     if (++rx[r].done_count == num_tgs)
       stats.completion_time = std::max(stats.completion_time, sim.now());
@@ -683,6 +893,11 @@ struct NpSession::Impl {
   // Reliable-control liveness (sized only when reliable_control).
   std::vector<bool> evicted;
   std::vector<std::size_t> silent_rounds;
+
+  // Crash injection and late join.
+  std::vector<bool> joined;   // false only for a joiner before join_time
+  bool sender_dead = false;   // crash_after_tx fired: the sender is gone
+  std::size_t tx_count = 0;   // transmissions so far (crash countdown)
 
   NpStats stats;
 };

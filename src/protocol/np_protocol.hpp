@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,42 @@ namespace pbl::protocol {
 /// "No receiver crashes" sentinel for NpConfig::crash_receiver.
 inline constexpr std::size_t kNoCrashReceiver =
     static_cast<std::size_t>(-1);
+
+/// "No late join" sentinel for NpConfig::join_receiver.
+inline constexpr std::size_t kNoJoinReceiver = static_cast<std::size_t>(-1);
+
+// kNoSenderCrash (the crash_after_tx sentinel) lives in protocol/retry.hpp,
+// shared with the layered protocol.
+
+/// Progress a restarted sender carries into its next incarnation
+/// (recovered from a write-ahead journal; core/session_state.hpp).  In
+/// the DES each incarnation is a fresh NpSession object while the real
+/// receivers would have survived the sender's death, so the receivers'
+/// decoded-TG bitmaps are threaded through explicitly as priors.
+struct NpResume {
+  /// This run's incarnation id, carried in every DATA/PARITY/POLL
+  /// header; receivers reject packets from earlier incarnations.
+  std::uint32_t incarnation = 0;
+  /// What the receivers had seen before the restart (stale-packet
+  /// filtering starts from here rather than from zero).
+  std::uint32_t receiver_incarnation = 0;
+  /// Sender progress: TGs confirmed complete in a prior life are never
+  /// retransmitted — the sender resumes at the first incomplete TG.
+  std::vector<bool> completed;
+  /// Per-TG parities-sent high-water mark: a resumed TG serves FRESH
+  /// parity indices, so repair packets receivers already hold are never
+  /// wastefully re-multicast.
+  std::vector<std::uint16_t> parities_sent;
+  /// Receiver priors: decoded-TG bitmaps per receiver (may be empty =
+  /// all receivers start cold).  A primed receiver answers POLLs for
+  /// those TGs from its bitmap (ACK under reliable control, silence
+  /// otherwise) instead of NAKing for content it already delivered.
+  std::vector<std::vector<bool>> receiver_decoded;
+
+  bool enabled() const noexcept {
+    return incarnation > 0 || !completed.empty();
+  }
+};
 
 struct NpConfig {
   std::size_t k = 20;          ///< data packets per TG
@@ -69,6 +106,33 @@ struct NpConfig {
   /// (kNoCrashReceiver disables).
   std::size_t crash_receiver = kNoCrashReceiver;
   double crash_time = 0.0;
+
+  /// Crash-recovery state for a restarted sender (default: fresh session).
+  NpResume resume{};
+
+  /// Write-ahead hooks: invoked synchronously the moment the sender's
+  /// durable progress changes, so a journal (core/session_state.hpp) can
+  /// record it BEFORE the crash that makes it matter.  Optional.
+  std::function<void(std::size_t tg)> on_tg_completed;
+  std::function<void(std::size_t tg, std::size_t parities_used)>
+      on_parities_sent;
+
+  /// Deterministic crash injection: the sender process "dies" after its
+  /// Nth channel transmission (data, parity or poll — counted in emit
+  /// order), falling silent mid-session exactly like a killed process:
+  /// nothing further is sent, heard, or journaled.  kNoSenderCrash
+  /// disables.  The session still runs to quiescence so surviving
+  /// receivers' state can be harvested for the next incarnation.
+  std::size_t crash_after_tx = kNoSenderCrash;
+
+  /// Late join: receiver `join_receiver` attaches at sim time `join_time`
+  /// having heard nothing before it.  On attach the sender reopens every
+  /// TG the joiner is missing and serves it whole via parity rounds —
+  /// one parity stream catches up the joiner while repairing other
+  /// receivers' unrelated losses, never a per-receiver unicast replay.
+  /// Requires reliable_control (the catch-up bookkeeping runs on ACKs).
+  std::size_t join_receiver = kNoJoinReceiver;
+  double join_time = 0.0;
 
   /// Parities sent proactively with each TG's data ("a" in Section 3.2):
   /// trades bandwidth for fewer feedback rounds and lower latency.
@@ -111,6 +175,13 @@ struct NpStats {
   std::uint64_t evictions = 0;      ///< receivers evicted for silence
   /// Structured degradation outcome; filled on every exit path.
   PartialDeliveryReport report{};
+
+  // Crash-recovery accounting.
+  bool sender_crashed = false;        ///< crash_after_tx fired this run
+  std::uint64_t stale_rejected = 0;   ///< packets dropped: dead incarnation
+  std::uint64_t catch_up_polls = 0;   ///< POLLs reopening TGs (late join /
+                                      ///< resume repair)
+  std::uint64_t resumed_tgs_skipped = 0;  ///< TGs carried in complete
 };
 
 /// One sender, `receivers` receivers, `num_tgs` groups of random data —

@@ -16,7 +16,6 @@
 #include <stdexcept>
 #include <vector>
 
-#include "util/crc32.hpp"
 #include "util/rng.hpp"
 
 namespace pbl::fec {
@@ -26,6 +25,7 @@ Packet random_valid_packet(Rng& rng) {
   Packet p;
   const auto type = static_cast<PacketType>(rng.below(4));
   p.header.type = type;
+  p.header.incarnation = static_cast<std::uint8_t>(rng());
   p.header.tg = static_cast<std::uint32_t>(rng());
   p.header.count = static_cast<std::uint16_t>(rng.below(1 << 16));
   p.header.seq = static_cast<std::uint32_t>(rng());
@@ -153,22 +153,23 @@ TEST(PacketFuzzProps, SemanticallyInvalidHeadersRejectEvenWithValidCrc) {
   }
 }
 
-TEST(PacketFuzzProps, NonzeroReservedByteRejects) {
+TEST(PacketFuzzProps, IncarnationFieldRoundTripsAllValues) {
+  // Byte 1 of the wire image is the sender incarnation (it replaced the
+  // old must-be-zero reserved byte): every value is a VALID header, and
+  // the parsed packet must carry it faithfully — incarnation filtering
+  // is protocol policy, never framing.
   Packet p;
   p.header.type = PacketType::kNak;
   p.payload.assign(4, 1);
   p.header.payload_len = 4;
-  auto wire = serialize(p);
-  ASSERT_EQ(wire[1], 0u);
-  // Flip the reserved byte and fix the CRC so ONLY the reserved check fires.
-  wire[1] = 0x5A;
-  const std::size_t body = wire.size() - kCrcWireSize;
-  const std::uint32_t crc =
-      pbl::crc32(std::span<const std::uint8_t>(wire.data(), body));
-  for (int i = 0; i < 4; ++i)
-    wire[body + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(crc >> (8 * i));
-  EXPECT_THROW(deserialize(wire), std::invalid_argument);
+  for (int inc = 0; inc < 256; ++inc) {
+    p.header.incarnation = static_cast<std::uint8_t>(inc);
+    const auto wire = serialize(p);
+    ASSERT_EQ(wire[1], static_cast<std::uint8_t>(inc));
+    const Packet back = deserialize(wire);
+    EXPECT_EQ(back.header.incarnation, static_cast<std::uint8_t>(inc));
+    EXPECT_EQ(back, p);
+  }
 }
 
 }  // namespace

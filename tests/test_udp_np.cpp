@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "core/file_transfer.hpp"
+#include "core/session_state.hpp"
 #include "util/rng.hpp"
 
 namespace pbl::net {
@@ -315,6 +318,120 @@ TEST(UdpNpReliable, EndReasonDistinguishesDrainFromStall) {
   const auto stall = stalled.run(0.1);
   EXPECT_EQ(stall.end_reason, UdpNpEndReason::kMidSessionSilence);
   EXPECT_FALSE(stall.complete);
+}
+
+// --- Crash-tolerant sessions over real sockets -----------------------
+
+TEST(UdpNpCrash, SenderRestartResumesFromJournalAcrossLiveReceiver) {
+  // The receiver thread genuinely survives the sender's death here: one
+  // receiver runs across TWO sender lives.  Life 1 journals its progress
+  // through core::SessionJournal and dies after 10 datagrams; life 2
+  // reopens the journal on the SAME port, bumps the incarnation, skips
+  // the journaled TGs and finishes the transfer.
+  const std::string journal =
+      ::testing::TempDir() + "pbl_udp_session_" +
+      std::to_string(static_cast<unsigned long long>(chaos_seed(55))) + ".log";
+  std::remove(journal.c_str());
+
+  UdpNpConfig cfg = small_config();
+  const auto groups = random_groups(3, cfg.k, cfg.packet_len, 11);
+
+  core::SenderSessionState fresh;
+  fresh.session_id = 0xF00D;
+  fresh.k = static_cast<std::uint32_t>(cfg.k);
+  fresh.h = static_cast<std::uint32_t>(cfg.h);
+  fresh.packet_len = static_cast<std::uint32_t>(cfg.packet_len);
+  fresh.num_tgs = static_cast<std::uint32_t>(groups.size());
+
+  UdpSocket first_socket;
+  const std::uint16_t sender_port = first_socket.port();
+  UdpSocket rx_sock;
+  UdpGroup group;
+  group.add_member(rx_sock.port());
+
+  UdpNpReceiverResult result;
+  std::thread rx_thread([&, sock = std::move(rx_sock)]() mutable {
+    UdpNpReceiver receiver(std::move(sock), sender_port, groups.size(), cfg,
+                           0.0, Rng(99).split(0));
+    result = receiver.run(10.0);
+  });
+
+  UdpNpSenderStats life1;
+  {
+    core::SessionJournal sj(journal, fresh);
+    UdpNpConfig c1 = cfg;
+    c1.incarnation = sj.state().incarnation;
+    c1.crash_after_sends = 10;  // dies inside TG 1, after TG 0 completed
+    c1.on_tg_completed = [&sj](std::size_t tg) { sj.record_tg_completed(tg); };
+    c1.on_parities_sent = [&sj](std::size_t tg, std::size_t hw) {
+      sj.record_parities_sent(tg, hw);
+    };
+    UdpNpSender sender(std::move(first_socket), group, c1);
+    life1 = sender.transfer(groups);
+  }  // the dead life's socket closes; its port frees up
+  EXPECT_TRUE(life1.crashed);
+  EXPECT_LT(life1.data_sent, cfg.k * groups.size());
+
+  core::SessionJournal sj(journal, fresh);
+  EXPECT_TRUE(sj.resumed());
+  EXPECT_EQ(sj.state().incarnation, 1u);
+  EXPECT_FALSE(sj.state().all_complete());
+  UdpNpConfig c2 = cfg;
+  c2.incarnation = sj.state().incarnation;
+  c2.resume_completed = sj.state().completed;
+  c2.resume_parities = sj.state().parities_sent;
+  c2.on_tg_completed = [&sj](std::size_t tg) { sj.record_tg_completed(tg); };
+  c2.on_parities_sent = [&sj](std::size_t tg, std::size_t hw) {
+    sj.record_parities_sent(tg, hw);
+  };
+  UdpNpSender sender(UdpSocket(sender_port), group, c2);
+  const auto life2 = sender.transfer(groups);
+  rx_thread.join();
+  std::remove(journal.c_str());
+
+  EXPECT_FALSE(life2.crashed);
+  EXPECT_GE(life2.tgs_skipped, 1u);  // journaled completions never resent
+  EXPECT_TRUE(sj.state().all_complete());
+  // Across both lives the receiver delivered everything exactly once.
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.groups, groups);
+  EXPECT_EQ(result.end_reason, UdpNpEndReason::kEndOfSession);
+}
+
+TEST(UdpNpCrash, StaleIncarnationDatagramsAreRejected) {
+  // A receiver that has already heard incarnation 1 must drop everything
+  // a sender stamped with incarnation 0 — including its end-of-session
+  // marker, which must NOT end the run as a clean session.
+  UdpNpConfig cfg = small_config();
+  const auto groups = random_groups(2, cfg.k, cfg.packet_len, 12);
+
+  UdpSocket sender_socket;
+  const std::uint16_t sender_port = sender_socket.port();
+  UdpSocket rx_sock;
+  UdpGroup group;
+  group.add_member(rx_sock.port());
+
+  UdpNpConfig rx_cfg = cfg;
+  rx_cfg.incarnation = 1;  // the receiver's world has moved on
+  rx_cfg.drain_timeout = 0.2;
+  UdpNpReceiverResult result;
+  std::thread rx_thread([&, sock = std::move(rx_sock)]() mutable {
+    UdpNpReceiver receiver(std::move(sock), sender_port, groups.size(),
+                           rx_cfg, 0.0, Rng(99).split(0));
+    result = receiver.run(0.5);
+  });
+
+  UdpNpConfig tx_cfg = cfg;
+  tx_cfg.incarnation = 0;  // a dead life still talking
+  UdpNpSender sender(std::move(sender_socket), group, tx_cfg);
+  const auto stats = sender.transfer(groups);
+  rx_thread.join();
+
+  EXPECT_GT(stats.data_sent, 0u);
+  EXPECT_GT(result.stale_rejected, 0u);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.received, 0u);
+  EXPECT_EQ(result.end_reason, UdpNpEndReason::kMidSessionSilence);
 }
 
 }  // namespace
