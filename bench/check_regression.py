@@ -4,7 +4,10 @@
 Supports two JSON formats:
 
 * pbl-bench-v1 (emitted by the repo's benches via --json=out.json):
-  the compared metric is ``perf.reps_per_sec``.
+  the compared metric is ``perf.reps_per_sec``.  When points carry a
+  ``"source"`` label ("analysis" / "sim"), the per-source point counts
+  are compared too, so a bench silently dropping its simulated (or
+  analytic) points fails CI even if throughput looks fine.
 * google-benchmark (``--benchmark_out=out.json --benchmark_out_format=json``):
   each benchmark entry is compared by name on ``bytes_per_second``
   (falling back to ``items_per_second``, then to 1/real_time).
@@ -14,9 +17,10 @@ Usage:
         [--min-ratio 0.7]
 
 Exit status 1 if any compared metric's candidate/baseline ratio falls
-below --min-ratio (default 0.7, i.e. a >30% throughput drop).  Metrics
-present on only one side are reported but never fatal: CI runners vary,
-but a benchmark silently vanishing should be visible in the log.
+below --min-ratio (default 0.7, i.e. a >30% throughput drop).
+Throughput metrics present on only one side are reported but never
+fatal (CI runners vary); point-count metrics are deterministic, so a
+baselined count missing from the candidate IS fatal.
 """
 
 import argparse
@@ -52,7 +56,16 @@ def metrics_of(doc):
         rps = perf.get("reps_per_sec")
         if rps is None:
             raise SystemExit("pbl-bench-v1 document has no perf.reps_per_sec")
-        return {f"{doc.get('bench', 'bench')}/reps_per_sec": float(rps)}
+        bench = doc.get("bench", "bench")
+        out = {f"{bench}/reps_per_sec": float(rps)}
+        counts = {}
+        for pt in doc.get("points", []):
+            src = pt.get("source")
+            if src is not None:
+                counts[src] = counts.get(src, 0) + 1
+        for src, n in sorted(counts.items()):
+            out[f"{bench}/points[source={src}]"] = float(n)
+        return out
 
     if "benchmarks" in doc:  # google-benchmark
         out = {}
@@ -93,6 +106,13 @@ def main():
         b, c = base.get(name), cand.get(name)
         if b is None or c is None:
             side = "baseline" if b is None else "candidate"
+            # Point counts are deterministic (unlike throughput on a
+            # noisy runner), so a baselined count vanishing from the
+            # candidate is a real break, not runner variance.
+            if c is None and "/points[" in name:
+                print(f"  REGRESSION {name}: missing from candidate")
+                failures.append(name)
+                continue
             print(f"  SKIP {name}: missing from {side}")
             continue
         if b <= 0.0:

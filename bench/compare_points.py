@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Assert two pbl-bench-v1 documents report identical points.
+
+The repo's simulation engines promise thread-count invariance: for a
+fixed seed (and, for the batched engine, a fixed shard count), every
+statistic is bit-identical whatever --threads is — only wall-clock
+changes.  CI enforces that promise by running a bench twice with
+different --threads values and diffing the two JSON documents' points
+arrays with this script.
+
+Timing fields are the only legitimate difference, so they are stripped
+before comparison (--ignore, default: wall_seconds reps_per_sec
+speedup).  Everything else — including the exact floating-point text of
+every statistic (bench_common.hpp prints %.17g, which round-trips
+doubles exactly) — must match key-for-key.
+
+Usage:
+    compare_points.py a.json b.json [--ignore KEY ...]
+
+Exit status 1 on the first structural difference, with the offending
+point index and keys printed.
+"""
+
+import argparse
+import json
+import sys
+
+VOLATILE = ["wall_seconds", "reps_per_sec", "speedup"]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"{path} is not valid JSON: {e}")
+    if doc.get("schema") != "pbl-bench-v1":
+        raise SystemExit(f"{path}: not a pbl-bench-v1 document")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("a")
+    ap.add_argument("b")
+    ap.add_argument("--ignore", nargs="*", default=VOLATILE,
+                    help="point keys allowed to differ "
+                         f"(default: {' '.join(VOLATILE)})")
+    args = ap.parse_args()
+
+    da, db = load(args.a), load(args.b)
+    if da.get("bench") != db.get("bench"):
+        raise SystemExit(f"bench name differs: {da.get('bench')!r} vs "
+                         f"{db.get('bench')!r}")
+
+    pa, pb = da.get("points", []), db.get("points", [])
+    if len(pa) != len(pb):
+        raise SystemExit(f"point count differs: {len(pa)} vs {len(pb)}")
+
+    ignore = set(args.ignore)
+    bad = 0
+    for i, (x, y) in enumerate(zip(pa, pb)):
+        xs = {k: v for k, v in x.items() if k not in ignore}
+        ys = {k: v for k, v in y.items() if k not in ignore}
+        if xs != ys:
+            keys = sorted(set(xs) | set(ys))
+            diffs = [k for k in keys if xs.get(k) != ys.get(k)]
+            print(f"point {i} differs on {diffs}:")
+            for k in diffs:
+                print(f"    {k}: {xs.get(k)!r} vs {ys.get(k)!r}")
+            bad += 1
+
+    if bad:
+        print(f"\nFAIL: {bad} of {len(pa)} points differ between "
+              f"{args.a} and {args.b}")
+        return 1
+    print(f"OK: {len(pa)} points identical between {args.a} and {args.b} "
+          f"(ignoring {sorted(ignore)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 #include "analysis/integrated.hpp"
 #include "analysis/latency.hpp"
 #include "analysis/layered.hpp"
+#include "protocol/batch_rounds.hpp"
 
 namespace pbl::core {
 
@@ -27,6 +28,12 @@ void MulticastConfig::validate() const {
   if (interleave_depth > 1 && mode != RecoveryMode::kLayeredFec)
     throw std::invalid_argument(
         "MulticastConfig: interleave_depth applies to kLayeredFec only");
+  if (engine == SimEngine::kBatched && loss == LossKind::kTree)
+    throw std::invalid_argument(
+        "MulticastConfig: kBatched does not support kTree loss");
+  if (engine == SimEngine::kBatched && interleave_depth > 1)
+    throw std::invalid_argument(
+        "MulticastConfig: kBatched does not support interleaving");
   timing.validate();
 }
 
@@ -45,21 +52,33 @@ struct Environment {
   std::unique_ptr<protocol::PacketTransmitter> tx;
 };
 
+/// The per-receiver loss model for the non-tree loss kinds (null for
+/// kTree, which models loss on the tree itself).
+std::unique_ptr<loss::LossModel> make_loss_model(const MulticastConfig& cfg) {
+  switch (cfg.loss) {
+    case LossKind::kBernoulli:
+      return std::make_unique<loss::BernoulliLossModel>(cfg.p);
+    case LossKind::kBurst:
+      return std::make_unique<loss::GilbertLossModel>(
+          loss::GilbertLossModel::from_packet_stats(cfg.p, cfg.burst_len,
+                                                    cfg.timing.delta));
+    case LossKind::kTwoClass:
+      return std::make_unique<loss::HeterogeneousLossModel>(
+          cfg.receivers, cfg.alpha, cfg.p, cfg.p_high);
+    case LossKind::kTree:
+      return nullptr;
+  }
+  return nullptr;
+}
+
 Environment make_environment(const MulticastConfig& cfg) {
   Environment env;
   Rng rng(cfg.seed);
+  env.model = make_loss_model(cfg);
   switch (cfg.loss) {
     case LossKind::kBernoulli:
-      env.model = std::make_unique<loss::BernoulliLossModel>(cfg.p);
-      break;
     case LossKind::kBurst:
-      env.model = std::make_unique<loss::GilbertLossModel>(
-          loss::GilbertLossModel::from_packet_stats(cfg.p, cfg.burst_len,
-                                                    cfg.timing.delta));
-      break;
     case LossKind::kTwoClass:
-      env.model = std::make_unique<loss::HeterogeneousLossModel>(
-          cfg.receivers, cfg.alpha, cfg.p, cfg.p_high);
       break;
     case LossKind::kTree: {
       const unsigned height = tree_height_for(cfg.receivers);
@@ -75,11 +94,32 @@ Environment make_environment(const MulticastConfig& cfg) {
   return env;
 }
 
+/// The batched engine's scheme for a recovery mode.
+protocol::BatchScheme batch_scheme_for(const MulticastConfig& cfg) {
+  switch (cfg.mode) {
+    case RecoveryMode::kNoFec:
+      return protocol::BatchScheme::kNoFec;
+    case RecoveryMode::kLayeredFec:
+      return protocol::BatchScheme::kLayered;
+    case RecoveryMode::kIntegratedFec1:
+      return protocol::BatchScheme::kIntegratedStream;
+    case RecoveryMode::kIntegratedFec2:
+      return cfg.finite_budget ? protocol::BatchScheme::kIntegratedFinite
+                               : protocol::BatchScheme::kIntegratedNaks;
+  }
+  throw std::invalid_argument("batch_scheme_for: unknown mode");
+}
+
+/// shards = 0: one shard per started group of 2^16 receivers, so small
+/// runs stay single-shard and R = 10^6 fans out over ~16 shards.
+std::size_t default_shards(std::size_t receivers) {
+  return (receivers + ((std::size_t{1} << 16) - 1)) >> 16;
+}
+
 }  // namespace
 
 MulticastReport simulate(const MulticastConfig& cfg) {
   cfg.validate();
-  Environment env = make_environment(cfg);
 
   protocol::McConfig mc;
   mc.k = cfg.k;
@@ -90,23 +130,34 @@ MulticastReport simulate(const MulticastConfig& cfg) {
   mc.seed = cfg.seed;
 
   protocol::McResult res;
-  switch (cfg.mode) {
-    case RecoveryMode::kNoFec:
-      res = protocol::sim_nofec(*env.tx, mc);
-      break;
-    case RecoveryMode::kLayeredFec:
-      res = cfg.interleave_depth > 1
-                ? protocol::sim_layered_interleaved(*env.tx, mc,
-                                                    cfg.interleave_depth)
-                : protocol::sim_layered(*env.tx, mc);
-      break;
-    case RecoveryMode::kIntegratedFec1:
-      res = protocol::sim_integrated_stream(*env.tx, mc);
-      break;
-    case RecoveryMode::kIntegratedFec2:
-      res = cfg.finite_budget ? protocol::sim_integrated_finite(*env.tx, mc)
-                              : protocol::sim_integrated_naks(*env.tx, mc);
-      break;
+  if (cfg.engine == SimEngine::kBatched) {
+    // Model only — no O(R) transmitter construction on this path.
+    const std::unique_ptr<loss::LossModel> model = make_loss_model(cfg);
+    protocol::BatchOptions opts;
+    opts.shards = cfg.shards == 0 ? default_shards(cfg.receivers) : cfg.shards;
+    opts.threads = cfg.engine_threads;
+    res = protocol::sim_batched(batch_scheme_for(cfg), *model, cfg.receivers,
+                                mc, Rng(cfg.seed), opts);
+  } else {
+    Environment env = make_environment(cfg);
+    switch (cfg.mode) {
+      case RecoveryMode::kNoFec:
+        res = protocol::sim_nofec(*env.tx, mc);
+        break;
+      case RecoveryMode::kLayeredFec:
+        res = cfg.interleave_depth > 1
+                  ? protocol::sim_layered_interleaved(*env.tx, mc,
+                                                      cfg.interleave_depth)
+                  : protocol::sim_layered(*env.tx, mc);
+        break;
+      case RecoveryMode::kIntegratedFec1:
+        res = protocol::sim_integrated_stream(*env.tx, mc);
+        break;
+      case RecoveryMode::kIntegratedFec2:
+        res = cfg.finite_budget ? protocol::sim_integrated_finite(*env.tx, mc)
+                                : protocol::sim_integrated_naks(*env.tx, mc);
+        break;
+    }
   }
 
   MulticastReport report;

@@ -24,6 +24,20 @@ enum class RecoveryMode {
   kIntegratedFec2, ///< NAK-driven parity rounds / protocol NP (Sections 3.2, 5)
 };
 
+/// Which Monte-Carlo engine simulate() runs.
+enum class SimEngine {
+  /// Per-receiver objects (protocol/rounds.hpp): supports every loss
+  /// kind and interleaving, but costs O(R) per transmission — practical
+  /// to R ~ 10^3..10^4.
+  kExact,
+  /// Packed-bitmap shards with batched loss sampling
+  /// (protocol/batch_rounds.hpp): O(R/64) per transmission, scales to
+  /// R ~ 10^6.  Bit-identical to kExact for time-dependent models
+  /// (kBurst), distribution-identical for the i.i.d. kinds; kTree and
+  /// interleave_depth > 1 are not supported.  See docs/SCALING.md.
+  kBatched,
+};
+
 enum class LossKind {
   kBernoulli, ///< i.i.d. loss with probability p at every receiver
   kBurst,     ///< two-state Markov (Gilbert) loss, mean burst length b
@@ -60,6 +74,17 @@ struct MulticastConfig {
   /// (packets overflowing it join a new TG) instead of h proactive
   /// parities with an unlimited reactive supply.
   bool finite_budget = false;
+
+  /// Simulation engine; kBatched requires a non-tree loss kind and
+  /// interleave_depth == 1 (validate() enforces both).
+  SimEngine engine = SimEngine::kExact;
+  /// kBatched only: receiver shards.  Results are reproducible for a
+  /// fixed shard count; 0 picks one shard per started group of 2^16
+  /// receivers.
+  std::size_t shards = 0;
+  /// kBatched only: worker threads for the shard fan-out (0 = hardware,
+  /// 1 = inline).  Never affects results.
+  unsigned engine_threads = 1;
 
   void validate() const;
 };

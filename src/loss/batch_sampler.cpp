@@ -1,0 +1,239 @@
+#include "loss/batch_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/numerics.hpp"
+
+namespace pbl::loss {
+
+namespace {
+
+/// Inverse-CDF by pmf recurrence, exact, expected O(n*p) steps.  Requires
+/// p <= 0.5 (callers reflect) and n*p small enough that q^n does not
+/// underflow (n*p <= 30 guarantees q^n >= e^-30).
+std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) {
+  const double q = 1.0 - p;
+  const double s = p / q;
+  const double a = static_cast<double>(n + 1) * s;
+  const double f0 = std::exp(static_cast<double>(n) * std::log1p(-p));  // q^n
+  for (;;) {
+    double f = f0;
+    double u = rng.uniform();
+    for (std::uint64_t x = 0; x <= n; ++x) {
+      if (u <= f) return x;
+      u -= f;
+      f *= a / static_cast<double>(x + 1) - s;
+    }
+    // Floating-point residue pushed u past the summed pmf; redraw.
+  }
+}
+
+/// Stirling-series tail of ln Gamma(x): phi(x) = 1/(12x) - 1/(360x^3)
+/// + 1/(1260x^5) - 1/(1680x^7) + 1/(1188x^9), evaluated Horner-style.
+double stirling_tail(double x) {
+  const double x2 = x * x;
+  return (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / x2) / x2) / x2) / x2) /
+         x / 166320.0;
+}
+
+/// BTPE (Binomial Triangle-Parallelogram-Exponential) rejection sampler.
+/// Requires r = min(p, 1-p) with n*r >= 30 (so n*r*q >= 15 and the
+/// majorizer constants are valid); exact per the final pmf comparison.
+std::uint64_t binomial_btpe(Rng& rng, std::uint64_t n, double r) {
+  const double nd = static_cast<double>(n);
+  const double q = 1.0 - r;
+  const double nrq = nd * r * q;
+  const double fm = nd * r + r;
+  const double m = std::floor(fm);
+  const double p1 = std::floor(2.195 * std::sqrt(nrq) - 4.6 * q) + 0.5;
+  const double xm = m + 0.5;
+  const double xl = xm - p1;
+  const double xr = xm + p1;
+  const double c = 0.134 + 20.5 / (15.3 + m);
+  double al = (fm - xl) / (fm - xl * r);
+  const double laml = al * (1.0 + 0.5 * al);
+  al = (xr - fm) / (xr * q);
+  const double lamr = al * (1.0 + 0.5 * al);
+  const double p2 = p1 * (1.0 + 2.0 * c);
+  const double p3 = p2 + c / laml;
+  const double p4 = p3 + c / lamr;
+
+  for (;;) {
+    const double u = rng.uniform() * p4;
+    double v = rng.uniform();
+    double y;
+    if (u <= p1) {
+      // Triangular region: accept immediately.
+      y = std::floor(xm - p1 * v + u);
+      return static_cast<std::uint64_t>(y);
+    }
+    if (u <= p2) {
+      // Parallelogram.
+      const double x = xl + (u - p1) / c;
+      v = v * c + 1.0 - std::abs(x - xm) / p1;
+      if (v > 1.0) continue;
+      y = std::floor(x);
+    } else if (u <= p3) {
+      // Left exponential tail.
+      y = std::floor(xl + std::log(v) / laml);
+      if (y < 0.0) continue;
+      v = v * (u - p2) * laml;
+    } else {
+      // Right exponential tail.
+      y = std::floor(xr - std::log(v) / lamr);
+      if (y > nd) continue;
+      v = v * (u - p3) * lamr;
+    }
+
+    // Acceptance test: v <= f(y)/f(m).
+    const double k = std::abs(y - m);
+    if (k <= 20.0 || k >= nrq / 2.0 - 1.0) {
+      // Evaluate the pmf ratio explicitly by recurrence.
+      const double s = r / q;
+      const double a = s * (nd + 1.0);
+      double f = 1.0;
+      if (m < y) {
+        for (double i = m + 1.0; i <= y; i += 1.0) f *= a / i - s;
+      } else if (m > y) {
+        for (double i = y + 1.0; i <= m; i += 1.0) f /= a / i - s;
+      }
+      if (v <= f) return static_cast<std::uint64_t>(y);
+      continue;
+    }
+    // Squeeze on ln(f(y)/f(m)), then the exact Stirling comparison.
+    const double amaxp =
+        (k / nrq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / nrq + 0.5);
+    const double ynorm = -k * k / (2.0 * nrq);
+    const double alv = std::log(v);
+    if (alv < ynorm - amaxp) return static_cast<std::uint64_t>(y);
+    if (alv > ynorm + amaxp) continue;
+
+    const double x1 = y + 1.0;
+    const double f1 = m + 1.0;
+    const double z = nd + 1.0 - m;
+    const double w = nd - y + 1.0;
+    const double bound = xm * std::log(f1 / x1) +
+                         (nd - m + 0.5) * std::log(z / w) +
+                         (y - m) * std::log(w * r / (x1 * q)) +
+                         stirling_tail(f1) - stirling_tail(x1) +
+                         stirling_tail(z) - stirling_tail(w);
+    if (alv <= bound) return static_cast<std::uint64_t>(y);
+  }
+}
+
+constexpr double kInversionMaxNp = 30.0;
+
+}  // namespace
+
+std::uint64_t sample_binomial(Rng& rng, std::uint64_t n, double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("sample_binomial: p in [0, 1]");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  const bool flip = p > 0.5;
+  const double r = flip ? 1.0 - p : p;
+  const std::uint64_t x = static_cast<double>(n) * r < kInversionMaxNp
+                              ? binomial_inversion(rng, n, r)
+                              : binomial_btpe(rng, n, r);
+  return flip ? n - x : x;
+}
+
+BinomialDist::BinomialDist(std::uint64_t n, double p) : n_(n), p_(p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("BinomialDist: p in [0, 1]");
+  if (n == 0 || p == 0.0 || p == 1.0 || n > kAliasMax) return;
+
+  // Vose alias construction over the exact pmf (normalised so the table
+  // probabilities sum to exactly 1).
+  const std::size_t size = static_cast<std::size_t>(n) + 1;
+  std::vector<double> pmf(size);
+  double total = 0.0;
+  for (std::size_t j = 0; j < size; ++j) {
+    pmf[j] = binomial_pmf(static_cast<std::int64_t>(n),
+                          static_cast<std::int64_t>(j), p);
+    total += pmf[j];
+  }
+  std::vector<double> scaled(size);
+  for (std::size_t j = 0; j < size; ++j)
+    scaled[j] = pmf[j] / total * static_cast<double>(size);
+
+  alias_ = std::make_unique<std::uint32_t[]>(size);
+  accept_ = std::make_unique<double[]>(size);
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t j = 0; j < size; ++j)
+    (scaled[j] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(j));
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const std::uint32_t j : large) {
+    accept_[j] = 1.0;
+    alias_[j] = j;
+  }
+  for (const std::uint32_t j : small) {  // fp leftovers: probability ~1
+    accept_[j] = 1.0;
+    alias_[j] = j;
+  }
+}
+
+std::uint64_t BinomialDist::operator()(Rng& rng) const {
+  if (n_ == 0 || p_ == 0.0) return 0;
+  if (p_ == 1.0) return n_;
+  if (!alias_) return sample_binomial(rng, n_, p_);
+  const std::uint64_t j = rng.below(n_ + 1);
+  return rng.uniform() < accept_[j] ? j : alias_[j];
+}
+
+MaskSampler::MaskSampler(double p) : p_(p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("MaskSampler: p in [0, 1]");
+  if (p == 0.0 || p == 1.0) return;
+  invert_ = p > 0.5;
+  count_ = std::make_unique<BinomialDist>(64, invert_ ? 1.0 - p : p);
+}
+
+std::uint64_t MaskSampler::place_bits(Rng& rng, unsigned count) {
+  std::uint64_t mask = 0;
+  unsigned placed = 0;
+  while (placed < count) {
+    // 10 six-bit position candidates per 64-bit draw.
+    std::uint64_t chunks = rng();
+    for (int c = 0; c < 10 && placed < count; ++c, chunks >>= 6) {
+      const std::uint64_t bit = std::uint64_t{1} << (chunks & 63);
+      if (!(mask & bit)) {
+        mask |= bit;
+        ++placed;
+      }
+    }
+  }
+  return mask;
+}
+
+std::uint64_t MaskSampler::lost_mask(Rng& rng) const {
+  if (p_ == 0.0) return 0;
+  if (p_ == 1.0) return ~std::uint64_t{0};
+  const auto c = static_cast<unsigned>((*count_)(rng));
+  std::uint64_t mask;
+  if (c == 0) {
+    mask = 0;
+  } else if (c == 64) {
+    mask = ~std::uint64_t{0};
+  } else if (c <= 32) {
+    mask = place_bits(rng, c);
+  } else {
+    mask = ~place_bits(rng, 64 - c);  // place the rarer side
+  }
+  return invert_ ? ~mask : mask;
+}
+
+}  // namespace pbl::loss

@@ -95,6 +95,7 @@ class HeterogeneousLossModel final : public LossModel {
                                             std::size_t receiver) const override;
   double mean_loss_probability() const override;
 
+  std::size_t receivers() const noexcept { return receivers_; }
   std::size_t high_loss_count() const noexcept { return high_count_; }
   double receiver_loss_probability(std::size_t receiver) const;
 
@@ -122,6 +123,7 @@ class MultiClassLossModel final : public LossModel {
   double mean_loss_probability() const override;
 
   std::size_t receivers() const noexcept { return total_; }
+  const std::vector<Class>& classes() const noexcept { return classes_; }
   double receiver_loss_probability(std::size_t receiver) const;
 
  private:

@@ -80,6 +80,12 @@ std::uint64_t charge_feedback_gap(const McConfig& cfg, Rng& rng, double& t) {
   return lost;
 }
 
+/// Appends one per-round feedback aggregate to cfg.nak_log when attached.
+void log_nak(const McConfig& cfg, std::size_t value) {
+  if (cfg.nak_log != nullptr)
+    cfg.nak_log->push_back(static_cast<std::uint32_t>(value));
+}
+
 McResult finish(const RunningStats& tx_stats, const RunningStats& round_stats,
                 const RunningStats& time_stats, std::uint64_t sent) {
   McResult res;
@@ -135,6 +141,7 @@ McResult sim_nofec(PacketTransmitter& tx, const McConfig& cfg) {
       for (const std::size_t i : pending)
         if (miss_count[i] > 0) next.push_back(i);
       pending = std::move(next);
+      log_nak(cfg, pending.size());
       if (!pending.empty()) rounds += charge_feedback_gap(cfg, fb_rng, t);
     }
     sent_total += sent;
@@ -230,6 +237,7 @@ McResult sim_layered(PacketTransmitter& tx, const McConfig& cfg) {
           }
         }
       }
+      log_nak(cfg, pending_count);
       if (pending_count > 0) rounds += charge_feedback_gap(cfg, fb_rng, t);
     }
     tx_stats.add(cost / static_cast<double>(k));
@@ -417,6 +425,7 @@ McResult sim_integrated_naks(PacketTransmitter& tx, const McConfig& cfg) {
       std::size_t l = 0;
       for (std::size_t r = 0; r < R; ++r)
         l = std::max(l, k - std::min(cnt[r], k));
+      log_nak(cfg, l);
       if (l == 0) break;
       burst = l;
       rounds += charge_feedback_gap(cfg, fb_rng, t);
@@ -491,6 +500,7 @@ McResult sim_integrated_finite(PacketTransmitter& tx, const McConfig& cfg) {
         std::size_t l = 0;
         for (std::size_t r = 0; r < R; ++r)
           if (miss[r] > 0) l = std::max(l, k - std::min(cnt[r], k));
+        log_nak(cfg, l);
         if (l == 0) break;
         l = std::min(l, h - parities_used);
         if (l == 0) break;  // budget exhausted

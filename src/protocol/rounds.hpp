@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "loss/loss_model.hpp"
 #include "protocol/timing.hpp"
@@ -79,6 +80,15 @@ struct McConfig {
   /// q_f = 0 draws nothing, so lossless results stay byte-identical.
   double q_f = 0.0;
   std::uint64_t seed = 0x5eedf00dULL;  ///< feedback-loss stream seed
+
+  /// Optional instrumentation: when non-null, every simulator appends its
+  /// per-round feedback aggregate here — the pending-original count for
+  /// sim_nofec / sim_layered, the NAK'd parity count l for the integrated
+  /// schemes (the raw pre-budget value for sim_integrated_finite).  The
+  /// batched engine (batch_rounds.hpp) appends at identical junctures, so
+  /// equal logs mean equal round structure; the equivalence tests compare
+  /// them.  sim_integrated_stream has no feedback and logs nothing.
+  std::vector<std::uint32_t>* nak_log = nullptr;
 };
 
 struct McResult {

@@ -1,0 +1,95 @@
+#include "sim/receiver_shard.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pbl::sim {
+
+std::size_t BitVec::count() const noexcept {
+  std::size_t n = 0;
+  for (const std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::any() const noexcept {
+  for (const std::uint64_t w : words_)
+    if (w) return true;
+  return false;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::andnot(const BitVec& o) noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~o.words_[w];
+  return *this;
+}
+
+ReceiverShard::ReceiverShard(std::size_t first_receiver, std::size_t receivers,
+                             std::size_t planes, bool ones)
+    : first_(first_receiver), receivers_(receivers) {
+  planes_.reserve(planes);
+  for (std::size_t i = 0; i < planes; ++i)
+    planes_.emplace_back(receivers, ones);
+}
+
+std::size_t ReceiverShard::max_missing() const noexcept {
+  if (receivers_ == 0 || planes_.empty()) return 0;
+  std::size_t best = 0;
+  std::uint8_t cnt[64];
+  const std::size_t words = planes_[0].num_words();
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t live = planes_[0].live_mask(w);
+    for (auto& c : cnt) c = 0;
+    for (const auto& plane : planes_) {
+      std::uint64_t miss = ~plane.word(w) & live;
+      while (miss) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(miss));
+        miss &= miss - 1;
+        ++cnt[bit];
+      }
+    }
+    std::uint64_t lanes = live;
+    while (lanes) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(lanes));
+      lanes &= lanes - 1;
+      if (cnt[bit] > best) best = cnt[bit];
+    }
+  }
+  return best;
+}
+
+ReceiverShard ReceiverShard::merge(const ReceiverShard& lo,
+                                   const ReceiverShard& hi) {
+  if (lo.num_planes() != hi.num_planes())
+    throw std::invalid_argument("ReceiverShard::merge: plane count mismatch");
+  if (hi.first_receiver() != lo.first_receiver() + lo.receivers())
+    throw std::invalid_argument("ReceiverShard::merge: shards not adjacent");
+
+  ReceiverShard out(lo.first_receiver(), lo.receivers() + hi.receivers(),
+                    lo.num_planes());
+  const std::size_t off = lo.receivers() % 64;
+  const std::size_t base = lo.receivers() / 64;
+  for (std::size_t i = 0; i < out.num_planes(); ++i) {
+    BitVec& dst = out.plane(i);
+    const BitVec& a = lo.plane(i);
+    const BitVec& b = hi.plane(i);
+    for (std::size_t w = 0; w < a.num_words(); ++w) dst.data()[w] = a.word(w);
+    for (std::size_t w = 0; w < b.num_words(); ++w) {
+      const std::uint64_t hw = b.word(w);
+      dst.data()[base + w] |= off ? hw << off : hw;
+      if (off != 0 && base + w + 1 < dst.num_words())
+        dst.data()[base + w + 1] |= hw >> (64 - off);
+    }
+  }
+  return out;
+}
+
+}  // namespace pbl::sim

@@ -1,0 +1,221 @@
+// Statistical validation of the batched loss samplers.  All seeds are
+// fixed, so every assertion is deterministic; the chi-square / CI
+// thresholds are at alpha = 1e-3 and were verified to pass with margin.
+//
+// Coverage map (the three sample_binomial regimes are exercised
+// explicitly): inverse-CDF (n*min(p,q) < 30), BTPE rejection (large
+// n*min(p,q)), the p > 0.5 reflection of both, the alias-table path of
+// BinomialDist (n <= 128), and MaskSampler's count-then-place masks.
+#include "loss/batch_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/numerics.hpp"
+#include "util/rng.hpp"
+
+namespace pbl::loss {
+namespace {
+
+/// Wilson-Hilferty chi-square critical value; z = 3.0902 is the standard
+/// normal quantile for alpha = 1e-3.
+double chi2_crit(double df, double z = 3.0902) {
+  const double t = 2.0 / (9.0 * df);
+  const double c = 1.0 - t + z * std::sqrt(t);
+  return df * c * c * c;
+}
+
+/// Pearson chi-square of observed counts against expected probabilities,
+/// pooling adjacent cells until every pooled cell expects >= 5 draws.
+/// Returns {statistic, degrees of freedom}.
+struct Chi2 {
+  double stat = 0.0;
+  double df = 0.0;
+};
+Chi2 chi2_vs_pmf(const std::vector<std::uint64_t>& counts,
+                 const std::vector<double>& probs, double draws) {
+  Chi2 out;
+  double obs = 0.0, expd = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    obs += static_cast<double>(counts[j]);
+    expd += probs[j] * draws;
+    if (expd >= 5.0) {
+      out.stat += (obs - expd) * (obs - expd) / expd;
+      ++cells;
+      obs = expd = 0.0;
+    }
+  }
+  if (expd > 0.0 && cells > 0) {  // fold the tail into the last cell
+    out.stat += (obs - expd) * (obs - expd) / expd;
+    ++cells;
+  }
+  out.df = cells > 1 ? static_cast<double>(cells - 1) : 1.0;
+  return out;
+}
+
+TEST(SampleBinomial, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(sample_binomial(rng, 0, 0.3), 0u);
+  EXPECT_EQ(sample_binomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(sample_binomial(rng, 100, 1.0), 100u);
+  EXPECT_THROW(sample_binomial(rng, 10, -0.1), std::invalid_argument);
+  EXPECT_THROW(sample_binomial(rng, 10, 1.1), std::invalid_argument);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = sample_binomial(rng, 5, 0.4);
+    EXPECT_LE(x, 5u);
+  }
+}
+
+TEST(SampleBinomial, MeanAndVarianceWithinCI) {
+  // One config per sampling regime.
+  struct Case {
+    std::uint64_t n;
+    double p;
+    const char* regime;
+  };
+  const Case cases[] = {
+      {5000, 0.002, "inversion"},          // n*p = 10 < 30
+      {2000, 0.3, "btpe"},                 // n*p = 600
+      {2000, 0.7, "btpe+reflection"},      // n*q = 600
+      {5000, 0.998, "inversion+reflection"},
+  };
+  const std::size_t draws = 100000;
+  Rng rng(42);
+  for (const auto& c : cases) {
+    double sum = 0.0, sumsq = 0.0;
+    for (std::size_t i = 0; i < draws; ++i) {
+      const auto x = static_cast<double>(sample_binomial(rng, c.n, c.p));
+      ASSERT_LE(x, static_cast<double>(c.n)) << c.regime;
+      sum += x;
+      sumsq += x * x;
+    }
+    const double nd = static_cast<double>(draws);
+    const double mean = sum / nd;
+    const double var = (sumsq - sum * sum / nd) / (nd - 1.0);
+    const double want_mean = static_cast<double>(c.n) * c.p;
+    const double want_var = want_mean * (1.0 - c.p);
+    // Mean: 5-sigma band of the sample mean; variance: 6% relative.
+    EXPECT_NEAR(mean, want_mean, 5.0 * std::sqrt(want_var / nd)) << c.regime;
+    EXPECT_NEAR(var, want_var, 0.06 * want_var) << c.regime;
+  }
+}
+
+TEST(SampleBinomial, BtpeMatchesExactPmfChiSquare) {
+  const std::uint64_t n = 500;
+  const double p = 0.3;
+  const std::size_t draws = 200000;
+  Rng rng(7);
+  std::vector<std::uint64_t> counts(n + 1, 0);
+  for (std::size_t i = 0; i < draws; ++i)
+    ++counts[sample_binomial(rng, n, p)];
+  std::vector<double> probs(n + 1);
+  for (std::uint64_t j = 0; j <= n; ++j)
+    probs[j] = binomial_pmf(static_cast<std::int64_t>(n),
+                            static_cast<std::int64_t>(j), p);
+  const Chi2 c = chi2_vs_pmf(counts, probs, static_cast<double>(draws));
+  EXPECT_LT(c.stat, chi2_crit(c.df)) << "df=" << c.df;
+}
+
+TEST(BinomialDist, AliasTableMatchesEnumeratedPmfForSmallN) {
+  // n <= 8: compare against the exactly enumerable pmf, one chi-square
+  // per (n, p).  These all take the alias-table path.
+  const std::size_t draws = 200000;
+  Rng rng(11);
+  for (std::uint64_t n = 1; n <= 8; ++n) {
+    for (const double p : {0.1, 0.5, 0.9}) {
+      const BinomialDist dist(n, p);
+      std::vector<std::uint64_t> counts(n + 1, 0);
+      for (std::size_t i = 0; i < draws; ++i) {
+        const std::uint64_t x = dist(rng);
+        ASSERT_LE(x, n);
+        ++counts[x];
+      }
+      std::vector<double> probs(n + 1);
+      for (std::uint64_t j = 0; j <= n; ++j)
+        probs[j] = binomial_pmf(static_cast<std::int64_t>(n),
+                                static_cast<std::int64_t>(j), p);
+      const Chi2 c = chi2_vs_pmf(counts, probs, static_cast<double>(draws));
+      EXPECT_LT(c.stat, chi2_crit(c.df)) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BinomialDist, EdgeCasesAndLargeNFallback) {
+  Rng rng(3);
+  const BinomialDist zero(0, 0.5);
+  EXPECT_EQ(zero(rng), 0u);
+  const BinomialDist never(64, 0.0);
+  EXPECT_EQ(never(rng), 0u);
+  const BinomialDist always(64, 1.0);
+  EXPECT_EQ(always(rng), 64u);
+  // n beyond the alias-table limit routes to sample_binomial.
+  const BinomialDist big(1000, 0.25);
+  double sum = 0.0;
+  const std::size_t draws = 50000;
+  for (std::size_t i = 0; i < draws; ++i)
+    sum += static_cast<double>(big(rng));
+  const double mean = sum / static_cast<double>(draws);
+  EXPECT_NEAR(mean, 250.0, 5.0 * std::sqrt(250.0 * 0.75 / draws));
+}
+
+TEST(BinomialDist, DeterministicAcrossSplitSubstreams) {
+  const BinomialDist dist(64, 0.07);
+  const Rng base(99);
+  Rng a = base.split(5);
+  Rng b = base.split(5);
+  Rng c = base.split(6);
+  bool differs = false;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t xa = dist(a);
+    EXPECT_EQ(xa, dist(b)) << i;  // same substream => same draws
+    if (xa != dist(c)) differs = true;
+  }
+  EXPECT_TRUE(differs);  // different substreams are actually different
+}
+
+TEST(MaskSampler, DegenerateProbabilitiesDoNotTouchRng) {
+  const MaskSampler none(0.0);
+  const MaskSampler all(1.0);
+  Rng rng(5);
+  Rng untouched(5);
+  EXPECT_EQ(none.lost_mask(rng), 0u);
+  EXPECT_EQ(all.lost_mask(rng), ~std::uint64_t{0});
+  EXPECT_EQ(rng(), untouched());
+}
+
+TEST(MaskSampler, PerBitMarginalsAndCountDistribution) {
+  const std::size_t draws = 50000;
+  for (const double p : {0.03, 0.5, 0.97}) {
+    const MaskSampler sampler(p);
+    Rng rng(123);
+    std::vector<std::uint64_t> bit_counts(64, 0);
+    std::vector<std::uint64_t> pop_counts(65, 0);
+    for (std::size_t i = 0; i < draws; ++i) {
+      const std::uint64_t mask = sampler.lost_mask(rng);
+      ++pop_counts[static_cast<std::size_t>(std::popcount(mask))];
+      for (unsigned b = 0; b < 64; ++b)
+        if ((mask >> b) & 1) ++bit_counts[b];
+    }
+    // Each bit individually is Bernoulli(p)...
+    const double tol =
+        5.0 * std::sqrt(p * (1.0 - p) / static_cast<double>(draws));
+    for (unsigned b = 0; b < 64; ++b) {
+      const double freq =
+          static_cast<double>(bit_counts[b]) / static_cast<double>(draws);
+      EXPECT_NEAR(freq, p, tol) << "p=" << p << " bit=" << b;
+    }
+    // ...and the joint popcount is Binomial(64, p).
+    std::vector<double> probs(65);
+    for (int j = 0; j <= 64; ++j) probs[j] = binomial_pmf(64, j, p);
+    const Chi2 c = chi2_vs_pmf(pop_counts, probs, static_cast<double>(draws));
+    EXPECT_LT(c.stat, chi2_crit(c.df)) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace pbl::loss

@@ -1,0 +1,158 @@
+// Property tests for the packed-bitmap receiver state: every popcount
+// aggregate must equal a scalar per-receiver reference, word-boundary
+// sizes must not leak ghost receivers, and merging adjacent shards must
+// reproduce the combined shard exactly (including unaligned splits).
+#include "sim/receiver_shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl::sim {
+namespace {
+
+/// Scalar mirror of one plane: plain per-receiver flags.
+std::vector<char> random_flags(std::size_t n, double density, Rng& rng) {
+  std::vector<char> out(n);
+  for (std::size_t r = 0; r < n; ++r) out[r] = rng.bernoulli(density) ? 1 : 0;
+  return out;
+}
+
+BitVec to_bitvec(const std::vector<char>& flags) {
+  BitVec v(flags.size());
+  for (std::size_t r = 0; r < flags.size(); ++r)
+    if (flags[r]) v.set(r);
+  return v;
+}
+
+TEST(BitVec, CountMatchesScalarAtWordBoundaries) {
+  Rng rng(1);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{200}}) {
+    for (const double density : {0.0, 0.1, 0.5, 1.0}) {
+      const auto flags = random_flags(n, density, rng);
+      const BitVec v = to_bitvec(flags);
+      const auto expected = static_cast<std::size_t>(
+          std::count(flags.begin(), flags.end(), char{1}));
+      EXPECT_EQ(v.count(), expected) << "n=" << n << " density=" << density;
+      EXPECT_EQ(v.any(), expected > 0);
+      EXPECT_EQ(v.all(), expected == n);
+    }
+  }
+}
+
+TEST(BitVec, FillTrueKeepsZeroTail) {
+  for (const std::size_t n :
+       {std::size_t{63}, std::size_t{64}, std::size_t{65}}) {
+    BitVec v(n, /*ones=*/true);
+    EXPECT_EQ(v.count(), n);
+    EXPECT_TRUE(v.all());
+    // The tail past `n` must be zero or popcounts would see ghosts.
+    const std::size_t last = v.num_words() - 1;
+    EXPECT_EQ(v.word(last) & ~v.live_mask(last), 0u);
+  }
+}
+
+TEST(BitVec, BitwiseOpsMatchScalar) {
+  Rng rng(2);
+  const std::size_t n = 130;
+  const auto fa = random_flags(n, 0.4, rng);
+  const auto fb = random_flags(n, 0.6, rng);
+  const BitVec a = to_bitvec(fa);
+  const BitVec b = to_bitvec(fb);
+
+  BitVec o = a;
+  o |= b;
+  BitVec x = a;
+  x &= b;
+  BitVec d = a;
+  d.andnot(b);
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_EQ(o.test(r), fa[r] || fb[r]) << r;
+    EXPECT_EQ(x.test(r), fa[r] && fb[r]) << r;
+    EXPECT_EQ(d.test(r), fa[r] && !fb[r]) << r;
+  }
+}
+
+TEST(ReceiverShard, PopcountAggregationMatchesScalarReference) {
+  Rng rng(3);
+  const std::size_t k = 7;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{321}}) {
+    ReceiverShard shard(100, n, k);
+    std::vector<std::vector<char>> flags(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      flags[i] = random_flags(n, 0.35, rng);
+      shard.plane(i) = to_bitvec(flags[i]);
+    }
+    std::size_t worst = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto holders = static_cast<std::size_t>(
+          std::count(flags[i].begin(), flags[i].end(), char{1}));
+      EXPECT_EQ(shard.holders(i), holders) << "n=" << n << " i=" << i;
+      EXPECT_EQ(shard.missing(i), n - holders) << "n=" << n << " i=" << i;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      std::size_t miss = 0;
+      for (std::size_t i = 0; i < k; ++i)
+        if (!flags[i][r]) ++miss;
+      worst = std::max(worst, miss);
+    }
+    EXPECT_EQ(shard.max_missing(), worst) << "n=" << n;
+  }
+}
+
+TEST(ReceiverShard, MaxMissingEdgeCases) {
+  ReceiverShard full(0, 65, 4, /*ones=*/true);
+  EXPECT_EQ(full.max_missing(), 0u);  // everyone holds everything
+  ReceiverShard empty(0, 65, 4);
+  EXPECT_EQ(empty.max_missing(), 4u);  // everyone misses every plane
+}
+
+TEST(ReceiverShard, MergeEqualsCombinedShard) {
+  Rng rng(4);
+  const std::size_t k = 5;
+  const std::size_t total = 171;
+  // Split points straddling word boundaries, including unaligned ones.
+  for (const std::size_t split :
+       {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{100}, std::size_t{170}}) {
+    std::vector<std::vector<char>> flags(k);
+    for (auto& f : flags) f = random_flags(total, 0.5, rng);
+
+    ReceiverShard combined(7, total, k);
+    ReceiverShard lo(7, split, k);
+    ReceiverShard hi(7 + split, total - split, k);
+    for (std::size_t i = 0; i < k; ++i) {
+      combined.plane(i) = to_bitvec(flags[i]);
+      for (std::size_t r = 0; r < split; ++r)
+        if (flags[i][r]) lo.plane(i).set(r);
+      for (std::size_t r = split; r < total; ++r)
+        if (flags[i][r]) hi.plane(i).set(r - split);
+    }
+
+    const ReceiverShard merged = ReceiverShard::merge(lo, hi);
+    ASSERT_EQ(merged.receivers(), total) << "split=" << split;
+    EXPECT_EQ(merged.first_receiver(), 7u);
+    for (std::size_t i = 0; i < k; ++i)
+      EXPECT_TRUE(merged.plane(i) == combined.plane(i))
+          << "split=" << split << " plane=" << i;
+    EXPECT_EQ(merged.max_missing(), combined.max_missing())
+        << "split=" << split;
+  }
+}
+
+TEST(ReceiverShard, MergeRejectsIncompatibleShards) {
+  ReceiverShard a(0, 10, 3);
+  ReceiverShard planes_off(10, 10, 4);
+  EXPECT_THROW(ReceiverShard::merge(a, planes_off), std::invalid_argument);
+  ReceiverShard gap(11, 10, 3);
+  EXPECT_THROW(ReceiverShard::merge(a, gap), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pbl::sim
