@@ -1,7 +1,11 @@
 #include "core/session_state.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
+#include <system_error>
 
 namespace pbl::core {
 
@@ -366,6 +370,62 @@ ResumableReport run_resumable_session(const loss::LossModel& loss,
       report.total_data_sent > baseline ? report.total_data_sent - baseline
                                         : 0;
   return report;
+}
+
+std::optional<SenderSessionState> peek_session_journal(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  const util::JournalScanResult scan = util::scan_journal(bytes);
+  if (scan.records.empty()) return std::nullopt;
+  try {
+    return recover_sender_state(scan.records);
+  } catch (const std::exception&) {
+    return std::nullopt;  // no snapshot / malformed: nothing to resume
+  }
+}
+
+std::vector<std::string> list_session_journals(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".journal") continue;
+    out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void save_receiver_state_file(const std::string& path,
+                              const ReceiverSessionState& state) {
+  const std::vector<std::uint8_t> bytes = state.serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("save_receiver_state_file: cannot write " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+      throw std::runtime_error("save_receiver_state_file: short write " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<ReceiverSessionState> load_receiver_state_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  try {
+    return ReceiverSessionState::deserialize(bytes);
+  } catch (const std::exception&) {
+    return std::nullopt;  // damaged state file: fresh receiver
+  }
 }
 
 ResumableTransferReport transfer_resumable(std::span<const std::uint8_t> blob,

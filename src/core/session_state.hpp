@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -172,6 +173,33 @@ struct ResumableReport {
   protocol::NpStats last{};       ///< the final life's full statistics
   SenderSessionState state{};     ///< final journaled state
 };
+
+// ---- server-side journal discovery (src/server/) -------------------------
+
+/// Non-destructively folds the journal at `path` into sender state: no
+/// open-for-append, no incarnation bump — pure inspection, so a server
+/// can decide WHETHER to resume a session before committing to it.
+/// Returns std::nullopt when the file is missing, not a journal, or
+/// holds no snapshot.
+std::optional<SenderSessionState> peek_session_journal(
+    const std::string& path);
+
+/// Every `*.journal` file directly inside `dir`, as full paths sorted by
+/// name (deterministic resume order).  A missing directory is an empty
+/// list, not an error.
+std::vector<std::string> list_session_journals(const std::string& dir);
+
+/// Atomically persists a receiver's durable progress to `path` (write
+/// temp, rename — a crash mid-save leaves the old file or the new one,
+/// never a torn hybrid).
+void save_receiver_state_file(const std::string& path,
+                              const ReceiverSessionState& state);
+
+/// Reads a file written by save_receiver_state_file(); std::nullopt when
+/// missing or malformed (a damaged state file means "fresh receiver",
+/// never a crash).
+std::optional<ReceiverSessionState> load_receiver_state_file(
+    const std::string& path);
 
 /// Runs `data` through protocol NP to completion across sender crashes:
 /// each life recovers the journal at `config.journal_path`, bumps the

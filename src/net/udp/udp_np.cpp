@@ -10,7 +10,6 @@ namespace pbl::net {
 
 using protocol::Backoff;
 using protocol::Deadline;
-using protocol::retry_clock_now;
 
 UdpNpSender::UdpNpSender(UdpSocket socket, UdpGroup group,
                          const UdpNpConfig& config)
@@ -25,6 +24,10 @@ UdpNpSender::UdpNpSender(UdpSocket socket, UdpGroup group,
 
 UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
   UdpNpSenderStats stats;
+  // Every deadline below — session deadline, poll windows — reads this
+  // one injected clock; mixing clocks is how drain/retry timers skew.
+  const protocol::Clock& clk =
+      cfg_.clock ? *cfg_.clock : protocol::steady_clock();
   std::uint32_t round_id = 0;
   if (!cfg_.resume_completed.empty() &&
       cfg_.resume_completed.size() != groups.size())
@@ -61,9 +64,9 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
       if (members[m] == port) return m;
     return members.size();  // unknown port: foreign feedback
   };
-  const Deadline deadline(retry_clock_now(), cfg_.reliable_control
-                                                 ? cfg_.retry.session_deadline
-                                                 : 0.0);
+  const Deadline deadline(clk.now(), cfg_.reliable_control
+                                         ? cfg_.retry.session_deadline
+                                         : 0.0);
 
   for (std::uint32_t i = 0; i < groups.size(); ++i) {
     if (groups[i].size() != cfg_.k)
@@ -73,7 +76,7 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
       continue;
     }
     if (stats.crashed) break;
-    if (deadline.expired(retry_clock_now())) {
+    if (deadline.expired(clk.now())) {
       stats.report.deadline_expired = true;
       break;
     }
@@ -112,10 +115,9 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
       // Collect this round's NAKs; serve the maximum request.
       std::size_t l = 0;
       std::fill(heard.begin(), heard.end(), false);
-      const auto t0 = std::chrono::steady_clock::now();
+      const double t0 = clk.now();
       const double window =
-          std::min(cfg_.poll_window + window_pad,
-                   deadline.remaining(retry_clock_now()));
+          std::min(cfg_.poll_window + window_pad, deadline.remaining(t0));
       double remaining = window;
       while (remaining > 0.0) {
         if (auto nak = socket_.receive(remaining)) {
@@ -141,11 +143,7 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
             }
           }
         }
-        remaining =
-            window -
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count();
+        remaining = window - (clk.now() - t0);
       }
 
       // Write-ahead: "TG i complete" is journaled before the sender acts
@@ -163,7 +161,7 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
           complete_tg();  // every live member positively acked
           break;
         }
-        if (deadline.expired(retry_clock_now())) {
+        if (deadline.expired(clk.now())) {
           stats.report.deadline_expired = true;
           break;
         }
@@ -209,7 +207,7 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
       }
     }
     if (stats.crashed) break;
-    if (deadline.expired(retry_clock_now()) && !stats.report.deadline_expired)
+    if (deadline.expired(clk.now()) && !stats.report.deadline_expired)
       stats.report.deadline_expired = true;
     if (stats.report.deadline_expired) break;
   }
@@ -263,6 +261,10 @@ UdpNpReceiver::UdpNpReceiver(UdpSocket socket, std::uint16_t sender_port,
 
 UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
   UdpNpReceiverResult result;
+  // One clock for everything: the idle/drain timeouts and the NAK
+  // retransmit deadlines must agree on what "now" is.
+  const protocol::Clock& clk =
+      cfg_.clock ? *cfg_.clock : protocol::steady_clock();
   std::vector<fec::TgDecoder> decoders;
   decoders.reserve(num_tgs_);
   for (std::uint32_t i = 0; i < num_tgs_; ++i)
@@ -330,7 +332,7 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
   // post-completion drain for a possibly-lost end marker are distinct
   // timeouts with distinct end reasons — the old single idle_timeout
   // conflated "sender finished" with "sender stalled".
-  double last_rx = retry_clock_now();
+  double last_rx = clk.now();
   result.end_reason = UdpNpEndReason::kMidSessionSilence;
   while (true) {
     if (done_count >= cfg_.crash_after_tgs) {
@@ -340,7 +342,7 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
     }
     const double idle_budget =
         done_count == num_tgs_ ? cfg_.drain_timeout : idle_timeout;
-    const double now = retry_clock_now();
+    const double now = clk.now();
     const double idle_left = last_rx + idle_budget - now;
     if (idle_left <= 0.0) {
       result.end_reason = done_count == num_tgs_
@@ -355,7 +357,7 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
     auto packet = socket_.receive(wait);
     if (!packet) {
       if (cfg_.reliable_control && nak_pending &&
-          retry_clock_now() >= nak_retry_at) {
+          clk.now() >= nak_retry_at) {
         // The NAK (or its repair) may have been lost: retransmit under
         // this TG's backoff until served or the budget runs out.
         const std::size_t need = decoders[nak_tg].needed();
@@ -366,7 +368,7 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
           ++result.nak_retries;
           ++result.naks_sent;
           send_feedback(nak_tg, need, nak_round);
-          nak_retry_at = retry_clock_now() + cfg_.poll_window + bo->next();
+          nak_retry_at = clk.now() + cfg_.poll_window + bo->next();
         }
       }
       continue;  // the idle clock decides at the top of the loop
@@ -380,7 +382,7 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
       continue;
     }
     known_inc = hdr.incarnation;
-    last_rx = retry_clock_now();
+    last_rx = clk.now();
     if (hdr.type == fec::PacketType::kPoll && hdr.tg == kUdpEndOfSession) {
       result.end_reason = UdpNpEndReason::kEndOfSession;
       break;
@@ -414,7 +416,7 @@ UdpNpReceiverResult UdpNpReceiver::run(double idle_timeout) {
           nak_pending = true;
           nak_tg = hdr.tg;
           nak_round = hdr.seq;
-          nak_retry_at = retry_clock_now() + cfg_.poll_window +
+          nak_retry_at = clk.now() + cfg_.poll_window +
                          (bo->exhausted() ? cfg_.poll_window : bo->next());
         }
         break;

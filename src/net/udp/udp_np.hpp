@@ -52,6 +52,14 @@ struct UdpNpConfig {
   protocol::RetryConfig retry{};
   std::uint64_t seed = 1;        ///< seeds the reliable-mode backoff jitter
 
+  /// The ONE time source every deadline in the session reads: retry
+  /// deadlines, poll collect windows, NAK retransmit timers, and the
+  /// receiver's idle/drain clocks.  nullptr = protocol::steady_clock().
+  /// Injecting a single clock means the drain timeout and the retry
+  /// deadlines can never skew against each other, and the server's
+  /// event-driven drivers (src/server/) can be tested on a ManualClock.
+  const protocol::Clock* clock = nullptr;
+
   /// Receiver-side phase-aware timers (always active): once a receiver
   /// holds every TG it waits only `drain_timeout` seconds of silence for
   /// the (possibly lost) end-of-session marker instead of the full

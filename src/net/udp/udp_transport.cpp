@@ -90,6 +90,7 @@ void UdpSocket::send_to(std::uint16_t dest_port, const fec::Packet& packet) {
 
 std::optional<fec::Packet> UdpSocket::receive(double timeout_s) {
   const auto start = std::chrono::steady_clock::now();
+  bool polled = false;
   for (;;) {
     // Impaired datagrams queued by an earlier poll round go first.
     while (!pending_.empty()) {
@@ -108,11 +109,19 @@ std::optional<fec::Packet> UdpSocket::receive(double timeout_s) {
                                         start)
               .count();
       const double remaining = timeout_s - elapsed;
-      if (remaining <= 0.0) return std::nullopt;
-      ms = static_cast<int>(remaining * 1000.0);
+      if (remaining <= 0.0) {
+        // An exhausted budget still gets ONE zero-timeout poll, so
+        // receive(0) is a true non-blocking read for event-driven
+        // callers (server/session_driver) instead of always nullopt.
+        if (polled) return std::nullopt;
+        ms = 0;
+      } else {
+        ms = static_cast<int>(remaining * 1000.0);
+      }
     }
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, ms);
+    polled = true;
     if (ready <= 0) return std::nullopt;
     std::uint8_t buf[65536];
     const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);

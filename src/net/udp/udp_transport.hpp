@@ -32,6 +32,15 @@ class UdpSocket {
 
   std::uint16_t port() const noexcept { return port_; }
 
+  /// The raw descriptor, for event-loop registration (server/reactor).
+  /// The socket still owns it; callers must not close it.
+  int fd() const noexcept { return fd_; }
+
+  /// True when impaired datagrams are queued for parsing: a receive(0)
+  /// can return packets even if the descriptor is not readable, so
+  /// event-driven callers must drain until both are empty.
+  bool has_pending() const noexcept { return !pending_.empty(); }
+
   /// Sends a packet to 127.0.0.1:dest_port.
   void send_to(std::uint16_t dest_port, const fec::Packet& packet);
 

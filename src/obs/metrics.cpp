@@ -1,0 +1,334 @@
+#include "obs/metrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pbl::obs {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name)
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '_'))
+      return false;
+  return true;
+}
+
+void append_indent(std::string& out, int indent) {
+  out.append(static_cast<std::size_t>(indent), ' ');
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_histogram_json(std::string& out, const MetricDef& def,
+                           const HistogramValue& h) {
+  out += "{\"buckets\": [";
+  for (std::size_t i = 0; i < def.buckets.size(); ++i) {
+    if (i) out += ", ";
+    append_json_double(out, def.buckets[i]);
+  }
+  out += "], \"counts\": [";
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (i) out += ", ";
+    append_u64(out, h.counts[i]);
+  }
+  out += "], \"count\": ";
+  append_u64(out, h.count);
+  out += ", \"sum\": ";
+  append_json_double(out, h.sum);
+  out += "}";
+}
+
+}  // namespace
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+    case MetricKind::kString: return "string";
+  }
+  return "?";
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; snapshots must parse
+    out += "0";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) {
+      out += shorter;
+      return;
+    }
+  }
+  out += buf;
+}
+
+MetricsRegistry::MetricsRegistry(std::vector<MetricDef> defs)
+    : defs_(std::move(defs)) {
+  slot_.reserve(defs_.size());
+  for (const auto& def : defs_) {
+    if (!valid_metric_name(def.name))
+      throw std::invalid_argument("MetricsRegistry: bad metric name '" +
+                                  def.name + "' (want [a-z0-9_]+)");
+    for (const auto& other : defs_)
+      if (&other != &def && other.name == def.name)
+        throw std::invalid_argument("MetricsRegistry: duplicate metric '" +
+                                    def.name + "'");
+    if (def.kind == MetricKind::kHistogram) {
+      if (def.buckets.empty())
+        throw std::invalid_argument("MetricsRegistry: histogram '" + def.name +
+                                    "' needs at least one bucket bound");
+      for (std::size_t i = 1; i < def.buckets.size(); ++i)
+        if (!(def.buckets[i] > def.buckets[i - 1]))
+          throw std::invalid_argument("MetricsRegistry: histogram '" +
+                                      def.name +
+                                      "' buckets must be strictly ascending");
+    } else if (!def.buckets.empty()) {
+      throw std::invalid_argument("MetricsRegistry: only histograms take "
+                                  "buckets ('" +
+                                  def.name + "')");
+    }
+    if (def.kind != MetricKind::kString && !def.allowed.empty())
+      throw std::invalid_argument("MetricsRegistry: only string metrics take "
+                                  "allowed values ('" +
+                                  def.name + "')");
+    switch (def.kind) {
+      case MetricKind::kCounter:
+        slot_.push_back(counters_.size());
+        counters_.push_back(0);
+        break;
+      case MetricKind::kGauge:
+        slot_.push_back(gauges_.size());
+        gauges_.push_back(0.0);
+        break;
+      case MetricKind::kHistogram: {
+        slot_.push_back(histograms_.size());
+        HistogramValue h;
+        h.counts.assign(def.buckets.size() + 1, 0);
+        histograms_.push_back(std::move(h));
+        break;
+      }
+      case MetricKind::kString:
+        slot_.push_back(strings_.size());
+        strings_.push_back(def.allowed.empty() ? std::string()
+                                               : def.allowed.front());
+        break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::index_of(std::string_view name,
+                                      MetricKind kind) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name != name) continue;
+    if (defs_[i].kind != kind)
+      throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                  "' is a " + to_string(defs_[i].kind) +
+                                  ", accessed as " + to_string(kind));
+    return i;
+  }
+  throw std::invalid_argument("MetricsRegistry: unknown metric '" +
+                              std::string(name) + "' — not in the schema");
+}
+
+void MetricsRegistry::inc(std::string_view name, std::uint64_t by) {
+  counters_[slot_[index_of(name, MetricKind::kCounter)]] += by;
+}
+
+void MetricsRegistry::set_counter(std::string_view name, std::uint64_t value) {
+  counters_[slot_[index_of(name, MetricKind::kCounter)]] = value;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  gauges_[slot_[index_of(name, MetricKind::kGauge)]] = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  const std::size_t i = index_of(name, MetricKind::kHistogram);
+  auto& h = histograms_[slot_[i]];
+  const auto& bounds = defs_[i].buckets;
+  std::size_t b = 0;
+  while (b < bounds.size() && value > bounds[b]) ++b;
+  ++h.counts[b];
+  ++h.count;
+  h.sum += value;
+}
+
+void MetricsRegistry::set_string(std::string_view name,
+                                 std::string_view value) {
+  const std::size_t i = index_of(name, MetricKind::kString);
+  const auto& allowed = defs_[i].allowed;
+  if (!allowed.empty()) {
+    bool ok = false;
+    for (const auto& a : allowed) ok = ok || a == value;
+    if (!ok)
+      throw std::invalid_argument("MetricsRegistry: '" + std::string(value) +
+                                  "' is not an allowed value of '" +
+                                  std::string(name) + "'");
+  }
+  strings_[slot_[i]] = std::string(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  return counters_[slot_[index_of(name, MetricKind::kCounter)]];
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  return gauges_[slot_[index_of(name, MetricKind::kGauge)]];
+}
+
+const HistogramValue& MetricsRegistry::histogram(std::string_view name) const {
+  return histograms_[slot_[index_of(name, MetricKind::kHistogram)]];
+}
+
+const std::string& MetricsRegistry::text(std::string_view name) const {
+  return strings_[slot_[index_of(name, MetricKind::kString)]];
+}
+
+void MetricsRegistry::values_json(std::string& out, int indent) const {
+  out += "{\n";
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const auto& def = defs_[i];
+    append_indent(out, indent + 2);
+    append_json_escaped(out, def.name);
+    out += ": ";
+    switch (def.kind) {
+      case MetricKind::kCounter: append_u64(out, counters_[slot_[i]]); break;
+      case MetricKind::kGauge: append_json_double(out, gauges_[slot_[i]]); break;
+      case MetricKind::kHistogram:
+        append_histogram_json(out, def, histograms_[slot_[i]]);
+        break;
+      case MetricKind::kString:
+        append_json_escaped(out, strings_[slot_[i]]);
+        break;
+    }
+    out += i + 1 < defs_.size() ? ",\n" : "\n";
+  }
+  append_indent(out, indent);
+  out += "}";
+}
+
+std::string MetricsRegistry::csv_header() const {
+  std::string out;
+  for (const auto& def : defs_) {
+    if (!out.empty()) out += ',';
+    if (def.kind == MetricKind::kHistogram) {
+      out += def.name + "_count," + def.name + "_sum";
+    } else {
+      out += def.name;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::csv_row() const {
+  std::string out;
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (!out.empty()) out += ',';
+    switch (defs_[i].kind) {
+      case MetricKind::kCounter: append_u64(out, counters_[slot_[i]]); break;
+      case MetricKind::kGauge: append_json_double(out, gauges_[slot_[i]]); break;
+      case MetricKind::kHistogram: {
+        const auto& h = histograms_[slot_[i]];
+        append_u64(out, h.count);
+        out += ',';
+        append_json_double(out, h.sum);
+        break;
+      }
+      case MetricKind::kString: out += strings_[slot_[i]]; break;
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::schema_json(std::string& out, int indent) const {
+  out += "[\n";
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const auto& def = defs_[i];
+    append_indent(out, indent + 2);
+    out += "{\"name\": ";
+    append_json_escaped(out, def.name);
+    out += ", \"kind\": ";
+    append_json_escaped(out, to_string(def.kind));
+    out += ", \"help\": ";
+    append_json_escaped(out, def.help);
+    if (def.kind == MetricKind::kHistogram) {
+      out += ", \"buckets\": [";
+      for (std::size_t b = 0; b < def.buckets.size(); ++b) {
+        if (b) out += ", ";
+        append_json_double(out, def.buckets[b]);
+      }
+      out += "]";
+    }
+    if (!def.allowed.empty()) {
+      out += ", \"allowed\": [";
+      for (std::size_t a = 0; a < def.allowed.size(); ++a) {
+        if (a) out += ", ";
+        append_json_escaped(out, def.allowed[a]);
+      }
+      out += "]";
+    }
+    out += "}";
+    out += i + 1 < defs_.size() ? ",\n" : "\n";
+  }
+  append_indent(out, indent);
+  out += "]";
+}
+
+std::string metrics_schema_document(
+    const std::vector<MetricDef>& server_defs,
+    const std::vector<MetricDef>& session_defs) {
+  std::string out;
+  out += "{\n  \"schema\": \"";
+  out += kMetricsSchemaName;
+  out += "\",\n  \"version\": ";
+  append_u64(out, static_cast<std::uint64_t>(kMetricsSchemaVersion));
+  out += ",\n  \"kind\": \"schema\",\n  \"server\": ";
+  MetricsRegistry(server_defs).schema_json(out, 2);
+  out += ",\n  \"session\": ";
+  MetricsRegistry(session_defs).schema_json(out, 2);
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace pbl::obs

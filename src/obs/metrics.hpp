@@ -1,0 +1,122 @@
+// Structured observability: a schema'd metrics registry for the
+// multicast server (docs/OBSERVABILITY.md).
+//
+// A MetricsRegistry is constructed from a fixed list of MetricDefs and
+// never grows: the set of metric names IS the schema, versioned as
+// pbl-metrics-v1 and exported to metrics-schema.json (the committed file
+// is generated from these very defs, and tests assert the two never
+// drift).  That closed-world rule is what lets the soak CI leg validate
+// every emitted snapshot mechanically — an unknown key in a snapshot is
+// a schema violation, not a new feature.
+//
+// Four metric kinds:
+//   counter   — monotone u64 (packets sent, retries, evictions)
+//   gauge     — instantaneous double (sessions active, journal bytes)
+//   histogram — fixed upper-bound buckets + count + sum (durations)
+//   string    — categorical state, optionally from a closed value set
+//               (session state, end reason)
+//
+// The registry is deliberately single-threaded, like the reactor that
+// feeds it: the server snapshots from its own event loop, so values need
+// no atomics.  Access is by name (validated against the defs — an
+// unknown name or kind mismatch throws), which keeps call sites
+// greppable against the schema file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pbl::obs {
+
+inline constexpr const char* kMetricsSchemaName = "pbl-metrics-v1";
+inline constexpr int kMetricsSchemaVersion = 1;
+
+enum class MetricKind { kCounter, kGauge, kHistogram, kString };
+
+const char* to_string(MetricKind kind);
+
+struct MetricDef {
+  std::string name;  ///< [a-z0-9_]+, unique within a registry
+  MetricKind kind = MetricKind::kCounter;
+  std::string help;
+  /// Histogram upper bucket bounds, strictly ascending; an implicit
+  /// +inf bucket is always appended (counts.size() == buckets.size()+1).
+  std::vector<double> buckets;
+  /// kString: the closed set of allowed values (empty = any string).
+  std::vector<std::string> allowed;
+};
+
+/// A histogram's current contents: counts[i] covers
+/// (buckets[i-1], buckets[i]], the last slot is the +inf overflow.
+struct HistogramValue {
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Validates the defs (unique well-formed names, ascending buckets,
+  /// kind/field consistency); throws std::invalid_argument on nonsense.
+  explicit MetricsRegistry(std::vector<MetricDef> defs);
+
+  // Writers.  Unknown name or wrong kind throws std::invalid_argument —
+  // a metric not in the schema must fail loudly, not invent itself.
+  void inc(std::string_view name, std::uint64_t by = 1);
+  void set_counter(std::string_view name, std::uint64_t value);
+  void set_gauge(std::string_view name, double value);
+  void observe(std::string_view name, double value);
+  /// Throws if the def has an allowed-value set and `value` is not in it.
+  void set_string(std::string_view name, std::string_view value);
+
+  // Readers (same lookup rules).
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  const HistogramValue& histogram(std::string_view name) const;
+  const std::string& text(std::string_view name) const;
+
+  const std::vector<MetricDef>& defs() const noexcept { return defs_; }
+
+  /// Appends a JSON object ("{...}") holding every metric's current
+  /// value, keys in def order.  `indent` spaces of leading indentation
+  /// for the member lines; pass 0 for compact-ish output.
+  void values_json(std::string& out, int indent) const;
+
+  /// CSV over the scalar metrics only (counters, gauges, strings);
+  /// histograms contribute <name>_count and <name>_sum columns.
+  std::string csv_header() const;
+  std::string csv_row() const;
+
+  /// Appends a JSON array ("[...]") describing the defs — the schema
+  /// fragment for this registry's scope.
+  void schema_json(std::string& out, int indent) const;
+
+ private:
+  std::size_t index_of(std::string_view name, MetricKind kind) const;
+
+  std::vector<MetricDef> defs_;
+  std::vector<std::uint64_t> counters_;
+  std::vector<double> gauges_;
+  std::vector<HistogramValue> histograms_;
+  std::vector<std::string> strings_;
+  /// Per-def index into the kind-specific value vector above.
+  std::vector<std::size_t> slot_;
+};
+
+/// The full metrics-schema.json document for a server: the schema/version
+/// header plus the "server" and "session" def arrays.  The committed
+/// metrics-schema.json is exactly this string (see
+/// examples/multicast_server --print-schema).
+std::string metrics_schema_document(const std::vector<MetricDef>& server_defs,
+                                    const std::vector<MetricDef>& session_defs);
+
+/// JSON string escaping for metric help/values (minimal: quotes,
+/// backslash, control characters).
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Shortest round-trip-exact double formatting used across snapshots.
+void append_json_double(std::string& out, double v);
+
+}  // namespace pbl::obs

@@ -50,6 +50,18 @@ double retry_clock_now() {
       .count();
 }
 
+namespace {
+class ProcessSteadyClock final : public Clock {
+ public:
+  double now() const override { return retry_clock_now(); }
+};
+}  // namespace
+
+const Clock& steady_clock() noexcept {
+  static const ProcessSteadyClock clock;
+  return clock;
+}
+
 double PartialDeliveryReport::completion_fraction() const noexcept {
   std::size_t total = 0;
   std::size_t got = 0;

@@ -83,6 +83,35 @@ class Deadline {
 /// for driving Deadline outside the simulator (net::UdpNpSender/Receiver).
 double retry_clock_now();
 
+/// Injectable time source.  Every wall-clock read a protocol component
+/// makes — retry deadlines, poll windows, drain/idle timeouts — goes
+/// through ONE Clock, so two timers in the same session can never skew
+/// against each other (the old code mixed retry_clock_now() with raw
+/// std::chrono::steady_clock reads), and tests can drive state machines
+/// deterministically with a ManualClock instead of sleeping.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() const = 0;
+};
+
+/// The process-wide monotonic clock (retry_clock_now under the hood).
+/// Components take `const Clock*` defaulting to nullptr == this one.
+const Clock& steady_clock() noexcept;
+
+/// Hand-advanced clock for deterministic timer tests: time moves only
+/// when the test says so.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(double start = 0.0) noexcept : t_(start) {}
+  double now() const noexcept override { return t_; }
+  void advance(double dt) noexcept { t_ += dt; }
+  void set(double t) noexcept { t_ = t; }
+
+ private:
+  double t_;
+};
+
 /// Structured outcome of a session that may have degraded rather than
 /// completed: who got what, who was evicted, and which budget ended it.
 /// Every exit path of a reliable-control session is total and fills one

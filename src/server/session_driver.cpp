@@ -1,0 +1,649 @@
+#include "server/session_driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace pbl::server {
+
+using protocol::Backoff;
+using protocol::Deadline;
+
+// ---------------------------------------------------------------------------
+// SenderSessionDriver
+// ---------------------------------------------------------------------------
+
+SenderSessionDriver::SenderSessionDriver(Reactor& reactor, net::UdpSocket socket,
+                                         net::UdpGroup group,
+                                         const net::UdpNpConfig& config,
+                                         const std::vector<net::TgBytes>& groups,
+                                         std::function<void()> on_finished)
+    : reactor_(reactor), socket_(std::move(socket)), group_(std::move(group)),
+      cfg_(config), groups_(groups), code_(config.k, config.k + config.h),
+      clk_(config.clock ? *config.clock : protocol::steady_clock()),
+      on_finished_(std::move(on_finished)) {
+  if (config.k + config.h > 255)
+    throw std::invalid_argument("SenderSessionDriver: k + h must be <= 255");
+  if (group_.size() == 0)
+    throw std::invalid_argument("SenderSessionDriver: empty group");
+  if (cfg_.reliable_control) cfg_.retry.validate();
+  if (!cfg_.resume_completed.empty() &&
+      cfg_.resume_completed.size() != groups_.size())
+    throw std::invalid_argument(
+        "SenderSessionDriver: resume_completed size mismatch");
+  if (!cfg_.resume_parities.empty() &&
+      cfg_.resume_parities.size() != groups_.size())
+    throw std::invalid_argument(
+        "SenderSessionDriver: resume_parities size mismatch");
+  for (const auto& tg : groups_)
+    if (tg.size() != cfg_.k)
+      throw std::invalid_argument("SenderSessionDriver: each TG needs k packets");
+}
+
+SenderSessionDriver::~SenderSessionDriver() {
+  disarm_timer();
+  if (fd_registered_) reactor_.remove_fd(socket_.fd());
+}
+
+void SenderSessionDriver::start() {
+  if (started_) return;
+  started_ = true;
+  const auto& members = group_.members();
+  evicted_.assign(members.size(), false);
+  silent_.assign(members.size(), 0);
+  delivered_.assign(members.size(), std::vector<bool>(groups_.size(), false));
+  deadline_ = Deadline(clk_.now(), cfg_.reliable_control
+                                       ? cfg_.retry.session_deadline
+                                       : 0.0);
+  reactor_.add_fd(socket_.fd(), [this] { on_readable(); });
+  fd_registered_ = true;
+  tg_ = 0;
+  begin_next_tg();
+}
+
+void SenderSessionDriver::stop() {
+  if (finished_ || stopped_) return;
+  stopped_ = true;
+  disarm_timer();
+  if (fd_registered_) {
+    reactor_.remove_fd(socket_.fd());
+    fd_registered_ = false;
+  }
+}
+
+bool SenderSessionDriver::send_mc(fec::Packet packet) {
+  if (stats_.crashed) return false;
+  if (sends_ >= cfg_.crash_after_sends) {
+    stats_.crashed = true;
+    return false;
+  }
+  ++sends_;
+  packet.header.incarnation = static_cast<std::uint8_t>(cfg_.incarnation);
+  group_.multicast(socket_, packet);
+  return true;
+}
+
+std::size_t SenderSessionDriver::member_of(std::uint16_t port) const {
+  const auto& members = group_.members();
+  for (std::size_t m = 0; m < members.size(); ++m)
+    if (members[m] == port) return m;
+  return members.size();  // unknown port: foreign feedback
+}
+
+bool SenderSessionDriver::confirmed() const {
+  for (std::size_t m = 0; m < group_.members().size(); ++m)
+    if (!evicted_[m] && !acked_[m]) return false;
+  return true;
+}
+
+void SenderSessionDriver::arm_window_timer(double window) {
+  window_timer_ = reactor_.add_timer(clk_.now() + window, [this] {
+    timer_armed_ = false;
+    on_window_expired();
+  });
+  timer_armed_ = true;
+}
+
+void SenderSessionDriver::disarm_timer() {
+  if (!timer_armed_) return;
+  reactor_.cancel_timer(window_timer_);
+  timer_armed_ = false;
+}
+
+void SenderSessionDriver::begin_next_tg() {
+  // Skip TGs confirmed complete in a prior life; they are never re-sent.
+  while (tg_ < groups_.size() && tg_ < cfg_.resume_completed.size() &&
+         cfg_.resume_completed[tg_]) {
+    ++stats_.tgs_skipped;
+    ++tg_;
+  }
+  if (tg_ >= groups_.size()) {
+    finish_session();
+    return;
+  }
+  if (stats_.crashed) {
+    finish_session();
+    return;
+  }
+  if (deadline_.expired(clk_.now())) {
+    stats_.report.deadline_expired = true;
+    finish_session();
+    return;
+  }
+
+  encoder_.emplace(static_cast<std::uint32_t>(tg_), code_, groups_[tg_]);
+  for (std::size_t j = 0; j < cfg_.k; ++j) {
+    if (!send_mc(encoder_->data_packet(j))) break;
+    ++stats_.data_sent;
+  }
+  if (stats_.crashed) {
+    finish_session();
+    return;
+  }
+
+  acked_.assign(group_.members().size(), false);
+  heard_.assign(group_.members().size(), false);
+  poll_backoff_.emplace(cfg_.retry, Rng(cfg_.seed).split(0x9100 + tg_));
+  parities_used_ = tg_ < cfg_.resume_parities.size()
+                       ? std::min<std::size_t>(cfg_.resume_parities[tg_], cfg_.h)
+                       : 0;
+  window_pad_ = 0.0;
+  round_ = 0;
+  send_poll();
+}
+
+void SenderSessionDriver::send_poll() {
+  if (round_ >= cfg_.max_rounds) {
+    // Round cap hit: abandon this TG (same silent fall-through as the
+    // blocking sender's for-loop exhausting) and move on.
+    ++tg_;
+    begin_next_tg();
+    return;
+  }
+  fec::Packet poll;
+  poll.header.type = fec::PacketType::kPoll;
+  poll.header.tg = static_cast<std::uint32_t>(tg_);
+  poll.header.k = static_cast<std::uint16_t>(cfg_.k);
+  poll.header.seq = ++round_id_;
+  if (!send_mc(poll)) {
+    finish_session();
+    return;
+  }
+  ++stats_.polls_sent;
+
+  l_ = 0;
+  std::fill(heard_.begin(), heard_.end(), false);
+  const double now = clk_.now();
+  const double window =
+      std::min(cfg_.poll_window + window_pad_, deadline_.remaining(now));
+  arm_window_timer(window);
+}
+
+void SenderSessionDriver::on_readable() {
+  while (!finished_ && !stopped_) {
+    auto nak = socket_.receive(0.0);
+    if (!nak) {
+      if (!socket_.has_pending()) break;
+      continue;
+    }
+    if (nak->header.type != fec::PacketType::kNak ||
+        nak->header.tg != static_cast<std::uint32_t>(tg_))
+      continue;
+    if (cfg_.reliable_control) {
+      const std::size_t m = member_of(nak->header.index);
+      if (m < group_.members().size()) {
+        heard_[m] = true;
+        silent_[m] = 0;
+        if (nak->header.count == 0) {
+          ++stats_.acks_received;
+          if (!acked_[m]) {
+            acked_[m] = true;
+            delivered_[m][tg_] = true;
+          }
+        }
+      }
+    }
+    if (nak->header.count > 0 && nak->header.seq == round_id_) {
+      ++stats_.naks_received;
+      l_ = std::max(l_, static_cast<std::size_t>(nak->header.count));
+    }
+  }
+}
+
+void SenderSessionDriver::on_window_expired() {
+  if (finished_ || stopped_) return;
+  // Pull in any feedback that raced the timer into the socket buffer.
+  on_readable();
+  after_window();
+}
+
+void SenderSessionDriver::after_window() {
+  const auto complete_tg = [&] {
+    if (cfg_.on_tg_completed) cfg_.on_tg_completed(tg_);
+    ++tgs_completed_;
+  };
+  const auto next_tg = [&] {
+    ++tg_;
+    begin_next_tg();
+  };
+
+  if (!cfg_.reliable_control) {
+    if (l_ == 0) {
+      complete_tg();  // silence: all receivers reconstructed this TG
+      next_tg();
+      return;
+    }
+  } else {
+    if (confirmed()) {
+      complete_tg();  // every live member positively acked
+      next_tg();
+      return;
+    }
+    if (deadline_.expired(clk_.now())) {
+      stats_.report.deadline_expired = true;
+      finish_session();
+      return;
+    }
+    if (l_ == 0) {
+      // A totally unanswered round: age every unconfirmed member and
+      // re-POLL with a widened window — unless the budget is spent.
+      for (std::size_t m = 0; m < group_.members().size(); ++m) {
+        if (evicted_[m] || acked_[m] || heard_[m]) continue;
+        if (++silent_[m] >= cfg_.retry.grace_rounds) {
+          evicted_[m] = true;
+          ++stats_.evictions;
+        }
+      }
+      if (confirmed()) {
+        complete_tg();
+        next_tg();
+        return;
+      }
+      if (poll_backoff_->exhausted()) {
+        ++stats_.tgs_unconfirmed;
+        next_tg();
+        return;
+      }
+      ++stats_.poll_retries;
+      window_pad_ = poll_backoff_->next();
+      ++round_;
+      send_poll();
+      return;
+    }
+    window_pad_ = 0.0;  // progress: the next round is a normal one
+  }
+
+  std::size_t l = std::min(l_, cfg_.h - parities_used_);
+  if (l == 0) {
+    ++stats_.tgs_exhausted;
+    next_tg();
+    return;
+  }
+  // Journal the new high-water BEFORE the parities leave: if the sender
+  // dies in between, the next life merely skips indices that were never
+  // sent (wasteful, never wrong) — the reverse order could re-send
+  // indices receivers already hold.
+  parities_used_ += l;
+  if (cfg_.on_parities_sent) cfg_.on_parities_sent(tg_, parities_used_);
+  for (std::size_t j = 0; j < l; ++j) {
+    if (!send_mc(encoder_->parity_packet(parities_used_ - l + j))) break;
+    ++stats_.parity_sent;
+  }
+  if (stats_.crashed) {
+    finish_session();
+    return;
+  }
+  ++round_;
+  send_poll();
+}
+
+void SenderSessionDriver::finish_session() {
+  if (finished_) return;
+  if (!stats_.crashed) {
+    // A crashed sender never says goodbye — the receivers' phase-aware
+    // idle clocks (or its own next incarnation) must end their runs.
+    fec::Packet end;
+    end.header.type = fec::PacketType::kPoll;
+    end.header.tg = net::kUdpEndOfSession;
+    send_mc(end);
+  }
+  if (!groups_.empty()) {
+    stats_.tx_per_packet =
+        static_cast<double>(stats_.data_sent + stats_.parity_sent) /
+        (static_cast<double>(cfg_.k) * static_cast<double>(groups_.size()));
+  }
+  if (cfg_.reliable_control) {
+    auto& rep = stats_.report;
+    rep.delivered = delivered_;
+    rep.evicted = evicted_;
+    rep.evictions = stats_.evictions;
+    rep.units_failed = stats_.tgs_exhausted + stats_.tgs_unconfirmed;
+    rep.poll_retries = stats_.poll_retries;
+    rep.complete = !rep.deadline_expired && rep.evictions == 0 &&
+                   rep.units_failed == 0;
+    if (rep.complete)
+      for (const auto& row : rep.delivered)
+        for (const bool b : row) rep.complete = rep.complete && b;
+    // Resumed TGs were delivered by a prior life; their per-member rows
+    // are vacuously incomplete this life, so exempt them.
+    if (!rep.complete && !rep.deadline_expired && rep.evictions == 0 &&
+        rep.units_failed == 0 && !cfg_.resume_completed.empty()) {
+      bool all = true;
+      for (const auto& row : rep.delivered)
+        for (std::size_t i = 0; i < row.size(); ++i)
+          if (!row[i] && !cfg_.resume_completed[i]) all = false;
+      rep.complete = all;
+    }
+  }
+  disarm_timer();
+  if (fd_registered_) {
+    reactor_.remove_fd(socket_.fd());
+    fd_registered_ = false;
+  }
+  finished_ = true;
+  if (on_finished_) on_finished_();  // may reschedule our destruction; last
+}
+
+// ---------------------------------------------------------------------------
+// ReceiverSessionDriver
+// ---------------------------------------------------------------------------
+
+ReceiverSessionDriver::ReceiverSessionDriver(
+    Reactor& reactor, net::UdpSocket socket, std::uint16_t sender_port,
+    std::size_t num_tgs, const net::UdpNpConfig& config, Options options,
+    std::function<void()> on_finished)
+    : reactor_(reactor), socket_(std::move(socket)), sender_port_(sender_port),
+      num_tgs_(num_tgs), cfg_(config), opt_(std::move(options)),
+      code_(config.k, config.k + config.h),
+      clk_(config.clock ? *config.clock : protocol::steady_clock()),
+      on_finished_(std::move(on_finished)) {
+  if (opt_.data_loss < 0.0 || opt_.data_loss >= 1.0)
+    throw std::invalid_argument("ReceiverSessionDriver: data_loss in [0,1)");
+  if (cfg_.reliable_control) cfg_.retry.validate();
+  if (!opt_.resume_decoded.empty() && opt_.resume_decoded.size() != num_tgs_)
+    throw std::invalid_argument(
+        "ReceiverSessionDriver: resume_decoded size mismatch");
+  if (!opt_.resume_confirmed.empty() &&
+      opt_.resume_confirmed.size() != num_tgs_)
+    throw std::invalid_argument(
+        "ReceiverSessionDriver: resume_confirmed size mismatch");
+  if (opt_.impairment.enabled() || opt_.impairment.control_enabled()) {
+    impairment_ = std::make_shared<net::Impairment>(opt_.impairment);
+    socket_.set_impairment(impairment_);
+  }
+
+  decoders_.reserve(num_tgs_);
+  for (std::uint32_t i = 0; i < num_tgs_; ++i)
+    decoders_.emplace_back(i, code_, cfg_.packet_len);
+  done_.assign(num_tgs_, false);
+  prior_.assign(num_tgs_, false);
+  confirmed_.assign(num_tgs_, false);
+  // prior_ is the UNION of what this member decoded and what the sender
+  // journal confirmed: the union protects against a lost receiver state
+  // file (a confirmed TG still counts as delivered — its confirmation
+  // proves a prior life ACKed it, which proves it decoded).
+  for (std::size_t i = 0; i < opt_.resume_decoded.size(); ++i)
+    if (opt_.resume_decoded[i]) prior_[i] = true;
+  for (std::size_t i = 0; i < opt_.resume_confirmed.size(); ++i)
+    if (opt_.resume_confirmed[i]) prior_[i] = confirmed_[i] = true;
+  for (std::size_t i = 0; i < num_tgs_; ++i) {
+    if (!prior_[i]) continue;
+    done_[i] = true;  // decoded in a prior life counts toward completion
+    ++done_count_;
+  }
+  nak_backoffs_.resize(num_tgs_);
+  known_inc_ = static_cast<std::uint8_t>(
+      std::max(cfg_.incarnation, opt_.resume_incarnation));
+}
+
+ReceiverSessionDriver::~ReceiverSessionDriver() {
+  if (timer_armed_) reactor_.cancel_timer(wake_timer_);
+  if (fd_registered_) reactor_.remove_fd(socket_.fd());
+}
+
+void ReceiverSessionDriver::start() {
+  if (started_) return;
+  started_ = true;
+  last_rx_ = clk_.now();
+  result_.end_reason = net::UdpNpEndReason::kMidSessionSilence;
+  reactor_.add_fd(socket_.fd(), [this] { on_readable(); });
+  fd_registered_ = true;
+  reschedule(idle_deadline());
+}
+
+void ReceiverSessionDriver::stop() {
+  if (finished_) return;
+  auto notify = std::move(on_finished_);
+  on_finished_ = nullptr;  // drain stop: the caller does its own bookkeeping
+  finish(done_count_ == num_tgs_ ? net::UdpNpEndReason::kDrainTimeout
+                                 : net::UdpNpEndReason::kMidSessionSilence);
+  on_finished_ = std::move(notify);
+}
+
+double ReceiverSessionDriver::idle_deadline() const {
+  const double budget =
+      done_count_ == num_tgs_ ? cfg_.drain_timeout : opt_.idle_timeout;
+  return last_rx_ + budget;
+}
+
+std::vector<bool> ReceiverSessionDriver::decoded_bitmap() const {
+  return done_;
+}
+
+void ReceiverSessionDriver::reschedule(double next_due) {
+  if (cfg_.reliable_control && nak_pending_)
+    next_due = std::min(next_due, nak_retry_at_);
+  // An armed-too-early timer merely wakes us spuriously (on_wake rechecks
+  // and re-arms), so only replace it when it would fire too LATE.
+  if (timer_armed_ && armed_at_ <= next_due) return;
+  if (timer_armed_) reactor_.cancel_timer(wake_timer_);
+  armed_at_ = next_due;
+  wake_timer_ = reactor_.add_timer(next_due, [this] {
+    timer_armed_ = false;
+    on_wake();
+  });
+  timer_armed_ = true;
+}
+
+void ReceiverSessionDriver::send_feedback(std::uint32_t tg, std::size_t count,
+                                          std::uint32_t seq) {
+  fec::Packet fb;
+  fb.header.type = fec::PacketType::kNak;
+  fb.header.tg = tg;
+  fb.header.count = static_cast<std::uint16_t>(count);
+  fb.header.seq = seq;
+  fb.header.incarnation = known_inc_;
+  // The sender's liveness tracking needs to know who spoke: receive()
+  // discards the source address, so the port rides in the header.
+  if (cfg_.reliable_control) fb.header.index = socket_.port();
+  socket_.send_to(sender_port_, fb);
+}
+
+void ReceiverSessionDriver::on_readable() {
+  while (!finished_) {
+    auto packet = socket_.receive(0.0);
+    if (!packet) {
+      if (!socket_.has_pending()) break;
+      continue;
+    }
+    handle_packet(*packet);
+  }
+  if (!finished_) reschedule(idle_deadline());
+}
+
+void ReceiverSessionDriver::on_wake() {
+  if (finished_) return;
+  const double now = clk_.now();
+  if (cfg_.reliable_control && nak_pending_ && now >= nak_retry_at_) {
+    // The NAK (or its repair) may have been lost: retransmit under this
+    // TG's backoff until served or the budget runs out.
+    const std::size_t need = prior_[nak_tg_] ? 0 : decoders_[nak_tg_].needed();
+    auto& bo = nak_backoffs_[nak_tg_];
+    if (need == 0 || !bo || bo->exhausted()) {
+      nak_pending_ = false;
+    } else {
+      ++result_.nak_retries;
+      ++result_.naks_sent;
+      send_feedback(nak_tg_, need, nak_round_);
+      nak_retry_at_ = clk_.now() + cfg_.poll_window + bo->next();
+    }
+  }
+  if (clk_.now() >= idle_deadline()) {
+    finish(done_count_ == num_tgs_ ? net::UdpNpEndReason::kDrainTimeout
+                                   : net::UdpNpEndReason::kMidSessionSilence);
+    return;
+  }
+  reschedule(idle_deadline());
+}
+
+void ReceiverSessionDriver::accept_block_packet(const fec::Packet& packet) {
+  const auto& hdr = packet.header;
+  if (hdr.k != cfg_.k || hdr.n != cfg_.k + cfg_.h ||
+      hdr.index >= cfg_.k + cfg_.h || packet.payload.size() != cfg_.packet_len) {
+    ++result_.rejected;  // foreign block shape: cannot be ours
+    return;
+  }
+  if (opt_.data_loss > 0.0 && opt_.rng.bernoulli(opt_.data_loss)) {
+    ++result_.dropped;
+    return;
+  }
+  ++result_.received;
+  auto& dec = decoders_[hdr.tg];
+  if (!dec.add(packet)) {
+    ++result_.duplicates;
+    return;
+  }
+  if (dec.decodable() && !done_[hdr.tg]) {
+    const auto& data = dec.reconstruct();
+    result_.decoded += dec.decoded_packets();
+    done_[hdr.tg] = true;
+    ++done_count_;
+    // Eager end-to-end verification: the server discards decoded bytes
+    // (holding 1000 sessions' payloads would defeat the point), so the
+    // integrity check happens the moment a TG completes.
+    if (opt_.expected && data != (*opt_.expected)[hdr.tg])
+      ++payload_mismatches_;
+  }
+}
+
+void ReceiverSessionDriver::handle_packet(const fec::Packet& packet) {
+  const auto& hdr = packet.header;
+  // Stale-incarnation filtering comes first: a dead sender's straggler
+  // must neither end the session (its end marker), repair anything, nor
+  // count as liveness for the idle clock.
+  if (hdr.incarnation < known_inc_) {
+    ++result_.stale_rejected;
+    return;
+  }
+  known_inc_ = hdr.incarnation;
+  last_rx_ = clk_.now();
+  if (hdr.type == fec::PacketType::kPoll && hdr.tg == net::kUdpEndOfSession) {
+    finish(net::UdpNpEndReason::kEndOfSession);
+    return;
+  }
+  if (hdr.tg >= num_tgs_) return;  // foreign traffic
+
+  switch (hdr.type) {
+    case fec::PacketType::kData:
+    case fec::PacketType::kParity:
+      if (prior_[hdr.tg]) {
+        // Exactly-once audit: a journal-confirmed TG must never be
+        // re-multicast by the resumed sender.  A decoded-but-unconfirmed
+        // TG legitimately is (the ACK never reached the journal) — that
+        // is just a duplicate to suppress.
+        if (confirmed_[hdr.tg])
+          ++redelivered_prior_;
+        else
+          ++result_.duplicates;
+        return;
+      }
+      // Repair traffic for the NAKed TG: the request was heard.
+      if (nak_pending_ && hdr.tg == nak_tg_) nak_pending_ = false;
+      accept_block_packet(packet);
+      if (done_count_ >= cfg_.crash_after_tgs) {
+        finish(net::UdpNpEndReason::kCrashed);
+        return;
+      }
+      break;
+    case fec::PacketType::kPoll: {
+      const std::size_t l = prior_[hdr.tg] ? 0 : decoders_[hdr.tg].needed();
+      if (l == 0) {
+        if (cfg_.reliable_control) {
+          // Reliable mode answers every POLL; silence is for the dead.
+          send_feedback(hdr.tg, 0, hdr.seq);
+          ++result_.acks_sent;
+        }
+        break;
+      }
+      send_feedback(hdr.tg, l, hdr.seq);
+      ++result_.naks_sent;
+      if (cfg_.reliable_control) {
+        auto& bo = nak_backoffs_[hdr.tg];
+        if (!bo)
+          bo = std::make_unique<Backoff>(cfg_.retry,
+                                         opt_.rng.split(0x7000 + hdr.tg));
+        nak_pending_ = true;
+        nak_tg_ = hdr.tg;
+        nak_round_ = hdr.seq;
+        nak_retry_at_ = clk_.now() + cfg_.poll_window +
+                        (bo->exhausted() ? cfg_.poll_window : bo->next());
+      }
+      break;
+    }
+    case fec::PacketType::kNak:
+      break;  // unicast topology: receivers do not overhear NAKs
+  }
+}
+
+void ReceiverSessionDriver::finish(net::UdpNpEndReason reason) {
+  if (finished_) return;
+  result_.end_reason = reason;
+
+  // Datagrams still held back by the reorder queue are "in flight" when
+  // the session ends; flush them so a late shard can still complete a TG.
+  if (impairment_) {
+    for (const auto& bytes : impairment_->drain()) {
+      try {
+        const fec::Packet packet = fec::deserialize(bytes);
+        if (packet.header.incarnation < known_inc_) {
+          ++result_.stale_rejected;
+          continue;
+        }
+        if ((packet.header.type == fec::PacketType::kData ||
+             packet.header.type == fec::PacketType::kParity) &&
+            packet.header.tg < num_tgs_) {
+          if (prior_[packet.header.tg]) {
+            if (confirmed_[packet.header.tg])
+              ++redelivered_prior_;
+            else
+              ++result_.duplicates;
+            continue;
+          }
+          accept_block_packet(packet);
+        }
+      } catch (const std::invalid_argument&) {
+        // damaged in flight: loss
+      }
+    }
+    result_.impairment = impairment_->stats();
+  }
+
+  // Unlike the blocking receiver, the driver does NOT materialise the
+  // reconstructed groups in the result — at server scale that is the
+  // whole payload of every session held live.  Integrity is audited
+  // eagerly against Options::expected instead.
+  result_.complete = done_count_ == num_tgs_;
+
+  if (timer_armed_) {
+    reactor_.cancel_timer(wake_timer_);
+    timer_armed_ = false;
+  }
+  if (fd_registered_) {
+    reactor_.remove_fd(socket_.fd());
+    fd_registered_ = false;
+  }
+  finished_ = true;
+  if (on_finished_) on_finished_();  // may reschedule our destruction; last
+}
+
+}  // namespace pbl::server

@@ -1,0 +1,214 @@
+// Event-driven ports of the blocking UDP NP session endpoints
+// (net/udp/udp_np.hpp), shaped for the reactor: where UdpNpSender owns a
+// thread and blocks in socket waits, SenderSessionDriver owns nothing
+// but its state machine — the reactor feeds it readability events and
+// timer expiries, so thousands of concurrent sessions share one thread.
+//
+// The protocol logic is the SAME as the blocking pair, feature for
+// feature: reliable-control ACK/liveness/eviction, seeded re-POLL and
+// NAK-retransmit backoff, session deadlines, incarnation stamping and
+// stale rejection, journal write-ahead hooks, parity high-water resume,
+// crash fault injection.  Time comes exclusively from the injected
+// clock in UdpNpConfig::clock, so the drivers can be unit-tested on a
+// ManualClock by pumping events by hand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fec/fec_block.hpp"
+#include "net/udp/udp_np.hpp"
+#include "server/reactor.hpp"
+
+namespace pbl::server {
+
+/// Non-blocking sender: drives one NP session (k data per TG, POLL/NAK
+/// rounds, parity repair) from reactor callbacks.  `groups` must outlive
+/// the driver — the server owns the payload so it can verify receivers
+/// against it after the drivers are gone.
+class SenderSessionDriver {
+ public:
+  SenderSessionDriver(Reactor& reactor, net::UdpSocket socket,
+                      net::UdpGroup group, const net::UdpNpConfig& config,
+                      const std::vector<net::TgBytes>& groups,
+                      std::function<void()> on_finished);
+  ~SenderSessionDriver();
+  SenderSessionDriver(const SenderSessionDriver&) = delete;
+  SenderSessionDriver& operator=(const SenderSessionDriver&) = delete;
+
+  void start();
+  /// Force-stop for drain: unregisters from the reactor immediately, no
+  /// end-of-session marker (the journal is the handoff to the next
+  /// life).  Does NOT invoke on_finished — the caller is the one
+  /// stopping and does its own bookkeeping.
+  void stop();
+
+  bool finished() const noexcept { return finished_; }
+  bool stopped() const noexcept { return stopped_; }
+  const net::UdpNpSenderStats& stats() const noexcept { return stats_; }
+  /// TGs confirmed complete this life (journal hook count).
+  std::uint64_t tgs_completed() const noexcept { return tgs_completed_; }
+  /// Index of the TG currently in repair (== num TGs when done).
+  std::size_t current_tg() const noexcept { return tg_; }
+  std::uint16_t port() const noexcept { return socket_.port(); }
+
+ private:
+  void on_readable();
+  void on_window_expired();
+  void begin_next_tg();
+  void send_poll();
+  void after_window();  // the post-collect decision logic
+  void finish_session();
+  bool send_mc(fec::Packet packet);
+  void arm_window_timer(double window);
+  void disarm_timer();
+  bool confirmed() const;
+  std::size_t member_of(std::uint16_t port) const;
+
+  Reactor& reactor_;
+  net::UdpSocket socket_;
+  net::UdpGroup group_;
+  net::UdpNpConfig cfg_;
+  const std::vector<net::TgBytes>& groups_;
+  fec::RseCode code_;
+  const protocol::Clock& clk_;
+  std::function<void()> on_finished_;
+
+  net::UdpNpSenderStats stats_;
+  std::uint64_t tgs_completed_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  bool stopped_ = false;
+  bool fd_registered_ = false;
+
+  // Session-wide state (mirrors UdpNpSender::transfer locals).
+  std::uint32_t round_id_ = 0;
+  std::size_t sends_ = 0;
+  std::vector<bool> evicted_;
+  std::vector<std::size_t> silent_;
+  std::vector<std::vector<bool>> delivered_;
+  protocol::Deadline deadline_;
+
+  // Per-TG round state.
+  std::size_t tg_ = 0;
+  std::optional<fec::TgEncoder> encoder_;
+  std::vector<bool> acked_;
+  std::vector<bool> heard_;
+  std::optional<protocol::Backoff> poll_backoff_;
+  std::size_t parities_used_ = 0;
+  double window_pad_ = 0.0;
+  int round_ = 0;
+  std::size_t l_ = 0;  ///< max NAK count collected this round
+  Reactor::TimerId window_timer_ = 0;
+  bool timer_armed_ = false;
+};
+
+/// Non-blocking receiver endpoint: the counterpart of UdpNpReceiver,
+/// with resume support for the server's restart path — a receiver that
+/// "survived" a sender restart is reconstructed from its persisted
+/// decoded bitmap.  TGs the sender's journal had confirmed complete are
+/// never re-multicast, so DATA/PARITY arriving for one is counted as a
+/// redelivery violation (exactly-once audit).  TGs this receiver decoded
+/// but the sender never confirmed ARE legitimately re-sent by the next
+/// life; those are suppressed as ordinary duplicates, not violations.
+class ReceiverSessionDriver {
+ public:
+  struct Options {
+    double idle_timeout = 10.0;     ///< mid-session silence budget [s]
+    double data_loss = 0.0;         ///< injected DATA/PARITY drop prob
+    Rng rng{1};                     ///< drives injected loss
+    net::ImpairmentConfig impairment{};  ///< byte-level wire faults
+    /// Resume: TGs decoded in a prior life (empty = fresh receiver).
+    std::vector<bool> resume_decoded;
+    /// Resume: TGs the SENDER's journal confirmed complete.  A strict
+    /// subset of what every member decoded (confirmation implies an ACK
+    /// implies a decode), and the only TGs whose reappearance is an
+    /// exactly-once violation.
+    std::vector<bool> resume_confirmed;
+    /// Resume: highest sender incarnation heard in the prior life.
+    std::uint32_t resume_incarnation = 0;
+    /// When set, every decoded TG is compared against these bytes and
+    /// mismatches counted (end-to-end integrity under impairment).
+    const std::vector<net::TgBytes>* expected = nullptr;
+  };
+
+  ReceiverSessionDriver(Reactor& reactor, net::UdpSocket socket,
+                        std::uint16_t sender_port, std::size_t num_tgs,
+                        const net::UdpNpConfig& config, Options options,
+                        std::function<void()> on_finished);
+  ~ReceiverSessionDriver();
+  ReceiverSessionDriver(const ReceiverSessionDriver&) = delete;
+  ReceiverSessionDriver& operator=(const ReceiverSessionDriver&) = delete;
+
+  void start();
+  /// Force-stop for drain: finalizes the result with the current state
+  /// (end reason kMidSessionSilence unless already complete) without
+  /// invoking on_finished.
+  void stop();
+
+  bool finished() const noexcept { return finished_; }
+  const net::UdpNpReceiverResult& result() const noexcept { return result_; }
+  /// DATA/PARITY received for TGs the sender journal had confirmed —
+  /// must stay 0 for a correct resume (confirmed TGs are never
+  /// re-multicast).
+  std::uint64_t redelivered_prior() const noexcept {
+    return redelivered_prior_;
+  }
+  std::uint64_t payload_mismatches() const noexcept {
+    return payload_mismatches_;
+  }
+  /// Decoded bitmap (prior + this life), for persistence across drains.
+  std::vector<bool> decoded_bitmap() const;
+  std::uint32_t incarnation_heard() const noexcept { return known_inc_; }
+  std::size_t tgs_done() const noexcept { return done_count_; }
+  std::uint16_t port() const noexcept { return socket_.port(); }
+
+ private:
+  void on_readable();
+  void on_wake();
+  void handle_packet(const fec::Packet& packet);
+  void accept_block_packet(const fec::Packet& packet);
+  void send_feedback(std::uint32_t tg, std::size_t count, std::uint32_t seq);
+  void finish(net::UdpNpEndReason reason);
+  void reschedule(double next_due);
+  double idle_deadline() const;
+
+  Reactor& reactor_;
+  net::UdpSocket socket_;
+  std::uint16_t sender_port_;
+  std::size_t num_tgs_;
+  net::UdpNpConfig cfg_;
+  Options opt_;
+  fec::RseCode code_;
+  const protocol::Clock& clk_;
+  std::function<void()> on_finished_;
+  std::shared_ptr<net::Impairment> impairment_;
+
+  net::UdpNpReceiverResult result_;
+  std::uint64_t redelivered_prior_ = 0;
+  std::uint64_t payload_mismatches_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  bool fd_registered_ = false;
+
+  std::vector<fec::TgDecoder> decoders_;
+  std::vector<bool> done_;
+  std::vector<bool> prior_;      ///< decoded before this life (resume)
+  std::vector<bool> confirmed_;  ///< journal-confirmed before this life
+  std::size_t done_count_ = 0;
+  std::vector<std::unique_ptr<protocol::Backoff>> nak_backoffs_;
+  bool nak_pending_ = false;
+  std::uint32_t nak_tg_ = 0;
+  std::uint32_t nak_round_ = 0;
+  double nak_retry_at_ = 0.0;
+  std::uint8_t known_inc_ = 0;
+  double last_rx_ = 0.0;
+  Reactor::TimerId wake_timer_ = 0;
+  bool timer_armed_ = false;
+  double armed_at_ = 0.0;
+};
+
+}  // namespace pbl::server

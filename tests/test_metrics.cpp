@@ -1,0 +1,153 @@
+// obs::MetricsRegistry: the closed-world rules (unknown names and kind
+// mismatches throw, string values outside the allowed set throw), the
+// histogram bucket arithmetic, and the JSON/CSV emission the soak CI
+// leg validates against metrics-schema.json.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pbl::obs {
+namespace {
+
+std::vector<MetricDef> small_defs() {
+  return {
+      {"packets", MetricKind::kCounter, "packets seen", {}, {}},
+      {"depth", MetricKind::kGauge, "queue depth", {}, {}},
+      {"latency", MetricKind::kHistogram, "seconds", {0.1, 1.0, 10.0}, {}},
+      {"state", MetricKind::kString, "lifecycle", {}, {"idle", "busy"}},
+  };
+}
+
+TEST(MetricsRegistry, StartsZeroed) {
+  MetricsRegistry reg(small_defs());
+  EXPECT_EQ(reg.counter("packets"), 0u);
+  EXPECT_EQ(reg.gauge("depth"), 0.0);
+  EXPECT_EQ(reg.histogram("latency").count, 0u);
+  // A string with an allowed set starts at its first value — never at a
+  // state outside the schema's closed world.
+  EXPECT_EQ(reg.text("state"), "idle");
+}
+
+TEST(MetricsRegistry, CounterIncAndSet) {
+  MetricsRegistry reg(small_defs());
+  reg.inc("packets");
+  reg.inc("packets", 41);
+  EXPECT_EQ(reg.counter("packets"), 42u);
+  reg.set_counter("packets", 7);
+  EXPECT_EQ(reg.counter("packets"), 7u);
+}
+
+TEST(MetricsRegistry, HistogramBucketPlacement) {
+  MetricsRegistry reg(small_defs());
+  // counts[i] covers (buckets[i-1], buckets[i]]; last slot is +inf.
+  reg.observe("latency", 0.1);   // boundary: belongs to bucket 0
+  reg.observe("latency", 0.5);   // bucket 1
+  reg.observe("latency", 99.0);  // overflow
+  const HistogramValue& h = reg.histogram("latency");
+  ASSERT_EQ(h.counts.size(), 4u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 0u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 99.6);
+}
+
+TEST(MetricsRegistry, StringAllowedSetEnforced) {
+  MetricsRegistry reg(small_defs());
+  reg.set_string("state", "busy");
+  EXPECT_EQ(reg.text("state"), "busy");
+  EXPECT_THROW(reg.set_string("state", "exploded"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, UnknownNameThrows) {
+  MetricsRegistry reg(small_defs());
+  EXPECT_THROW(reg.inc("no_such_metric"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("no_such_metric"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg(small_defs());
+  EXPECT_THROW(reg.inc("depth"), std::invalid_argument);        // gauge
+  EXPECT_THROW(reg.set_gauge("packets", 1.0), std::invalid_argument);
+  EXPECT_THROW(reg.observe("packets", 1.0), std::invalid_argument);
+  EXPECT_THROW(reg.set_string("packets", "x"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ConstructorValidation) {
+  // Duplicate name.
+  EXPECT_THROW(MetricsRegistry({{"a", MetricKind::kCounter, "", {}, {}},
+                                {"a", MetricKind::kGauge, "", {}, {}}}),
+               std::invalid_argument);
+  // Malformed name (uppercase).
+  EXPECT_THROW(MetricsRegistry({{"BadName", MetricKind::kCounter, "", {}, {}}}),
+               std::invalid_argument);
+  // Histogram buckets must be strictly ascending.
+  EXPECT_THROW(
+      MetricsRegistry({{"h", MetricKind::kHistogram, "", {1.0, 1.0}, {}}}),
+      std::invalid_argument);
+  // Non-histogram with buckets is nonsense.
+  EXPECT_THROW(
+      MetricsRegistry({{"c", MetricKind::kCounter, "", {1.0}, {}}}),
+      std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ValuesJsonShape) {
+  MetricsRegistry reg(small_defs());
+  reg.inc("packets", 3);
+  reg.set_gauge("depth", 2.5);
+  reg.observe("latency", 0.2);
+  reg.set_string("state", "idle");
+  std::string out;
+  reg.values_json(out, 2);
+  EXPECT_NE(out.find("\"packets\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"depth\": 2.5"), std::string::npos);
+  EXPECT_NE(out.find("\"state\": \"idle\""), std::string::npos);
+  EXPECT_NE(out.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(out.find("\"counts\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, CsvColumnsMatchHeaderAndRow) {
+  MetricsRegistry reg(small_defs());
+  const auto count_commas = [](const std::string& s) {
+    std::size_t n = 0;
+    for (const char c : s) n += c == ',';
+    return n;
+  };
+  const std::string header = reg.csv_header();
+  const std::string row = reg.csv_row();
+  EXPECT_EQ(count_commas(header), count_commas(row));
+  // Histograms expand to _count/_sum columns.
+  EXPECT_NE(header.find("latency_count"), std::string::npos);
+  EXPECT_NE(header.find("latency_sum"), std::string::npos);
+}
+
+TEST(MetricsSchema, DocumentHeaderAndScopes) {
+  const std::string doc =
+      metrics_schema_document(small_defs(), small_defs());
+  EXPECT_NE(doc.find("\"schema\": \"pbl-metrics-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"kind\": \"schema\""), std::string::npos);
+  EXPECT_NE(doc.find("\"server\""), std::string::npos);
+  EXPECT_NE(doc.find("\"session\""), std::string::npos);
+  EXPECT_NE(doc.find("\"allowed\": [\"idle\", \"busy\"]"), std::string::npos);
+}
+
+TEST(MetricsJson, EscapingAndDoubles) {
+  std::string out;
+  append_json_escaped(out, "a\"b\\c\n");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\"");
+  std::string num;
+  append_json_double(num, 0.1);
+  EXPECT_EQ(num, "0.1");
+  num.clear();
+  append_json_double(num, 1e300);  // stays finite, round-trips
+  EXPECT_EQ(std::stod(num), 1e300);
+}
+
+}  // namespace
+}  // namespace pbl::obs

@@ -1,0 +1,272 @@
+// MulticastServer lifecycle: admission refusal at max_sessions,
+// graceful drain finishing in-flight sessions, drain→restart resuming
+// every journaled session exactly-once, the SIGTERM self-pipe, and the
+// committed metrics-schema.json never drifting from the defs in code.
+//
+// The restart test models SIGTERM→exec in-process: drain one server
+// instance mid-run (journals + receiver bitmaps persist), construct a
+// fresh Reactor + MulticastServer, and resume_journaled_sessions() with
+// the same deterministically regenerated payloads — exactly what
+// examples/multicast_server --resume does across real processes.
+
+#include "server/server.hpp"
+
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pbl::server {
+namespace {
+
+std::vector<net::TgBytes> make_payload(std::uint64_t id, std::size_t tgs,
+                                       std::size_t k, std::size_t packet_len) {
+  Rng rng = Rng(4242).split(id);
+  std::vector<net::TgBytes> groups(tgs);
+  for (auto& tg : groups) {
+    tg.resize(k);
+    for (auto& pkt : tg) {
+      pkt.resize(packet_len);
+      for (auto& byte : pkt) byte = static_cast<std::uint8_t>(rng());
+    }
+  }
+  return groups;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "pbl_server_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ServerConfig base_config() {
+    ServerConfig cfg;
+    cfg.max_sessions = 64;
+    cfg.np.k = 4;
+    cfg.np.h = 8;
+    cfg.np.packet_len = 32;
+    cfg.np.poll_window = 0.02;
+    cfg.np.drain_timeout = 0.3;
+    cfg.np.reliable_control = true;
+    cfg.receiver_idle_timeout = 5.0;
+    cfg.journal_dir = dir_;
+    cfg.exit_when_idle = true;
+    return cfg;
+  }
+
+  MulticastServer::SessionSpec make_spec(std::uint64_t id, std::size_t tgs,
+                                         double loss = 0.0) {
+    MulticastServer::SessionSpec spec;
+    spec.id = id;
+    spec.groups = make_payload(id, tgs, 4, 32);
+    spec.receivers = 2;
+    spec.data_loss = loss;
+    spec.seed = Rng(99).split(id)();
+    return spec;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServerTest, AdmissionRefusesBeyondMaxSessions) {
+  Reactor reactor;
+  ServerConfig cfg = base_config();
+  cfg.max_sessions = 2;
+  MulticastServer server(reactor, cfg);
+
+  EXPECT_TRUE(server.submit(make_spec(0, 2)));
+  EXPECT_TRUE(server.submit(make_spec(1, 2)));
+  EXPECT_FALSE(server.submit(make_spec(2, 2)));  // backpressure, not a queue
+  EXPECT_EQ(server.active_sessions(), 2u);
+  EXPECT_EQ(server.refused_sessions(), 1u);
+  EXPECT_EQ(server.server_metrics().counter("sessions_refused"), 1u);
+
+  reactor.run();
+  EXPECT_EQ(server.completed_sessions(), 2u);
+  EXPECT_EQ(server.failed_sessions(), 0u);
+  EXPECT_EQ(server.payload_mismatches_total(), 0u);
+  // Finished sessions leave no journals behind.
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+}
+
+TEST_F(ServerTest, DuplicateSessionIdRefused) {
+  Reactor reactor;
+  MulticastServer server(reactor, base_config());
+  EXPECT_TRUE(server.submit(make_spec(7, 1)));
+  EXPECT_FALSE(server.submit(make_spec(7, 1)));
+  reactor.run();
+  EXPECT_EQ(server.completed_sessions(), 1u);
+}
+
+TEST_F(ServerTest, GracefulDrainCompletesInFlightSessions) {
+  Reactor reactor;
+  ServerConfig cfg = base_config();
+  cfg.drain_grace = 30.0;  // generous: everyone should finish naturally
+  MulticastServer server(reactor, cfg);
+  for (std::uint64_t id = 0; id < 4; ++id)
+    ASSERT_TRUE(server.submit(make_spec(id, 3, 0.2)));
+
+  bool refused_during_drain = false;
+  reactor.add_timer(reactor.now() + 0.01, [&] {
+    server.request_drain();
+    refused_during_drain = !server.submit(make_spec(99, 1));
+  });
+  reactor.run();
+
+  EXPECT_TRUE(refused_during_drain);
+  EXPECT_EQ(server.completed_sessions(), 4u);
+  EXPECT_EQ(server.drained_sessions(), 0u);
+  EXPECT_EQ(server.failed_sessions(), 0u);
+  EXPECT_EQ(server.server_metrics().text("server_state"), "stopped");
+}
+
+TEST_F(ServerTest, DrainThenRestartResumesExactlyOnce) {
+  const std::size_t kSessions = 6;
+  const std::size_t kTgs = 6;
+  std::uint64_t completed_first = 0;
+  std::uint64_t drained_first = 0;
+
+  {
+    Reactor reactor;
+    ServerConfig cfg = base_config();
+    cfg.drain_grace = 0.01;  // force-stop almost immediately
+    MulticastServer server(reactor, cfg);
+    for (std::uint64_t id = 0; id < kSessions; ++id)
+      ASSERT_TRUE(server.submit(make_spec(id, kTgs, 0.3)));
+    // Let real progress happen, then pull the plug mid-run.
+    reactor.add_timer(reactor.now() + 0.06, [&] { server.request_drain(); });
+    reactor.run();
+    completed_first = server.completed_sessions();
+    drained_first = server.drained_sessions();
+    EXPECT_EQ(completed_first + drained_first, kSessions);
+    EXPECT_EQ(server.failed_sessions(), 0u);
+    // Every drained session persisted its journal for the next life.
+    std::size_t journals = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir_))
+      journals += e.path().extension() == ".journal";
+    EXPECT_EQ(journals, drained_first);
+  }
+
+  ASSERT_GT(drained_first, 0u) << "drain landed after the workload finished; "
+                                  "grow the workload for this test";
+
+  {
+    Reactor reactor;
+    MulticastServer server(reactor, base_config());
+    const std::size_t resumed = server.resume_journaled_sessions(
+        [&](const core::SenderSessionState& state) {
+          auto spec = make_spec(state.session_id, kTgs, 0.3);
+          return std::optional<MulticastServer::SessionSpec>(std::move(spec));
+        });
+    EXPECT_EQ(resumed + server.completed_sessions(), drained_first);
+    if (server.active_sessions() > 0) reactor.run();
+
+    // Exactly-once across the two lives: every session completes, no
+    // journal-confirmed TG was re-multicast, every byte verified.
+    EXPECT_EQ(completed_first + server.completed_sessions(), kSessions);
+    EXPECT_EQ(server.failed_sessions(), 0u);
+    EXPECT_EQ(server.redelivered_prior_total(), 0u);
+    EXPECT_EQ(server.payload_mismatches_total(), 0u);
+    EXPECT_TRUE(std::filesystem::is_empty(dir_));  // all sessions resolved
+    if (resumed > 0) {
+      EXPECT_GT(server.server_metrics().counter("total_tgs_skipped"), 0u);
+    }
+  }
+}
+
+TEST_F(ServerTest, SigtermSelfPipeTriggersDrain) {
+  Reactor reactor;
+  ServerConfig cfg = base_config();
+  cfg.drain_grace = 10.0;
+  MulticastServer server(reactor, cfg);
+  server.install_signal_handlers();
+  ASSERT_TRUE(server.submit(make_spec(0, 2)));
+  reactor.add_timer(reactor.now() + 0.005, [] { ::raise(SIGTERM); });
+  reactor.run();
+  EXPECT_EQ(server.server_metrics().counter("signals_received"), 1u);
+  EXPECT_TRUE(server.draining());
+  EXPECT_EQ(server.completed_sessions() + server.drained_sessions(), 1u);
+}
+
+TEST_F(ServerTest, SnapshotJsonCarriesSchemaHeaderAndSessions) {
+  Reactor reactor;
+  MulticastServer server(reactor, base_config());
+  ASSERT_TRUE(server.submit(make_spec(3, 1)));
+  reactor.run();
+
+  const std::string snap = server.snapshot_json();
+  EXPECT_NE(snap.find("\"schema\": \"pbl-metrics-v1\""), std::string::npos);
+  EXPECT_NE(snap.find("\"kind\": \"snapshot\""), std::string::npos);
+  EXPECT_NE(snap.find("\"3\": {"), std::string::npos);
+  EXPECT_NE(snap.find("\"state\": \"completed\""), std::string::npos);
+  EXPECT_NE(snap.find("\"end_reason\": \"end_of_session\""),
+            std::string::npos);
+  EXPECT_EQ(server.session_metrics(3).counter("tgs_completed"), 1u);
+  EXPECT_THROW(server.session_metrics(404), std::out_of_range);
+}
+
+TEST_F(ServerTest, SnapshotFilesAndCsvRows) {
+  Reactor reactor;
+  ServerConfig cfg = base_config();
+  cfg.snapshot_dir = dir_;
+  cfg.csv_path = dir_ + "/metrics.csv";
+  cfg.journal_dir.clear();  // snapshots only; keep dir_ free of journals
+  MulticastServer server(reactor, cfg);
+  ASSERT_TRUE(server.submit(make_spec(0, 1)));
+  reactor.run();  // final snapshot written at stop
+
+  std::size_t snapshots = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_))
+    snapshots += e.path().extension() == ".json";
+  EXPECT_GE(snapshots, 1u);
+
+  std::ifstream csv(cfg.csv_path);
+  ASSERT_TRUE(csv.good());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(csv, header));
+  ASSERT_TRUE(std::getline(csv, row));
+  EXPECT_EQ(header.substr(0, 5), "time,");
+  const auto commas = [](const std::string& s) {
+    std::size_t n = 0;
+    for (const char c : s) n += c == ',';
+    return n;
+  };
+  EXPECT_EQ(commas(header), commas(row));
+}
+
+TEST(ServerSchema, CommittedSchemaFileMatchesCode) {
+  // metrics-schema.json is generated from the def lists in server.cpp
+  // (examples/multicast_server --print-schema > metrics-schema.json).
+  // If this fails, a metric changed without regenerating the file —
+  // rerun the command above and commit the result.
+  std::ifstream in(std::string(PBL_SOURCE_DIR) + "/metrics-schema.json",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good()) << "metrics-schema.json missing from repo root";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), MulticastServer::schema_document());
+}
+
+TEST(ServerSchema, DefListsAreValidRegistries) {
+  // Constructing registries re-runs all def validation (names, buckets,
+  // allowed sets) — nonsense defs would throw here, far from any soak.
+  obs::MetricsRegistry server_reg(MulticastServer::server_metric_defs());
+  obs::MetricsRegistry session_reg(MulticastServer::session_metric_defs());
+  EXPECT_EQ(server_reg.text("server_state"), "starting");
+  EXPECT_EQ(session_reg.text("state"), "active");
+}
+
+}  // namespace
+}  // namespace pbl::server

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Soak/chaos harness for examples/multicast_server.
+
+Drives the full crash-tolerance story end to end:
+
+1. **Run 1** starts the server on N concurrent impaired sessions with
+   write-ahead journaling and interval snapshots, then (with
+   ``--kill-after T``) delivers SIGTERM mid-run.  The server drains:
+   in-flight sessions are checkpointed to journals + receiver state
+   files and reported as ``drained``.
+2. **Run 2** restarts with ``--resume`` and the same flags: every
+   journaled session must come back and finish.
+
+The harness then gates on the invariants the server promises:
+
+* every snapshot from both runs validates against metrics-schema.json
+  (closed-world key sets, kinds, histogram consistency);
+* ``run1.completed + run2.completed == sessions`` — every session
+  completes exactly once across the two lives;
+* ``redelivered_prior == 0`` in both runs — no journal-confirmed TG was
+  ever re-multicast;
+* ``payload_mismatches == 0`` in both runs — every decoded TG matched
+  the sender's bytes end to end;
+* no journal files survive run 2 (all sessions resolved).
+
+With ``--kill-after 0`` the kill phase is skipped and a single run must
+complete everything (plain soak, no chaos).
+
+Usage (from the repo root, after building):
+    python3 tools/soak.py --binary build/examples/multicast_server \
+        --schema metrics-schema.json --sessions 200 --kill-after 0.8
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import validate_metrics  # noqa: E402
+
+SUMMARY_RE = re.compile(
+    r"multicast_server: backend=(?P<backend>\w+) submitted=(?P<submitted>\d+) "
+    r"resumed=(?P<resumed>\d+) refused=(?P<refused>\d+) "
+    r"completed=(?P<completed>\d+) failed=(?P<failed>\d+) "
+    r"drained=(?P<drained>\d+) redelivered_prior=(?P<redelivered>\d+) "
+    r"payload_mismatches=(?P<mismatches>\d+)")
+
+
+def run_server(binary, flags, kill_after):
+    """Run the server, optionally SIGTERM it after kill_after seconds.
+
+    Returns (exit_code, summary dict).  The drain path exits 0, so a
+    killed run is still expected to succeed.
+    """
+    cmd = [binary] + flags
+    print(f"+ {' '.join(cmd)}" + (f"  [SIGTERM after {kill_after}s]"
+                                  if kill_after > 0 else ""))
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    if kill_after > 0:
+        time.sleep(kill_after)
+        try:
+            proc.send_signal(signal.SIGTERM)
+        except ProcessLookupError:
+            pass  # finished before the chaos landed: run 2 resumes nothing
+    out, _ = proc.communicate(timeout=600)
+    sys.stdout.write(out)
+    m = SUMMARY_RE.search(out)
+    if not m:
+        raise SystemExit("server produced no summary line — it crashed "
+                         "before reporting")
+    return proc.returncode, {k: int(v) if v.isdigit() else v
+                             for k, v in m.groupdict().items()}
+
+
+def validate_dir(schema, snapdir, errors):
+    files = sorted(os.path.join(snapdir, f) for f in os.listdir(snapdir)
+                   if f.endswith(".json"))
+    if not files:
+        errors.append(f"{snapdir}: no snapshots were written")
+        return 0
+    problems = []
+    for path in files:
+        validate_metrics.validate_snapshot(
+            schema, validate_metrics.load_json(path), path, problems)
+    for p in problems:
+        errors.append(f"schema violation: {p}")
+    return len(files)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--binary", required=True,
+                    help="path to the built multicast_server example")
+    ap.add_argument("--schema", required=True,
+                    help="path to the committed metrics-schema.json")
+    ap.add_argument("--workdir", default="soak-out",
+                    help="scratch dir for journals/snapshots (wiped)")
+    ap.add_argument("--sessions", type=int, default=100)
+    ap.add_argument("--receivers", type=int, default=2)
+    ap.add_argument("--tgs", type=int, default=8)
+    ap.add_argument("--data-loss", type=float, default=0.2)
+    ap.add_argument("--control-loss", type=float, default=0.05)
+    ap.add_argument("--wire-drop", type=float, default=0.0)
+    ap.add_argument("--poll-window", type=float, default=0.05)
+    ap.add_argument("--snapshot-interval", type=float, default=0.25)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--kill-after", type=float, default=0.0,
+                    help="seconds before SIGTERM (0 = no chaos phase)")
+    args = ap.parse_args()
+
+    schema = validate_metrics.load_schema(args.schema)
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    jdir = os.path.join(args.workdir, "journals")
+    sdir1 = os.path.join(args.workdir, "snapshots-run1")
+    sdir2 = os.path.join(args.workdir, "snapshots-run2")
+    for d in (jdir, sdir1, sdir2):
+        os.makedirs(d)
+
+    common = [
+        f"--sessions={args.sessions}", f"--receivers={args.receivers}",
+        f"--tgs={args.tgs}", f"--data-loss={args.data_loss}",
+        f"--control-loss={args.control_loss}",
+        f"--wire-drop={args.wire_drop}",
+        f"--poll-window={args.poll_window}",
+        f"--snapshot-interval={args.snapshot_interval}",
+        f"--seed={args.seed}", f"--journal-dir={jdir}",
+    ]
+
+    errors = []
+    code1, run1 = run_server(args.binary, common + [f"--snapshot-dir={sdir1}"],
+                             args.kill_after)
+    if code1 != 0:
+        errors.append(f"run 1 exited {code1}")
+    journals = [f for f in os.listdir(jdir) if f.endswith(".journal")]
+    print(f"run 1: {run1['completed']} completed, {run1['drained']} drained, "
+          f"{len(journals)} journals on disk")
+
+    run2 = {"completed": 0, "failed": 0, "redelivered": 0, "mismatches": 0}
+    if args.kill_after > 0:
+        code2, run2 = run_server(
+            args.binary,
+            common + [f"--snapshot-dir={sdir2}", "--resume"], 0.0)
+        if code2 != 0:
+            errors.append(f"run 2 exited {code2}")
+        leftovers = os.listdir(jdir)
+        if leftovers:
+            errors.append(f"run 2 left {len(leftovers)} journal/state "
+                          f"file(s) unresolved: {sorted(leftovers)[:5]}")
+
+    n1 = validate_dir(schema, sdir1, errors)
+    n2 = validate_dir(schema, sdir2, errors) if args.kill_after > 0 else 0
+    print(f"validated {n1 + n2} snapshot(s) against "
+          f"{schema['schema']} v{schema['version']}")
+
+    total = run1["completed"] + run2["completed"]
+    if total != args.sessions:
+        errors.append(f"exactly-once: run1.completed {run1['completed']} + "
+                      f"run2.completed {run2['completed']} = {total} != "
+                      f"sessions {args.sessions}")
+    for label, run in (("run 1", run1), ("run 2", run2)):
+        if run["failed"]:
+            errors.append(f"{label}: {run['failed']} session(s) failed")
+        if run["redelivered"]:
+            errors.append(f"{label}: {run['redelivered']} redelivered "
+                          f"packet(s) for journal-confirmed TGs")
+        if run["mismatches"]:
+            errors.append(f"{label}: {run['mismatches']} payload "
+                          f"mismatch(es)")
+
+    for e in errors:
+        print(f"  SOAK-FAIL {e}")
+    if errors:
+        print(f"\nFAIL: {len(errors)} soak invariant(s) violated")
+        return 1
+    print(f"\nOK: {args.sessions} sessions exactly-once across "
+          f"{'2 lives' if args.kill_after > 0 else '1 life'}, "
+          f"{n1 + n2} snapshots schema-clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Tests for bench/check_regression.py and bench/compare_points.py.
+
+The two gate scripts decide whether CI legs pass, so their failure
+modes (malformed JSON, missing baselines, silently dropped points) are
+exercised here rather than discovered live on a red main.
+
+Plain unittest so the suite runs without pytest installed:
+
+    python3 -m unittest tools.test_bench_scripts -v
+
+(pytest collects unittest.TestCase transparently, so the CI leg that
+has pytest runs the same file.)
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "bench"))
+
+import check_regression  # noqa: E402
+import compare_points  # noqa: E402
+
+
+def bench_doc(rps=100.0, points=None, bench="demo"):
+    return {"schema": "pbl-bench-v1", "bench": bench,
+            "perf": {"reps_per_sec": rps},
+            "points": points if points is not None else []}
+
+
+class ScriptCase(unittest.TestCase):
+    """Shared plumbing: write temp JSON docs, run a script's main()."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+        return path
+
+    def run_main(self, module, argv):
+        out = io.StringIO()
+        old = sys.argv
+        sys.argv = [module.__name__] + argv
+        try:
+            with contextlib.redirect_stdout(out):
+                try:
+                    code = module.main()
+                except SystemExit as e:
+                    code = e.code if isinstance(e.code, int) else 1
+        finally:
+            sys.argv = old
+        return code, out.getvalue()
+
+
+class CheckRegressionTest(ScriptCase):
+    def test_identical_docs_pass(self):
+        a = self.write("a.json", bench_doc(rps=100.0))
+        code, out = self.run_main(check_regression,
+                                  ["--baseline", a, "--candidate", a])
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+
+    def test_throughput_drop_fails(self):
+        base = self.write("base.json", bench_doc(rps=100.0))
+        cand = self.write("cand.json", bench_doc(rps=50.0))
+        code, out = self.run_main(check_regression,
+                                  ["--baseline", base, "--candidate", cand])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_drop_within_ratio_passes(self):
+        base = self.write("base.json", bench_doc(rps=100.0))
+        cand = self.write("cand.json", bench_doc(rps=50.0))
+        code, _ = self.run_main(
+            check_regression,
+            ["--baseline", base, "--candidate", cand, "--min-ratio", "0.4"])
+        self.assertEqual(code, 0)
+
+    def test_missing_baseline_is_actionable(self):
+        cand = self.write("cand.json", bench_doc())
+        missing = os.path.join(self.dir.name, "nope.json")
+        code, out = self.run_main(
+            check_regression, ["--baseline", missing, "--candidate", cand])
+        self.assertNotEqual(code, 0)
+
+    def test_malformed_json_rejected(self):
+        base = self.write("base.json", "{not json")
+        cand = self.write("cand.json", bench_doc())
+        code, _ = self.run_main(check_regression,
+                                ["--baseline", base, "--candidate", cand])
+        self.assertNotEqual(code, 0)
+
+    def test_dropped_source_points_fail(self):
+        # A bench that stops emitting its simulated points must fail even
+        # with throughput unchanged — that is the whole point of the
+        # per-source count metrics.
+        pts = [{"p": 0.01, "source": "analysis"},
+               {"p": 0.01, "source": "sim"}]
+        base = self.write("base.json", bench_doc(points=pts))
+        cand = self.write("cand.json", bench_doc(points=pts[:1]))
+        code, out = self.run_main(check_regression,
+                                  ["--baseline", base, "--candidate", cand])
+        self.assertEqual(code, 1)
+        self.assertIn("points[source=sim]", out)
+
+    def test_google_benchmark_format(self):
+        gb = {"benchmarks": [
+            {"name": "BM_encode", "bytes_per_second": 1e9, "real_time": 5.0}]}
+        slow = {"benchmarks": [
+            {"name": "BM_encode", "bytes_per_second": 1e8, "real_time": 50.0}]}
+        base = self.write("base.json", gb)
+        cand = self.write("cand.json", slow)
+        code, out = self.run_main(check_regression,
+                                  ["--baseline", base, "--candidate", cand])
+        self.assertEqual(code, 1)
+        self.assertIn("BM_encode", out)
+
+    def test_unrecognised_schema_rejected(self):
+        base = self.write("base.json", {"something": "else"})
+        cand = self.write("cand.json", bench_doc())
+        code, _ = self.run_main(check_regression,
+                                ["--baseline", base, "--candidate", cand])
+        self.assertNotEqual(code, 0)
+
+
+class ComparePointsTest(ScriptCase):
+    def test_identical_points_pass(self):
+        pts = [{"p": 0.01, "mean": 1.5, "wall_seconds": 0.3}]
+        a = self.write("a.json", bench_doc(points=pts))
+        b = self.write("b.json",
+                       bench_doc(points=[dict(pts[0], wall_seconds=9.9)]))
+        code, out = self.run_main(compare_points, [a, b])
+        self.assertEqual(code, 0)  # wall_seconds is volatile by default
+        self.assertIn("OK", out)
+
+    def test_statistic_drift_fails(self):
+        a = self.write("a.json", bench_doc(points=[{"p": 0.01, "mean": 1.5}]))
+        b = self.write("b.json", bench_doc(points=[{"p": 0.01, "mean": 1.6}]))
+        code, out = self.run_main(compare_points, [a, b])
+        self.assertEqual(code, 1)
+        self.assertIn("mean", out)
+
+    def test_dropped_point_fails(self):
+        pts = [{"p": 0.01}, {"p": 0.05}]
+        a = self.write("a.json", bench_doc(points=pts))
+        b = self.write("b.json", bench_doc(points=pts[:1]))
+        code, _ = self.run_main(compare_points, [a, b])
+        self.assertNotEqual(code, 0)
+
+    def test_bench_name_mismatch_fails(self):
+        a = self.write("a.json", bench_doc(bench="x"))
+        b = self.write("b.json", bench_doc(bench="y"))
+        code, _ = self.run_main(compare_points, [a, b])
+        self.assertNotEqual(code, 0)
+
+    def test_malformed_json_rejected(self):
+        a = self.write("a.json", "]]]")
+        b = self.write("b.json", bench_doc())
+        code, _ = self.run_main(compare_points, [a, b])
+        self.assertNotEqual(code, 0)
+
+    def test_custom_ignore_list(self):
+        a = self.write("a.json", bench_doc(points=[{"p": 1, "noise": 1}]))
+        b = self.write("b.json", bench_doc(points=[{"p": 1, "noise": 2}]))
+        code, _ = self.run_main(compare_points, [a, b, "--ignore", "noise"])
+        self.assertEqual(code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate multicast_server metrics snapshots against metrics-schema.json.
+
+The schema document is the closed world: a snapshot passes only if its
+``server`` block and every per-session block carry EXACTLY the metrics
+the schema declares (no extras, no omissions), each with a value of the
+declared kind:
+
+* counter   — non-negative integer
+* gauge     — finite number
+* histogram — object with exactly ``buckets``/``counts``/``count``/``sum``,
+              buckets matching the schema's, ``len(counts) == len(buckets)+1``,
+              every count a non-negative integer summing to ``count``
+* string    — member of the schema's ``allowed`` set
+
+Usage:
+    validate_metrics.py --schema metrics-schema.json SNAPSHOT [SNAPSHOT ...]
+
+Directories among the operands are expanded to their ``*.json`` files.
+Exit status 1 with one line per problem if anything fails.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+HEADER_KEYS = {"schema", "version", "kind", "time", "server", "sessions"}
+
+
+def load_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        raise SystemExit(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"{path} is not valid JSON: {e}")
+
+
+def load_schema(path):
+    doc = load_json(path)
+    if doc.get("kind") != "schema":
+        raise SystemExit(f"{path}: kind is {doc.get('kind')!r}, not 'schema'")
+    for part in ("server", "session"):
+        if not isinstance(doc.get(part), list) or not doc[part]:
+            raise SystemExit(f"{path}: missing/empty {part!r} definition list")
+    return doc
+
+
+def is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def is_num(v):
+    return (is_int(v) or isinstance(v, float)) and math.isfinite(v)
+
+
+def check_value(d, value, where, errors):
+    """Check one metric value against its definition dict."""
+    name, kind = d["name"], d["kind"]
+    ctx = f"{where}.{name}"
+    if kind == "counter":
+        if not is_int(value) or value < 0:
+            errors.append(f"{ctx}: counter must be a non-negative integer, "
+                          f"got {value!r}")
+    elif kind == "gauge":
+        if not is_num(value):
+            errors.append(f"{ctx}: gauge must be a finite number, "
+                          f"got {value!r}")
+    elif kind == "string":
+        allowed = d.get("allowed", [])
+        if not isinstance(value, str):
+            errors.append(f"{ctx}: string metric got {value!r}")
+        elif allowed and value not in allowed:
+            errors.append(f"{ctx}: {value!r} not in allowed set {allowed}")
+    elif kind == "histogram":
+        if not isinstance(value, dict):
+            errors.append(f"{ctx}: histogram must be an object, "
+                          f"got {value!r}")
+            return
+        keys = set(value.keys())
+        if keys != {"buckets", "counts", "count", "sum"}:
+            errors.append(f"{ctx}: histogram keys {sorted(keys)} != "
+                          f"['buckets', 'count', 'counts', 'sum']")
+            return
+        want = d.get("buckets", [])
+        got = value["buckets"]
+        if (not isinstance(got, list) or len(got) != len(want) or
+                any(not is_num(g) or abs(g - w) > 1e-9 * max(1.0, abs(w))
+                    for g, w in zip(got, want))):
+            errors.append(f"{ctx}: buckets {got} != schema buckets {want}")
+        counts = value["counts"]
+        if (not isinstance(counts, list) or len(counts) != len(want) + 1 or
+                any(not is_int(c) or c < 0 for c in counts)):
+            errors.append(f"{ctx}: counts must be {len(want) + 1} "
+                          f"non-negative integers, got {counts!r}")
+        elif not is_int(value["count"]) or sum(counts) != value["count"]:
+            errors.append(f"{ctx}: sum(counts) {sum(counts)} != count "
+                          f"{value['count']!r}")
+        if not is_num(value["sum"]):
+            errors.append(f"{ctx}: sum must be a finite number, "
+                          f"got {value['sum']!r}")
+    else:
+        errors.append(f"{ctx}: schema declares unknown kind {kind!r}")
+
+
+def check_block(defs, block, where, errors):
+    if not isinstance(block, dict):
+        errors.append(f"{where}: expected an object, got {type(block).__name__}")
+        return
+    want = {d["name"] for d in defs}
+    got = set(block.keys())
+    for missing in sorted(want - got):
+        errors.append(f"{where}: missing metric {missing!r}")
+    for extra in sorted(got - want):
+        errors.append(f"{where}: metric {extra!r} not in schema")
+    for d in defs:
+        if d["name"] in block:
+            check_value(d, block[d["name"]], where, errors)
+
+
+def validate_snapshot(schema, snap, label, errors):
+    if not isinstance(snap, dict):
+        errors.append(f"{label}: snapshot must be an object")
+        return
+    got = set(snap.keys())
+    if got != HEADER_KEYS:
+        errors.append(f"{label}: top-level keys {sorted(got)} != "
+                      f"{sorted(HEADER_KEYS)}")
+        return
+    if snap["schema"] != schema["schema"]:
+        errors.append(f"{label}: schema {snap['schema']!r} != "
+                      f"{schema['schema']!r}")
+    if snap["version"] != schema["version"]:
+        errors.append(f"{label}: version {snap['version']!r} != "
+                      f"{schema['version']!r}")
+    if snap["kind"] != "snapshot":
+        errors.append(f"{label}: kind {snap['kind']!r} != 'snapshot'")
+    if not is_num(snap["time"]):
+        errors.append(f"{label}: time must be a finite number, "
+                      f"got {snap['time']!r}")
+    check_block(schema["server"], snap["server"], f"{label}:server", errors)
+    sessions = snap["sessions"]
+    if not isinstance(sessions, dict):
+        errors.append(f"{label}: sessions must be an object")
+        return
+    for sid, block in sessions.items():
+        if not sid.isdigit():
+            errors.append(f"{label}: session key {sid!r} is not an id")
+        check_block(schema["session"], block,
+                    f"{label}:sessions[{sid}]", errors)
+
+
+def expand(paths):
+    out = []
+    for p in paths:
+        if os.path.isdir(p):
+            out.extend(sorted(os.path.join(p, f) for f in os.listdir(p)
+                              if f.endswith(".json")))
+        else:
+            out.append(p)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--schema", required=True,
+                    help="path to the committed metrics-schema.json")
+    ap.add_argument("snapshots", nargs="+",
+                    help="snapshot files (or directories of *.json)")
+    args = ap.parse_args()
+
+    schema = load_schema(args.schema)
+    files = expand(args.snapshots)
+    if not files:
+        raise SystemExit("no snapshot files to validate")
+
+    errors = []
+    for path in files:
+        validate_snapshot(schema, load_json(path), path, errors)
+
+    for e in errors:
+        print(f"  INVALID {e}")
+    if errors:
+        print(f"\nFAIL: {len(errors)} problem(s) across {len(files)} "
+              f"snapshot(s)")
+        return 1
+    print(f"OK: {len(files)} snapshot(s) conform to {schema['schema']} "
+          f"v{schema['version']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
