@@ -1,5 +1,6 @@
 #include "fec/fec_block.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace pbl::fec {
@@ -46,6 +47,61 @@ Packet TgEncoder::parity_packet(std::size_t j) {
   p.payload = *parity_[j];
   p.header.payload_len = static_cast<std::uint32_t>(p.payload.size());
   return p;
+}
+
+std::size_t TgEncoder::write_data_frame(std::size_t i, std::uint8_t incarnation,
+                                        std::span<std::uint8_t> frame) const {
+  if (i >= code_->k()) throw std::out_of_range("TgEncoder: data index");
+  const std::size_t len = data_[i].size();
+  const std::size_t total = wire_size(len);
+  if (frame.size() < total)
+    throw std::invalid_argument("TgEncoder: frame buffer too small");
+  PacketHeader h;
+  h.type = PacketType::kData;
+  h.incarnation = incarnation;
+  h.tg = tg_id_;
+  h.index = static_cast<std::uint16_t>(i);
+  h.k = static_cast<std::uint16_t>(code_->k());
+  h.n = static_cast<std::uint16_t>(code_->n());
+  h.payload_len = static_cast<std::uint32_t>(len);
+  write_header(h, frame);
+  std::memcpy(frame.data() + kHeaderWireSize, data_[i].data(), len);
+  seal_frame(frame.subspan(0, total));
+  return total;
+}
+
+std::size_t TgEncoder::write_parity_frame(std::size_t j,
+                                          std::uint8_t incarnation,
+                                          std::span<std::uint8_t> frame) {
+  if (j >= code_->h()) throw std::out_of_range("TgEncoder: parity index");
+  const std::size_t len = data_.empty() ? 0 : data_[0].size();
+  const std::size_t total = wire_size(len);
+  if (frame.size() < total)
+    throw std::invalid_argument("TgEncoder: frame buffer too small");
+  PacketHeader h;
+  h.type = PacketType::kParity;
+  h.incarnation = incarnation;
+  h.tg = tg_id_;
+  h.index = static_cast<std::uint16_t>(code_->k() + j);
+  h.k = static_cast<std::uint16_t>(code_->k());
+  h.n = static_cast<std::uint16_t>(code_->n());
+  h.payload_len = static_cast<std::uint32_t>(len);
+  write_header(h, frame);
+  const std::span<std::uint8_t> payload = frame.subspan(kHeaderWireSize, len);
+  if (parity_[j]) {
+    std::memcpy(payload.data(), parity_[j]->data(), len);
+  } else {
+    // Zero-copy encode: the GF kernels write the parity straight into the
+    // frame's payload region.  The result is NOT cached — the arena frame
+    // is the only copy, matching the "encode at send time into the wire
+    // buffer" fast path (cache via pre_encode() when re-sends dominate).
+    std::vector<std::span<const std::uint8_t>> views(data_.begin(),
+                                                     data_.end());
+    code_->encode_parity(j, views, payload);
+    ++encoded_count_;
+  }
+  seal_frame(frame.subspan(0, total));
+  return total;
 }
 
 void TgEncoder::pre_encode() {

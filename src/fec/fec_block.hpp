@@ -36,6 +36,28 @@ class TgEncoder {
   /// Eagerly computes all h parities (sender-side pre-encoding).
   void pre_encode();
 
+  /// Frames DATA packet i directly into `frame` (header + payload + CRC,
+  /// byte-identical to serialize(data_packet(i)) with the incarnation
+  /// stamped).  Returns the bytes written.  The zero-copy send path:
+  /// arena frames are framed in place, no intermediate Packet/vector.
+  std::size_t write_data_frame(std::size_t i, std::uint8_t incarnation,
+                               std::span<std::uint8_t> frame) const;
+
+  /// Frames PARITY j (block index k + j) directly into `frame`.  When the
+  /// parity is not yet cached, the GF kernels encode it straight into the
+  /// frame's payload region — the parity bytes are never materialised
+  /// anywhere else.  Byte-identical to serialize(parity_packet(j)) with
+  /// the incarnation stamped; counts toward parities_encoded() exactly
+  /// like parity_packet().  Returns the bytes written.
+  std::size_t write_parity_frame(std::size_t j, std::uint8_t incarnation,
+                                 std::span<std::uint8_t> frame);
+
+  /// Wire size of any frame of this group (all packets share one
+  /// payload length).
+  std::size_t frame_wire_size() const noexcept {
+    return wire_size(data_.empty() ? 0 : data_[0].size());
+  }
+
   /// Number of parities encoded so far (for processing-cost accounting).
   std::size_t parities_encoded() const noexcept { return encoded_count_; }
 

@@ -19,12 +19,14 @@ std::string to_string(PacketType t) {
 
 namespace {
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
+void put_u16_at(std::span<std::uint8_t> out, std::size_t off, std::uint16_t v) {
+  out[off] = static_cast<std::uint8_t>(v);
+  out[off + 1] = static_cast<std::uint8_t>(v >> 8);
 }
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+void put_u32_at(std::span<std::uint8_t> out, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
 }
 std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t off) {
   return static_cast<std::uint16_t>(b[off] | (b[off + 1] << 8));
@@ -38,24 +40,50 @@ std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
 
 }  // namespace
 
+void write_header(const PacketHeader& header, std::span<std::uint8_t> out) {
+  if (out.size() < kHeaderWireSize)
+    throw std::invalid_argument("packet: header buffer too small");
+  out[0] = static_cast<std::uint8_t>(header.type);
+  out[1] = header.incarnation;
+  put_u32_at(out, 2, header.tg);
+  put_u16_at(out, 6, header.index);
+  put_u16_at(out, 8, header.k);
+  put_u16_at(out, 10, header.n);
+  put_u16_at(out, 12, header.count);
+  put_u32_at(out, 14, header.seq);
+  put_u32_at(out, 18, header.payload_len);
+}
+
+void seal_frame(std::span<std::uint8_t> frame) {
+  if (frame.size() < kHeaderWireSize + kCrcWireSize)
+    throw std::invalid_argument("packet: frame too small to seal");
+  const std::size_t body = frame.size() - kCrcWireSize;
+  if (get_u32(frame, 18) != body - kHeaderWireSize)
+    throw std::invalid_argument("packet: frame size != header payload_len");
+  put_u32_at(frame, body, crc32(frame.subspan(0, body)));
+}
+
+std::size_t serialize_into(const Packet& packet, std::span<std::uint8_t> out) {
+  const std::size_t total = wire_size(packet.payload.size());
+  if (out.size() < total)
+    throw std::invalid_argument("packet: serialize buffer too small");
+  PacketHeader hdr = packet.header;
+  hdr.payload_len = static_cast<std::uint32_t>(packet.payload.size());
+  write_header(hdr, out);
+  if (!packet.payload.empty())  // POLL/NAK/end markers carry no payload
+    std::memcpy(out.data() + kHeaderWireSize, packet.payload.data(),
+                packet.payload.size());
+  seal_frame(out.subspan(0, total));
+  return total;
+}
+
 std::vector<std::uint8_t> serialize(const Packet& packet) {
-  std::vector<std::uint8_t> out;
-  out.reserve(kHeaderWireSize + packet.payload.size());
-  out.push_back(static_cast<std::uint8_t>(packet.header.type));
-  out.push_back(packet.header.incarnation);
-  put_u32(out, packet.header.tg);
-  put_u16(out, packet.header.index);
-  put_u16(out, packet.header.k);
-  put_u16(out, packet.header.n);
-  put_u16(out, packet.header.count);
-  put_u32(out, packet.header.seq);
-  put_u32(out, static_cast<std::uint32_t>(packet.payload.size()));
-  out.insert(out.end(), packet.payload.begin(), packet.payload.end());
-  put_u32(out, crc32(out));
+  std::vector<std::uint8_t> out(wire_size(packet.payload.size()));
+  serialize_into(packet, out);
   return out;
 }
 
-Packet deserialize(std::span<const std::uint8_t> bytes) {
+PacketView deserialize_view(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kHeaderWireSize + kCrcWireSize)
     throw std::invalid_argument("packet: truncated header");
   const std::size_t body = bytes.size() - kCrcWireSize;
@@ -63,7 +91,7 @@ Packet deserialize(std::span<const std::uint8_t> bytes) {
   if (crc32(bytes.subspan(0, body)) != stored)
     throw std::invalid_argument("packet: CRC mismatch");
   bytes = bytes.subspan(0, body);
-  Packet p;
+  PacketView p;
   const std::uint8_t type = bytes[0];
   if (type > static_cast<std::uint8_t>(PacketType::kNak))
     throw std::invalid_argument("packet: unknown type");
@@ -94,7 +122,15 @@ Packet deserialize(std::span<const std::uint8_t> bytes) {
     if (p.header.type == PacketType::kParity && p.header.index < p.header.k)
       throw std::invalid_argument("packet: PARITY index in data range");
   }
-  p.payload.assign(bytes.begin() + kHeaderWireSize, bytes.end());
+  p.payload = bytes.subspan(kHeaderWireSize);
+  return p;
+}
+
+Packet deserialize(std::span<const std::uint8_t> bytes) {
+  const PacketView view = deserialize_view(bytes);
+  Packet p;
+  p.header = view.header;
+  p.payload.assign(view.payload.begin(), view.payload.end());
   return p;
 }
 

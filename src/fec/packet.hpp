@@ -56,9 +56,47 @@ struct Packet {
 inline constexpr std::size_t kHeaderWireSize = 22;
 inline constexpr std::size_t kCrcWireSize = 4;
 
+/// Wire size of a frame carrying `payload_len` payload bytes.
+constexpr std::size_t wire_size(std::size_t payload_len) noexcept {
+  return kHeaderWireSize + payload_len + kCrcWireSize;
+}
+
+/// Non-owning parse result: the header plus a span into the input buffer.
+/// The payload view aliases the bytes handed to deserialize_view and is
+/// only valid while they live — the zero-copy receive path's contract.
+struct PacketView {
+  PacketHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Writes the fixed 22-byte wire header into out[0, kHeaderWireSize).
+/// The payload bytes and the CRC trailer are the caller's job (see
+/// seal_frame) — this is the primitive the zero-copy encode path uses to
+/// pre-frame arena buffers before the GF kernels write the payload in
+/// place.  Throws std::invalid_argument if out is too small.
+void write_header(const PacketHeader& header, std::span<std::uint8_t> out);
+
+/// Computes the CRC-32 over frame[0, size-4) and writes it into the last
+/// four bytes.  `frame` must be exactly wire_size(payload_len) for the
+/// payload_len already written in its header.  The final step of in-place
+/// framing: write_header + payload bytes + seal_frame ==
+/// serialize(packet), byte for byte.
+void seal_frame(std::span<std::uint8_t> frame);
+
+/// Serialises the packet into a caller-provided buffer (no allocation);
+/// returns the bytes written (wire_size(payload.size())).  Throws
+/// std::invalid_argument if out is too small.
+std::size_t serialize_into(const Packet& packet, std::span<std::uint8_t> out);
+
 /// Serialises header + payload + CRC-32 trailer into a flat byte buffer
 /// (fixed-layout little-endian; the UDP transport's wire format).
 std::vector<std::uint8_t> serialize(const Packet& packet);
+
+/// Non-owning variant of deserialize(): same validation, same throwing
+/// contract, but the payload is returned as a view into `bytes` instead
+/// of a copy.  The batched receive path parses frames in place with this
+/// and copies only what protocol state actually keeps.
+PacketView deserialize_view(std::span<const std::uint8_t> bytes);
 
 /// Parses a buffer produced by serialize(); throws std::invalid_argument
 /// on truncated, inconsistent or corrupted (CRC mismatch) input.  The

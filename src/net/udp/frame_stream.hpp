@@ -1,0 +1,62 @@
+// Incremental decoder for a byte stream of concatenated wire frames.
+//
+// recvmmsg hands the receive path datagram-sized segments, but nothing
+// guarantees a peer (or a capture replay, or the differential harness)
+// slices a stream on frame boundaries.  FrameStreamDecoder accepts
+// arbitrary segmentation and emits the same packet sequence regardless of
+// where the cuts fall: every decision — emit, resynchronise by one byte,
+// skip a sealed-but-invalid frame — is a pure function of the logical
+// byte stream, never of segment boundaries.  fuzz/fuzz_frame_batch.cpp
+// holds that invariant against adversarial splits.
+//
+// Resynchronisation policy on damage:
+//   - implausible length field (frame would exceed kMaxFrameBytes), or a
+//     CRC trailer that does not match: slide forward ONE byte and retry —
+//     the stream may be mid-frame garbage with a real frame inside it;
+//   - CRC-valid frame whose header fails semantic validation: skip the
+//     WHOLE frame (it was sealed by a sender, just not one of ours).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "fec/packet.hpp"
+
+namespace pbl::net {
+
+class FrameStreamDecoder {
+ public:
+  /// Largest frame the decoder will believe a length field about — the
+  /// UDP datagram ceiling, same bound the socket path enforces.
+  static constexpr std::size_t kMaxFrameBytes = 65536;
+
+  /// Appends a segment of the stream and parses as far as the buffered
+  /// bytes allow; emitted packets are appended to the internal queue in
+  /// stream order.
+  void feed(std::span<const std::uint8_t> segment);
+
+  /// Drains the emitted-packet queue.
+  std::vector<fec::Packet> take();
+
+  /// Unconsumed tail bytes (a frame still arriving).
+  std::size_t buffered() const noexcept { return buf_.size(); }
+  /// One-byte resynchronisation slides taken (damaged stream evidence).
+  std::uint64_t resyncs() const noexcept { return resyncs_; }
+  /// Sealed frames dropped for failing semantic header validation.
+  std::uint64_t skipped_invalid() const noexcept { return skipped_invalid_; }
+  std::uint64_t frames_emitted() const noexcept { return frames_emitted_; }
+
+ private:
+  void parse();
+
+  std::vector<std::uint8_t> buf_;
+  std::deque<fec::Packet> out_;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t skipped_invalid_ = 0;
+  std::uint64_t frames_emitted_ = 0;
+};
+
+}  // namespace pbl::net

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fec/fec_block.hpp"
+#include "net/udp/packet_arena.hpp"
 
 namespace pbl::net {
 
@@ -52,6 +53,30 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
     return true;
   };
 
+  // Zero-copy burst path for DATA/PARITY: frames are written in place in
+  // arena slabs (headers by write_*_frame, parity payloads directly by
+  // the GF kernels) and handed to the kernel as one batch per burst.
+  // The frame order — packet-major, member-minor — is exactly the order
+  // the per-sendto loop produced, so each receiver sees a byte-identical
+  // stream; crash_after_sends still ticks per logical packet, before the
+  // packet's frames are staged, so a crash clamps the burst at the same
+  // wire position on both backends.
+  std::size_t max_payload = cfg_.packet_len;
+  for (const auto& g : groups)
+    if (!g.empty()) max_payload = std::max(max_payload, g[0].size());
+  PacketArena arena(fec::wire_size(max_payload),
+                    std::max({cfg_.k, cfg_.h, std::size_t{1}}));
+  std::vector<FrameRef> burst;
+  const auto stage_frame = [&](std::span<const std::uint8_t> frame) {
+    for (const std::uint16_t port : group_.members())
+      burst.push_back({port, frame});
+  };
+  const auto flush_burst = [&] {
+    if (!burst.empty()) socket_.send_batch_blocking(burst);
+    burst.clear();
+    arena.release_all();
+  };
+
   // Reliable-mode per-member state, addressed by group index; a NAK/ACK
   // names its member by carrying the receiver's own port in header.index.
   const auto& members = group_.members();
@@ -83,9 +108,18 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
     fec::TgEncoder encoder(i, code_, groups[i]);
 
     for (std::size_t j = 0; j < cfg_.k; ++j) {
-      if (!send_mc(encoder.data_packet(j))) break;
+      if (sends >= cfg_.crash_after_sends) {
+        stats.crashed = true;
+        break;
+      }
+      ++sends;
+      const auto frame = arena.acquire();
+      const std::size_t len = encoder.write_data_frame(
+          j, static_cast<std::uint8_t>(cfg_.incarnation), frame->bytes);
+      stage_frame(frame->bytes.first(len));
       ++stats.data_sent;
     }
+    flush_burst();
 
     std::vector<bool> acked(members.size(), false);
     std::vector<bool> heard(members.size(), false);
@@ -202,9 +236,20 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
       parities_used += l;
       if (cfg_.on_parities_sent) cfg_.on_parities_sent(i, parities_used);
       for (std::size_t j = 0; j < l; ++j) {
-        if (!send_mc(encoder.parity_packet(parities_used - l + j))) break;
+        if (stats.crashed) break;
+        if (sends >= cfg_.crash_after_sends) {
+          stats.crashed = true;
+          break;
+        }
+        ++sends;
+        const auto frame = arena.acquire();
+        const std::size_t len = encoder.write_parity_frame(
+            parities_used - l + j, static_cast<std::uint8_t>(cfg_.incarnation),
+            frame->bytes);
+        stage_frame(frame->bytes.first(len));
         ++stats.parity_sent;
       }
+      flush_burst();
     }
     if (stats.crashed) break;
     if (deadline.expired(clk.now()) && !stats.report.deadline_expired)

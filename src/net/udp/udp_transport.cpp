@@ -6,10 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
-#include <span>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
@@ -17,6 +19,14 @@
 namespace pbl::net {
 
 namespace {
+
+// Frames per sendmmsg/recvmmsg syscall.  Large enough to amortise the
+// kernel crossing, small enough that the mmsghdr scaffolding stays on
+// the stack (tx) or in a modest thread-local scratch (rx).
+constexpr std::size_t kTxChunk = 128;
+constexpr std::size_t kRxChunk = 16;
+constexpr std::size_t kMaxDatagram = 65536;
+
 sockaddr_in loopback(std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -24,7 +34,65 @@ sockaddr_in loopback(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return addr;
 }
+
+bool is_would_block(int err) noexcept {
+  return err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS;
+}
+
+// Backend selection state.  -1 = no scoped override.  The environment
+// default is resolved once (first use) so a mid-run setenv cannot split
+// a session across backends.
+std::atomic<int> g_backend_override{-1};
+
+UdpBackend env_default_backend() {
+  static const UdpBackend resolved = [] {
+    if (const char* env = std::getenv("PBL_UDP_BACKEND")) {
+      if (std::string(env) == "fallback") return UdpBackend::kFallback;
+      if (std::string(env) == "batched" && udp_batched_available())
+        return UdpBackend::kBatched;
+    }
+    return udp_batched_available() ? UdpBackend::kBatched
+                                   : UdpBackend::kFallback;
+  }();
+  return resolved;
+}
+
 }  // namespace
+
+std::string to_string(UdpBackend backend) {
+  switch (backend) {
+    case UdpBackend::kBatched: return "batched";
+    case UdpBackend::kFallback: return "fallback";
+  }
+  return "unknown";
+}
+
+bool udp_batched_available() noexcept {
+#ifdef PBL_HAVE_MMSG
+  return true;
+#else
+  return false;
+#endif
+}
+
+UdpBackend active_udp_backend() noexcept {
+  const int override = g_backend_override.load(std::memory_order_acquire);
+  if (override >= 0) {
+    const auto requested = static_cast<UdpBackend>(override);
+    if (requested == UdpBackend::kBatched && !udp_batched_available())
+      return UdpBackend::kFallback;
+    return requested;
+  }
+  return env_default_backend();
+}
+
+ScopedUdpBackendOverride::ScopedUdpBackendOverride(UdpBackend backend)
+    : previous_(g_backend_override.exchange(static_cast<int>(backend),
+                                            std::memory_order_acq_rel)) {}
+
+ScopedUdpBackendOverride::~ScopedUdpBackendOverride() {
+  g_backend_override.store(previous_, std::memory_order_release);
+}
 
 UdpSocket::UdpSocket(std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
@@ -55,9 +123,11 @@ UdpSocket::~UdpSocket() {
 UdpSocket::UdpSocket(UdpSocket&& other) noexcept
     : fd_(other.fd_), port_(other.port_),
       impairment_(std::move(other.impairment_)),
-      pending_(std::move(other.pending_)) {
+      pending_(std::move(other.pending_)), tx_tap_(std::move(other.tx_tap_)),
+      inject_errno_(other.inject_errno_), inject_count_(other.inject_count_) {
   other.fd_ = -1;
   other.port_ = 0;
+  other.inject_count_ = 0;
 }
 
 UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
@@ -67,8 +137,12 @@ UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
     port_ = other.port_;
     impairment_ = std::move(other.impairment_);
     pending_ = std::move(other.pending_);
+    tx_tap_ = std::move(other.tx_tap_);
+    inject_errno_ = other.inject_errno_;
+    inject_count_ = other.inject_count_;
     other.fd_ = -1;
     other.port_ = 0;
+    other.inject_count_ = 0;
   }
   return *this;
 }
@@ -78,30 +152,201 @@ void UdpSocket::set_impairment(std::shared_ptr<Impairment> impairment) {
   pending_.clear();
 }
 
-void UdpSocket::send_to(std::uint16_t dest_port, const fec::Packet& packet) {
-  const auto bytes = fec::serialize(packet);
+SendStatus UdpSocket::send_raw(std::uint16_t dest_port,
+                               std::span<const std::uint8_t> bytes) {
   const sockaddr_in dest = loopback(dest_port);
-  const ssize_t sent =
-      ::sendto(fd_, bytes.data(), bytes.size(), 0,
-               reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
-  if (sent < 0)
+  for (;;) {
+    if (inject_count_ > 0) {
+      --inject_count_;
+      if (is_would_block(inject_errno_)) return SendStatus::kWouldBlock;
+      throw std::system_error(inject_errno_, std::generic_category(),
+                              "sendto (injected)");
+    }
+    const ssize_t sent =
+        ::sendto(fd_, bytes.data(), bytes.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+    if (sent >= 0) {
+      if (tx_tap_) tx_tap_(dest_port, bytes);
+      return SendStatus::kSent;
+    }
+    if (errno == EINTR) continue;
+    // Transient pushback is backpressure, not failure: callers either
+    // retry (send_batch_blocking) or treat the frame as lost, which the
+    // FEC/NAK machinery repairs like any other loss.
+    if (is_would_block(errno)) return SendStatus::kWouldBlock;
     throw std::system_error(errno, std::generic_category(), "sendto");
+  }
+}
+
+SendStatus UdpSocket::send_to(std::uint16_t dest_port,
+                              const fec::Packet& packet) {
+  const auto bytes = fec::serialize(packet);
+  return send_raw(dest_port, bytes);
+}
+
+SendStatus UdpSocket::send_frame(std::uint16_t dest_port,
+                                 std::span<const std::uint8_t> frame) {
+  return send_raw(dest_port, frame);
+}
+
+BatchSendResult UdpSocket::send_batch(std::span<const FrameRef> frames) {
+  BatchSendResult result;
+#ifdef PBL_HAVE_MMSG
+  if (active_udp_backend() == UdpBackend::kBatched) {
+    while (result.sent < frames.size()) {
+      const std::size_t chunk =
+          std::min(kTxChunk, frames.size() - result.sent);
+      sockaddr_in dests[kTxChunk];
+      iovec iovs[kTxChunk];
+      mmsghdr msgs[kTxChunk];
+      std::memset(msgs, 0, chunk * sizeof(mmsghdr));
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const FrameRef& f = frames[result.sent + i];
+        dests[i] = loopback(f.dest_port);
+        iovs[i].iov_base = const_cast<std::uint8_t*>(f.bytes.data());
+        iovs[i].iov_len = f.bytes.size();
+        msgs[i].msg_hdr.msg_name = &dests[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(dests[i]);
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      int n;
+      for (;;) {
+        if (inject_count_ > 0) {
+          --inject_count_;
+          errno = inject_errno_;
+          n = -1;
+        } else {
+          n = ::sendmmsg(fd_, msgs, static_cast<unsigned>(chunk), 0);
+        }
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      if (n < 0) {
+        result.last_errno = errno;
+        if (is_would_block(errno)) {
+          result.status = SendStatus::kWouldBlock;
+          return result;
+        }
+        throw std::system_error(errno, std::generic_category(), "sendmmsg");
+      }
+      if (tx_tap_) {
+        for (int i = 0; i < n; ++i) {
+          const FrameRef& f = frames[result.sent + static_cast<std::size_t>(i)];
+          tx_tap_(f.dest_port, f.bytes);
+        }
+      }
+      result.sent += static_cast<std::size_t>(n);
+      if (static_cast<std::size_t>(n) < chunk) {
+        // Kernel took a prefix of the chunk: partial send.  Report
+        // would-block so the caller resumes from frames[sent].
+        result.status = SendStatus::kWouldBlock;
+        result.last_errno = EAGAIN;
+        return result;
+      }
+    }
+    return result;
+  }
+#endif
+  // Portable fallback: same frames, same order, one syscall each.
+  for (const FrameRef& f : frames) {
+    if (send_raw(f.dest_port, f.bytes) == SendStatus::kWouldBlock) {
+      result.status = SendStatus::kWouldBlock;
+      result.last_errno = EAGAIN;
+      return result;
+    }
+    ++result.sent;
+  }
+  return result;
+}
+
+void UdpSocket::send_batch_blocking(std::span<const FrameRef> frames) {
+  std::size_t done = 0;
+  while (done < frames.size()) {
+    const BatchSendResult r = send_batch(frames.subspan(done));
+    done += r.sent;
+    if (done >= frames.size()) break;
+    // Backpressure: wait for the socket to drain, then resume from the
+    // first unsent frame.  Loopback drains fast; the poll keeps a
+    // pathological stall from spinning.
+    pollfd pfd{fd_, POLLOUT, 0};
+    ::poll(&pfd, 1, 100);
+  }
+}
+
+std::size_t UdpSocket::drain_ready() {
+#ifdef PBL_HAVE_MMSG
+  if (active_udp_backend() == UdpBackend::kBatched) {
+    // Scratch shared by every socket on this thread: kRxChunk max-size
+    // datagram buffers plus the mmsg scaffolding (~1 MiB/thread).
+    struct RxScratch {
+      std::vector<std::uint8_t> bufs =
+          std::vector<std::uint8_t>(kRxChunk * kMaxDatagram);
+      iovec iovs[kRxChunk];
+      mmsghdr msgs[kRxChunk];
+    };
+    thread_local RxScratch scratch;
+    std::memset(scratch.msgs, 0, sizeof(scratch.msgs));
+    for (std::size_t i = 0; i < kRxChunk; ++i) {
+      scratch.iovs[i].iov_base = scratch.bufs.data() + i * kMaxDatagram;
+      scratch.iovs[i].iov_len = kMaxDatagram;
+      scratch.msgs[i].msg_hdr.msg_iov = &scratch.iovs[i];
+      scratch.msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    timespec no_wait{0, 0};
+    int n;
+    do {
+      n = ::recvmmsg(fd_, scratch.msgs, kRxChunk, MSG_DONTWAIT, &no_wait);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return 0;
+    for (int i = 0; i < n; ++i) {
+      const std::span<const std::uint8_t> raw{
+          static_cast<const std::uint8_t*>(scratch.iovs[i].iov_base),
+          scratch.msgs[i].msg_len};
+      // Impairment is applied per datagram in kernel receive order —
+      // exactly the order the fallback's one-at-a-time loop would see.
+      if (impairment_) {
+        for (auto& bytes : impairment_->apply_bytes(raw))
+          pending_.push_back(std::move(bytes));
+      } else {
+        pending_.emplace_back(raw.begin(), raw.end());
+      }
+    }
+    return static_cast<std::size_t>(n);
+  }
+#endif
+  std::uint8_t buf[kMaxDatagram];
+  const ssize_t got = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+  if (got < 0) return 0;
+  const std::span<const std::uint8_t> raw{buf, static_cast<std::size_t>(got)};
+  if (impairment_) {
+    for (auto& bytes : impairment_->apply_bytes(raw))
+      pending_.push_back(std::move(bytes));
+  } else {
+    pending_.emplace_back(raw.begin(), raw.end());
+  }
+  return 1;
+}
+
+std::optional<fec::Packet> UdpSocket::parse_pending() {
+  while (!pending_.empty()) {
+    std::vector<std::uint8_t> bytes = std::move(pending_.front());
+    pending_.pop_front();
+    try {
+      return fec::deserialize(bytes);
+    } catch (const std::invalid_argument&) {
+      // corrupted/truncated in flight: the parse turns it into loss
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<fec::Packet> UdpSocket::receive(double timeout_s) {
   const auto start = std::chrono::steady_clock::now();
   bool polled = false;
   for (;;) {
-    // Impaired datagrams queued by an earlier poll round go first.
-    while (!pending_.empty()) {
-      std::vector<std::uint8_t> bytes = std::move(pending_.front());
-      pending_.pop_front();
-      try {
-        return fec::deserialize(bytes);
-      } catch (const std::invalid_argument&) {
-        // corrupted/truncated in flight: the parse turns it into loss
-      }
-    }
+    // Datagrams queued by an earlier drain go first.
+    if (auto p = parse_pending()) return p;
     int ms = -1;
     if (timeout_s >= 0) {
       const double elapsed =
@@ -123,30 +368,50 @@ std::optional<fec::Packet> UdpSocket::receive(double timeout_s) {
     const int ready = ::poll(&pfd, 1, ms);
     polled = true;
     if (ready <= 0) return std::nullopt;
-    std::uint8_t buf[65536];
-    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
-    if (got < 0) return std::nullopt;
-    const std::span<const std::uint8_t> raw{buf,
-                                            static_cast<std::size_t>(got)};
-    if (impairment_) {
-      for (auto& bytes : impairment_->apply_bytes(raw))
-        pending_.push_back(std::move(bytes));
-      continue;  // parse (or keep polling) on the next iteration
-    }
-    try {
-      return fec::deserialize(raw);
-    } catch (const std::invalid_argument&) {
-      continue;  // malformed datagram: drop, keep waiting
-    }
+    if (drain_ready() == 0) return std::nullopt;
   }
+}
+
+std::size_t UdpSocket::receive_batch(std::vector<fec::Packet>& out,
+                                     std::size_t max_packets,
+                                     double timeout_s) {
+  std::size_t produced = 0;
+  const auto take_pending = [&] {
+    while (produced < max_packets) {
+      auto p = parse_pending();
+      if (!p) break;
+      out.push_back(std::move(*p));
+      ++produced;
+    }
+  };
+  take_pending();
+  if (produced >= max_packets) return produced;
+  const int ms =
+      timeout_s < 0 ? -1 : static_cast<int>(timeout_s * 1000.0);
+  pollfd pfd{fd_, POLLIN, 0};
+  if (::poll(&pfd, 1, ms) <= 0) return produced;
+  drain_ready();
+  take_pending();
+  return produced;
 }
 
 void UdpGroup::multicast(UdpSocket& from, const fec::Packet& packet,
                          std::optional<std::uint16_t> exclude) const {
+  // Serialize once; the same bytes fan out to every member as one batch.
+  const auto bytes = fec::serialize(packet);
+  multicast_frame(from, bytes, exclude);
+}
+
+void UdpGroup::multicast_frame(UdpSocket& from,
+                               std::span<const std::uint8_t> frame,
+                               std::optional<std::uint16_t> exclude) const {
+  std::vector<FrameRef> refs;
+  refs.reserve(members_.size());
   for (const std::uint16_t port : members_) {
     if (exclude && *exclude == port) continue;
-    from.send_to(port, packet);
+    refs.push_back({port, frame});
   }
+  from.send_batch_blocking(refs);
 }
 
 }  // namespace pbl::net

@@ -1,16 +1,28 @@
 // Minimal loopback UDP transport for running the protocols over real
-// sockets (examples/udp_multicast_demo).
+// sockets (examples/udp_multicast_demo, server/).
 //
 // Multicast is emulated by unicast fan-out on 127.0.0.1: a UdpGroup holds
 // the member ports and replicates each send.  This keeps the demo
 // independent of kernel multicast support while exercising the real wire
 // encoding (fec/packet.hpp) end to end.
+//
+// Data plane: sends and receives are batched.  Where the libc provides
+// sendmmsg/recvmmsg (PBL_HAVE_MMSG at configure time) a whole batch of
+// frames crosses the kernel boundary in one syscall; otherwise a portable
+// one-datagram-at-a-time fallback runs the identical framing code.  The
+// two backends are wire-exact: byte-identical streams per seed, proven by
+// tests/test_udp_differential.cpp.  PBL_UDP_BACKEND=batched|fallback
+// forces either at runtime, and ScopedUdpBackendOverride pins one for a
+// test's scope.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "fec/packet.hpp"
@@ -18,8 +30,70 @@
 
 namespace pbl::net {
 
+enum class UdpBackend {
+  kBatched,   ///< sendmmsg/recvmmsg, many frames per syscall
+  kFallback,  ///< portable sendto/recv loop, one frame per syscall
+};
+
+std::string to_string(UdpBackend backend);
+
+/// True when the batched backend was compiled in (PBL_HAVE_MMSG).
+bool udp_batched_available() noexcept;
+
+/// The backend sockets currently use.  Resolution order: active
+/// ScopedUdpBackendOverride, then the PBL_UDP_BACKEND environment
+/// variable ("batched"/"fallback", read once), then kBatched when
+/// available.  Requests for an unavailable batched backend degrade to
+/// kFallback.
+UdpBackend active_udp_backend() noexcept;
+
+/// Pins the backend for a scope (differential tests run each session
+/// once per backend).  Nestable; restores the previous state on
+/// destruction.
+class ScopedUdpBackendOverride {
+ public:
+  explicit ScopedUdpBackendOverride(UdpBackend backend);
+  ~ScopedUdpBackendOverride();
+  ScopedUdpBackendOverride(const ScopedUdpBackendOverride&) = delete;
+  ScopedUdpBackendOverride& operator=(const ScopedUdpBackendOverride&) =
+      delete;
+
+ private:
+  int previous_;
+};
+
+/// Why a send stopped.  Transient kernel pushback (EAGAIN/EWOULDBLOCK/
+/// ENOBUFS) is backpressure, not failure: the caller retries after the
+/// socket drains.  Hard errors still throw std::system_error.
+enum class SendStatus {
+  kSent,
+  kWouldBlock,
+};
+
+/// One frame of a batch: pre-serialized wire bytes and their destination.
+/// The bytes are borrowed — arena frames or any stable buffer.
+struct FrameRef {
+  std::uint16_t dest_port = 0;
+  std::span<const std::uint8_t> bytes;
+};
+
+/// Outcome of a (possibly partial) batch send.  `sent` frames — always a
+/// prefix of the batch — reached the kernel; when status is kWouldBlock
+/// the caller resumes from frames[sent] once the socket is writable.
+struct BatchSendResult {
+  std::size_t sent = 0;
+  SendStatus status = SendStatus::kSent;
+  int last_errno = 0;  ///< errno that stopped the batch, 0 if none
+};
+
 class UdpSocket {
  public:
+  /// Observes every frame the socket actually hands to the kernel, in
+  /// send order (dest port + wire bytes).  The differential tests record
+  /// the tap of each backend and require the streams byte-identical.
+  using TxTap =
+      std::function<void(std::uint16_t, std::span<const std::uint8_t>)>;
+
   /// Binds a UDP socket to 127.0.0.1:port (0 picks an ephemeral port).
   /// Throws std::system_error on failure.
   explicit UdpSocket(std::uint16_t port = 0);
@@ -36,13 +110,31 @@ class UdpSocket {
   /// The socket still owns it; callers must not close it.
   int fd() const noexcept { return fd_; }
 
-  /// True when impaired datagrams are queued for parsing: a receive(0)
+  /// True when received datagrams are queued for parsing: a receive(0)
   /// can return packets even if the descriptor is not readable, so
   /// event-driven callers must drain until both are empty.
   bool has_pending() const noexcept { return !pending_.empty(); }
 
-  /// Sends a packet to 127.0.0.1:dest_port.
-  void send_to(std::uint16_t dest_port, const fec::Packet& packet);
+  /// Sends a packet to 127.0.0.1:dest_port.  Returns kWouldBlock on
+  /// transient kernel pushback (EAGAIN/EWOULDBLOCK/ENOBUFS) instead of
+  /// throwing — for a lossy datagram protocol that is just loss, and the
+  /// FEC/NAK machinery above already repairs it.  Hard errors throw.
+  SendStatus send_to(std::uint16_t dest_port, const fec::Packet& packet);
+
+  /// Sends pre-framed wire bytes (serialize()/write_*_frame output).
+  SendStatus send_frame(std::uint16_t dest_port,
+                        std::span<const std::uint8_t> frame);
+
+  /// Hands a batch of frames to the kernel — one sendmmsg per chunk on
+  /// the batched backend, a sendto loop on the fallback.  Stops at the
+  /// first would-block; `sent` frames (a prefix) are on the wire.  Hard
+  /// errors throw after reporting nothing-sent-beyond-`sent`.
+  BatchSendResult send_batch(std::span<const FrameRef> frames);
+
+  /// send_batch with partial-send resume: polls the socket writable and
+  /// retries until every frame is sent.  The protocol senders use this —
+  /// backpressure slows them instead of crashing them.
+  void send_batch_blocking(std::span<const FrameRef> frames);
 
   /// Waits up to `timeout_s` for a datagram; returns std::nullopt on
   /// timeout.  Malformed datagrams are dropped silently (the poll loop
@@ -50,18 +142,48 @@ class UdpSocket {
   /// "nothing arrived", even under impairment.
   std::optional<fec::Packet> receive(double timeout_s);
 
+  /// Batched receive: drains queued datagrams, then waits up to
+  /// `timeout_s` for the socket once and pulls everything readable in a
+  /// single recvmmsg (single recv on the fallback).  Parsed packets are
+  /// appended to `out`, at most `max_packets`; returns how many.
+  std::size_t receive_batch(std::vector<fec::Packet>& out,
+                            std::size_t max_packets, double timeout_s);
+
   /// Routes every received datagram through an adversarial Impairment
   /// before parsing: drops, duplicates, bit corruption, truncation and
   /// holdback reordering all happen on the raw bytes, exercising the
-  /// real fec::deserialize path.  Pass nullptr to remove.  The
+  /// real fec::deserialize path.  Impairment is applied per datagram in
+  /// receive order on both backends.  Pass nullptr to remove.  The
   /// impairment object outlives any pending datagrams it produced.
   void set_impairment(std::shared_ptr<Impairment> impairment);
 
+  /// Installs a tap observing every frame sent (nullptr to remove).
+  void set_tx_tap(TxTap tap) { tx_tap_ = std::move(tap); }
+
+  /// Test hook: the next `count` send syscall attempts fail with
+  /// errno = err instead of reaching the kernel.  Injecting EAGAIN /
+  /// ENOBUFS exercises the backpressure path deterministically.
+  void inject_send_errno(int err, std::size_t count) {
+    inject_errno_ = err;
+    inject_count_ = count;
+  }
+
  private:
+  SendStatus send_raw(std::uint16_t dest_port,
+                      std::span<const std::uint8_t> bytes);
+  /// Pulls every readable datagram into pending_ (post-impairment).
+  /// Returns the number of raw datagrams read off the socket.
+  std::size_t drain_ready();
+  /// Pops pending_ until a datagram parses; nullopt when drained.
+  std::optional<fec::Packet> parse_pending();
+
   int fd_ = -1;
   std::uint16_t port_ = 0;
   std::shared_ptr<Impairment> impairment_;
-  std::deque<std::vector<std::uint8_t>> pending_;  // impaired, not yet parsed
+  std::deque<std::vector<std::uint8_t>> pending_;  // received, not yet parsed
+  TxTap tx_tap_;
+  int inject_errno_ = 0;
+  std::size_t inject_count_ = 0;
 };
 
 /// Emulated multicast group: fan-out over member ports.
@@ -77,9 +199,16 @@ class UdpGroup {
   }
 
   /// Replicates the packet to every member (optionally excluding one,
-  /// e.g. the NAK's own sender).
+  /// e.g. the NAK's own sender).  Serializes once and fans the same
+  /// bytes out as a single batch.
   void multicast(UdpSocket& from, const fec::Packet& packet,
                  std::optional<std::uint16_t> exclude = std::nullopt) const;
+
+  /// Fan-out of pre-framed wire bytes (the zero-copy send path: arena
+  /// frames written by TgEncoder::write_*_frame go straight here).
+  void multicast_frame(UdpSocket& from, std::span<const std::uint8_t> frame,
+                       std::optional<std::uint16_t> exclude =
+                           std::nullopt) const;
 
  private:
   std::vector<std::uint16_t> members_;

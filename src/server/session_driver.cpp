@@ -38,6 +38,12 @@ SenderSessionDriver::SenderSessionDriver(Reactor& reactor, net::UdpSocket socket
   for (const auto& tg : groups_)
     if (tg.size() != cfg_.k)
       throw std::invalid_argument("SenderSessionDriver: each TG needs k packets");
+  std::size_t max_payload = cfg_.packet_len;
+  for (const auto& g : groups_)
+    if (!g.empty()) max_payload = std::max(max_payload, g[0].size());
+  arena_ = std::make_unique<net::PacketArena>(
+      fec::wire_size(max_payload),
+      std::max({cfg_.k, cfg_.h, std::size_t{1}}));
 }
 
 SenderSessionDriver::~SenderSessionDriver() {
@@ -81,6 +87,17 @@ bool SenderSessionDriver::send_mc(fec::Packet packet) {
   packet.header.incarnation = static_cast<std::uint8_t>(cfg_.incarnation);
   group_.multicast(socket_, packet);
   return true;
+}
+
+void SenderSessionDriver::stage_frame(std::span<const std::uint8_t> frame) {
+  for (const std::uint16_t port : group_.members())
+    burst_.push_back({port, frame});
+}
+
+void SenderSessionDriver::flush_burst() {
+  if (!burst_.empty()) socket_.send_batch_blocking(burst_);
+  burst_.clear();
+  arena_->release_all();
 }
 
 std::size_t SenderSessionDriver::member_of(std::uint16_t port) const {
@@ -132,10 +149,23 @@ void SenderSessionDriver::begin_next_tg() {
   }
 
   encoder_.emplace(static_cast<std::uint32_t>(tg_), code_, groups_[tg_]);
+  // Zero-copy burst: frames written in place, one batch to the kernel.
+  // crash_after_sends ticks per logical packet BEFORE its frames are
+  // staged, clamping the burst at the same wire position the per-packet
+  // loop would have (see UdpNpSender::transfer).
   for (std::size_t j = 0; j < cfg_.k; ++j) {
-    if (!send_mc(encoder_->data_packet(j))) break;
+    if (sends_ >= cfg_.crash_after_sends) {
+      stats_.crashed = true;
+      break;
+    }
+    ++sends_;
+    const auto frame = arena_->acquire();
+    const std::size_t len = encoder_->write_data_frame(
+        j, static_cast<std::uint8_t>(cfg_.incarnation), frame->bytes);
+    stage_frame(frame->bytes.first(len));
     ++stats_.data_sent;
   }
+  flush_burst();
   if (stats_.crashed) {
     finish_session();
     return;
@@ -286,9 +316,20 @@ void SenderSessionDriver::after_window() {
   parities_used_ += l;
   if (cfg_.on_parities_sent) cfg_.on_parities_sent(tg_, parities_used_);
   for (std::size_t j = 0; j < l; ++j) {
-    if (!send_mc(encoder_->parity_packet(parities_used_ - l + j))) break;
+    if (stats_.crashed) break;
+    if (sends_ >= cfg_.crash_after_sends) {
+      stats_.crashed = true;
+      break;
+    }
+    ++sends_;
+    const auto frame = arena_->acquire();
+    const std::size_t len = encoder_->write_parity_frame(
+        parities_used_ - l + j, static_cast<std::uint8_t>(cfg_.incarnation),
+        frame->bytes);
+    stage_frame(frame->bytes.first(len));
     ++stats_.parity_sent;
   }
+  flush_burst();
   if (stats_.crashed) {
     finish_session();
     return;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fec/fec_block.hpp"
+#include "net/udp/packet_arena.hpp"
 #include "net/udp/udp_np.hpp"
 #include "server/reactor.hpp"
 
@@ -63,6 +64,10 @@ class SenderSessionDriver {
   void after_window();  // the post-collect decision logic
   void finish_session();
   bool send_mc(fec::Packet packet);
+  /// Fans a pre-framed DATA/PARITY frame out to every member as part of
+  /// the current burst (sent on flush_burst as one batch).
+  void stage_frame(std::span<const std::uint8_t> frame);
+  void flush_burst();
   void arm_window_timer(double window);
   void disarm_timer();
   bool confirmed() const;
@@ -87,6 +92,10 @@ class SenderSessionDriver {
   // Session-wide state (mirrors UdpNpSender::transfer locals).
   std::uint32_t round_id_ = 0;
   std::size_t sends_ = 0;
+  // Zero-copy burst path: DATA/PARITY frames are written in place into
+  // arena slabs and batched per burst (see UdpNpSender::transfer).
+  std::unique_ptr<net::PacketArena> arena_;
+  std::vector<net::FrameRef> burst_;
   std::vector<bool> evicted_;
   std::vector<std::size_t> silent_;
   std::vector<std::vector<bool>> delivered_;

@@ -1,5 +1,8 @@
 // Threaded loopback sessions of the UDP protocol-NP implementation:
 // real sockets, real codec, injected loss, end-to-end byte verification.
+// Every session suite is parameterized over the {batched, fallback} UDP
+// data planes — identical protocol outcomes are required on both (the
+// byte-level equivalence proof lives in test_udp_differential.cpp).
 #include "net/udp/udp_np.hpp"
 
 #include <gtest/gtest.h>
@@ -39,6 +42,30 @@ UdpNpConfig small_config() {
   return cfg;
 }
 
+class UdpNp : public ::testing::TestWithParam<UdpBackend> {
+ protected:
+  ScopedUdpBackendOverride backend_{GetParam()};
+};
+using UdpNpReliable = UdpNp;
+using UdpNpCrash = UdpNp;
+
+std::string backend_name(const ::testing::TestParamInfo<UdpBackend>& info) {
+  return to_string(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, UdpNp,
+                         ::testing::Values(UdpBackend::kBatched,
+                                           UdpBackend::kFallback),
+                         backend_name);
+INSTANTIATE_TEST_SUITE_P(Backends, UdpNpReliable,
+                         ::testing::Values(UdpBackend::kBatched,
+                                           UdpBackend::kFallback),
+                         backend_name);
+INSTANTIATE_TEST_SUITE_P(Backends, UdpNpCrash,
+                         ::testing::Values(UdpBackend::kBatched,
+                                           UdpBackend::kFallback),
+                         backend_name);
+
 struct Session {
   UdpNpSenderStats sender;
   std::vector<UdpNpReceiverResult> receivers;
@@ -77,7 +104,7 @@ Session run_session(const std::vector<TgBytes>& groups, std::size_t receivers,
   return session;
 }
 
-TEST(UdpNp, ValidatesConfiguration) {
+TEST_P(UdpNp, ValidatesConfiguration) {
   UdpNpConfig cfg = small_config();
   cfg.k = 200;
   cfg.h = 100;
@@ -87,7 +114,7 @@ TEST(UdpNp, ValidatesConfiguration) {
                std::invalid_argument);
 }
 
-TEST(UdpNp, LosslessTransferIsExactlyK) {
+TEST_P(UdpNp, LosslessTransferIsExactlyK) {
   const auto groups = random_groups(3, 6, 128, 1);
   const auto session = run_session(groups, 3, small_config(), 0.0);
   EXPECT_EQ(session.sender.data_sent, 18u);
@@ -100,7 +127,7 @@ TEST(UdpNp, LosslessTransferIsExactlyK) {
   }
 }
 
-TEST(UdpNp, RecoversFromInjectedLoss) {
+TEST_P(UdpNp, RecoversFromInjectedLoss) {
   const auto groups = random_groups(4, 6, 128, 2);
   const auto session = run_session(groups, 4, small_config(), 0.2);
   EXPECT_GT(session.sender.parity_sent, 0u);
@@ -112,7 +139,7 @@ TEST(UdpNp, RecoversFromInjectedLoss) {
   }
 }
 
-TEST(UdpNp, HeavyLossStillDelivers) {
+TEST_P(UdpNp, HeavyLossStillDelivers) {
   const auto groups = random_groups(2, 6, 64, 3);
   UdpNpConfig cfg = small_config();
   cfg.packet_len = 64;
@@ -123,7 +150,7 @@ TEST(UdpNp, HeavyLossStillDelivers) {
   }
 }
 
-TEST(UdpNp, FileTransferEndToEnd) {
+TEST_P(UdpNp, FileTransferEndToEnd) {
   // segment_blob -> UDP multicast -> reassemble_blob at each receiver.
   Rng rng(4);
   std::vector<std::uint8_t> blob(3000);
@@ -141,7 +168,7 @@ TEST(UdpNp, FileTransferEndToEnd) {
   }
 }
 
-TEST(UdpNp, ReceiverRejectsBadImpairmentConfig) {
+TEST_P(UdpNp, ReceiverRejectsBadImpairmentConfig) {
   ImpairmentConfig imp;
   imp.drop_prob = 1.5;
   EXPECT_THROW(
@@ -149,7 +176,7 @@ TEST(UdpNp, ReceiverRejectsBadImpairmentConfig) {
       std::invalid_argument);
 }
 
-TEST(UdpNp, DuplicationImpairedSessionCompletesExactlyOnce) {
+TEST_P(UdpNp, DuplicationImpairedSessionCompletesExactlyOnce) {
   // Duplication is the one fault that can hit control traffic harmlessly
   // (a duplicated POLL re-answers the same seq; the sender takes the max),
   // so completeness is still guaranteed and we can assert it.
@@ -166,7 +193,7 @@ TEST(UdpNp, DuplicationImpairedSessionCompletesExactlyOnce) {
   }
 }
 
-TEST(UdpNp, AdversarialImpairmentTerminatesAndStaysExact) {
+TEST_P(UdpNp, AdversarialImpairmentTerminatesAndStaysExact) {
   // Corruption/reordering on a real socket also hits POLLs, which the
   // protocol knowingly cannot always survive (the lossy-control
   // limitation), so completion is not guaranteed here — but the session
@@ -195,7 +222,7 @@ TEST(UdpNp, AdversarialImpairmentTerminatesAndStaysExact) {
   }
 }
 
-TEST(UdpNp, SenderRejectsWrongGroupShape) {
+TEST_P(UdpNp, SenderRejectsWrongGroupShape) {
   UdpSocket sock;
   UdpGroup group;
   UdpSocket rx;
@@ -223,7 +250,7 @@ UdpNpConfig reliable_config() {
   return cfg;
 }
 
-TEST(UdpNpReliable, CleanSessionConfirmsEveryTgPositively) {
+TEST_P(UdpNpReliable, CleanSessionConfirmsEveryTgPositively) {
   const auto groups = random_groups(3, 6, 128, 7);
   const auto session = run_session(groups, 3, reliable_config(), 0.0);
   EXPECT_TRUE(session.sender.report.complete)
@@ -238,7 +265,7 @@ TEST(UdpNpReliable, CleanSessionConfirmsEveryTgPositively) {
   }
 }
 
-TEST(UdpNpReliable, SurvivesControlLossExactlyOnce) {
+TEST_P(UdpNpReliable, SurvivesControlLossExactlyOnce) {
   // POLLs are dropped on the receivers' control path while data also
   // suffers injected loss: the retry layer must still deliver every TG
   // to every receiver exactly once, with no evictions.
@@ -259,7 +286,7 @@ TEST(UdpNpReliable, SurvivesControlLossExactlyOnce) {
   EXPECT_GT(control_dropped, 0u);
 }
 
-TEST(UdpNpReliable, CrashedReceiverIsEvictedOthersComplete) {
+TEST_P(UdpNpReliable, CrashedReceiverIsEvictedOthersComplete) {
   const auto groups = random_groups(2, 6, 64, 9);
   UdpNpConfig cfg = reliable_config();
   cfg.packet_len = 64;
@@ -303,7 +330,7 @@ TEST(UdpNpReliable, CrashedReceiverIsEvictedOthersComplete) {
   EXPECT_GT(stats.poll_retries, 0u);  // silence forced re-POLLs first
 }
 
-TEST(UdpNpReliable, EndReasonDistinguishesDrainFromStall) {
+TEST_P(UdpNpReliable, EndReasonDistinguishesDrainFromStall) {
   // No sender at all.  A receiver that already holds every TG (zero of
   // them) is just draining for the end marker: it must report
   // kDrainTimeout after drain_timeout, not the mid-session idle timeout.
@@ -322,7 +349,7 @@ TEST(UdpNpReliable, EndReasonDistinguishesDrainFromStall) {
 
 // --- Crash-tolerant sessions over real sockets -----------------------
 
-TEST(UdpNpCrash, SenderRestartResumesFromJournalAcrossLiveReceiver) {
+TEST_P(UdpNpCrash, SenderRestartResumesFromJournalAcrossLiveReceiver) {
   // The receiver thread genuinely survives the sender's death here: one
   // receiver runs across TWO sender lives.  Life 1 journals its progress
   // through core::SessionJournal and dies after 10 datagrams; life 2
@@ -398,7 +425,7 @@ TEST(UdpNpCrash, SenderRestartResumesFromJournalAcrossLiveReceiver) {
   EXPECT_EQ(result.end_reason, UdpNpEndReason::kEndOfSession);
 }
 
-TEST(UdpNpCrash, StaleIncarnationDatagramsAreRejected) {
+TEST_P(UdpNpCrash, StaleIncarnationDatagramsAreRejected) {
   // A receiver that has already heard incarnation 1 must drop everything
   // a sender stamped with incarnation 0 — including its end-of-session
   // marker, which must NOT end the run as a clean session.
