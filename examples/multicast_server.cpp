@@ -96,6 +96,23 @@ int main(int argc, char** argv) {
   const std::string journal_dir = cli.get_string("journal-dir", "");
   const std::string snapshot_dir = cli.get_string("snapshot-dir", "");
   const std::string csv_path = cli.get_string("csv", "");
+  // Overload hardening (docs/ROBUSTNESS.md): all knobs default off.
+  const double pace_rate = cli.get_double("pace-rate", 0.0);
+  const double pace_burst = cli.get_double("pace-burst", 16.0);
+  const double stall_timeout = cli.get_double("stall-timeout", 0.0);
+  const std::string shed_policy = cli.get_string("shed-policy", "defer");
+  const bool nak_suppression = cli.get_bool("nak-suppression", false);
+  const double nak_slot = cli.get_double("nak-slot", 0.0);
+  const int feedback_budget = cli.get_int("feedback-budget", 0);
+  const int quarantine_deficit = cli.get_int("quarantine-deficit", 0);
+  const double quarantine_quorum = cli.get_double("quarantine-quorum", 0.5);
+  const int catch_up_rounds = cli.get_int("catch-up-rounds", 4);
+  const int arena_frames = cli.get_int("arena-frames", 0);
+  // Resource-exhaustion fault injection: all off by default.
+  const int fault_send_every = cli.get_int("fault-send-every", 0);
+  const int fault_send_burst = cli.get_int("fault-send-burst", 4);
+  const int fault_journal_every = cli.get_int("fault-journal-every", 0);
+  const int fault_socket_nth = cli.get_int("fault-socket-nth", 0);
 
   if (cli.has("help")) {
     std::cout << cli.usage();
@@ -115,6 +132,29 @@ int main(int argc, char** argv) {
   cfg.np.retry.grace_rounds = static_cast<std::size_t>(grace_rounds);
   cfg.np.retry.max_retries = static_cast<std::size_t>(max_retries);
   cfg.np.retry.session_deadline = session_deadline;
+  cfg.np.overload.pace_rate = pace_rate;
+  cfg.np.overload.pace_burst = pace_burst;
+  cfg.np.overload.stall_timeout = stall_timeout;
+  if (shed_policy == "drop") {
+    cfg.np.overload.shed_policy = pbl::net::ShedPolicy::kDropNewestParity;
+  } else if (shed_policy == "refuse") {
+    cfg.np.overload.shed_policy = pbl::net::ShedPolicy::kRefuse;
+  } else if (shed_policy != "defer") {
+    std::cerr << "unknown --shed-policy (want defer|drop|refuse)\n";
+    return 2;
+  }
+  cfg.np.overload.nak_suppression = nak_suppression;
+  cfg.np.overload.nak_slot = nak_slot;
+  cfg.np.overload.feedback_budget = static_cast<std::size_t>(feedback_budget);
+  cfg.np.overload.quarantine_deficit =
+      static_cast<std::size_t>(quarantine_deficit);
+  cfg.np.overload.quarantine_quorum = quarantine_quorum;
+  cfg.np.overload.catch_up_rounds = static_cast<std::size_t>(catch_up_rounds);
+  cfg.np.arena_frames = static_cast<std::size_t>(arena_frames);
+  cfg.faults.send_eagain_every = static_cast<std::size_t>(fault_send_every);
+  cfg.faults.send_eagain_burst = static_cast<std::size_t>(fault_send_burst);
+  cfg.faults.journal_fail_every = static_cast<std::size_t>(fault_journal_every);
+  cfg.faults.socket_fail_nth = static_cast<std::size_t>(fault_socket_nth);
   cfg.journal_dir = journal_dir;
   cfg.snapshot_dir = snapshot_dir;
   cfg.csv_path = csv_path;
@@ -169,10 +209,12 @@ int main(int argc, char** argv) {
 
   const std::uint64_t redelivered = server.redelivered_prior_total();
   const std::uint64_t mismatches = server.payload_mismatches_total();
+  const auto& sm = server.server_metrics();
   std::printf(
       "multicast_server: backend=%s submitted=%zu resumed=%zu refused=%zu "
       "completed=%llu failed=%llu drained=%llu redelivered_prior=%llu "
-      "payload_mismatches=%llu\n",
+      "payload_mismatches=%llu would_block=%llu shed=%llu suppressed=%llu "
+      "quarantined=%llu faults=%llu\n",
       reactor.backend() == pbl::server::Reactor::Backend::kEpoll ? "epoll"
                                                                  : "poll",
       submitted, resumed, refused,
@@ -180,7 +222,14 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(server.failed_sessions()),
       static_cast<unsigned long long>(server.drained_sessions()),
       static_cast<unsigned long long>(redelivered),
-      static_cast<unsigned long long>(mismatches));
+      static_cast<unsigned long long>(mismatches),
+      static_cast<unsigned long long>(sm.counter("would_block_total")),
+      static_cast<unsigned long long>(sm.counter("total_shed_frames")),
+      static_cast<unsigned long long>(sm.counter("total_naks_suppressed")),
+      static_cast<unsigned long long>(sm.counter("total_members_quarantined")),
+      static_cast<unsigned long long>(sm.counter("fault_injected_send") +
+                                      sm.counter("fault_injected_journal") +
+                                      sm.counter("fault_injected_socket")));
 
   const bool ok =
       server.failed_sessions() == 0 && redelivered == 0 && mismatches == 0;

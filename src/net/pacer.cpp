@@ -1,0 +1,41 @@
+#include "net/pacer.hpp"
+
+#include <algorithm>
+
+namespace pbl::net {
+
+namespace {
+// Guards the float comparison at exactly the earliest() instant: after
+// sleeping (1 - tokens) / rate seconds the refill lands within an ulp of
+// one whole token, and the admit must not spin on the rounding error.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+Pacer::Pacer(double rate, double burst, double start)
+    : rate_(rate > 0.0 ? rate : 0.0),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)),
+      last_(start) {}
+
+double Pacer::available(double now) const noexcept {
+  if (!enabled()) return 1.0;
+  const double dt = std::max(0.0, now - last_);
+  return std::min(burst_, tokens_ + dt * rate_);
+}
+
+bool Pacer::ready(double now) const noexcept {
+  return !enabled() || available(now) + kSlack >= 1.0;
+}
+
+void Pacer::consume(double now) noexcept {
+  if (!enabled()) return;
+  tokens_ = available(now) - 1.0;
+  last_ = now;
+}
+
+double Pacer::earliest(double now) const noexcept {
+  if (ready(now)) return now;
+  return now + (1.0 - available(now)) / rate_;
+}
+
+}  // namespace pbl::net

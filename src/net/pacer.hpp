@@ -1,0 +1,47 @@
+// Deterministic token-bucket pacer for the overload-hardened send path
+// (docs/ROBUSTNESS.md).  Tokens accrue at `rate` per second up to a
+// `burst` ceiling; one token buys one logical packet send.  Time is
+// whatever the caller reads from its injected protocol::Clock — the
+// pacer never touches a real clock, so a ManualClock test replays the
+// exact same admit/deny schedule every run.
+//
+// A sender under kernel pushback degrades to the configured rate floor
+// instead of spinning: when ready() is false, earliest() is the precise
+// absolute time the next token lands, which the reactor drivers use as
+// their retry-timer deadline.
+#pragma once
+
+namespace pbl::net {
+
+class Pacer {
+ public:
+  /// Disabled pacer: always ready, consume() is a no-op.
+  Pacer() = default;
+  /// `rate` tokens per second, bucket capped at `burst` tokens (the
+  /// bucket starts full).  rate <= 0 constructs a disabled pacer.
+  Pacer(double rate, double burst, double start);
+
+  bool enabled() const noexcept { return rate_ > 0.0; }
+
+  /// True when at least one whole token is available at `now`.
+  bool ready(double now) const noexcept;
+
+  /// Takes one token (may drive the bucket transiently negative if the
+  /// caller ignored ready(); the debt is paid before the next admit).
+  void consume(double now) noexcept;
+
+  /// Absolute time at which ready() becomes true — `now` itself when a
+  /// token is already available.  Meaningless on a disabled pacer.
+  double earliest(double now) const noexcept;
+
+  /// Tokens available at `now` (capped at burst).
+  double available(double now) const noexcept;
+
+ private:
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  double last_ = 0.0;
+};
+
+}  // namespace pbl::net

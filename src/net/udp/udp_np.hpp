@@ -22,6 +22,7 @@
 
 #include "fec/rse_code.hpp"
 #include "net/impairment.hpp"
+#include "net/overload.hpp"
 #include "net/udp/udp_transport.hpp"
 #include "protocol/retry.hpp"
 #include "util/rng.hpp"
@@ -94,6 +95,19 @@ struct UdpNpConfig {
   std::function<void(std::size_t tg)> on_tg_completed;
   std::function<void(std::size_t tg, std::size_t parities_used)>
       on_parities_sent;
+
+  // ---- overload hardening (docs/ROBUSTNESS.md, "Overload") -------------
+
+  /// Pacing, load shedding, NAK suppression and quarantine knobs; every
+  /// field defaults to OFF (net/overload.hpp).  Honoured by the server's
+  /// event-driven drivers (src/server/session_driver.hpp) — the blocking
+  /// UdpNpSender/Receiver pair ignores it.
+  OverloadConfig overload{};
+  /// Sender packet-arena capacity in frames; 0 = max(k, h) (enough for
+  /// the largest burst).  Smaller values force arena exhaustion: the
+  /// driver then fills bursts in multiple arena generations, deferring
+  /// on its retry timer between them — same bytes, bounded memory.
+  std::size_t arena_frames = 0;
 };
 
 struct UdpNpSenderStats {
@@ -115,6 +129,14 @@ struct UdpNpSenderStats {
   // Crash-recovery accounting.
   bool crashed = false;              ///< crash_after_sends fired
   std::uint64_t tgs_skipped = 0;     ///< resumed TGs never retransmitted
+
+  // Overload accounting (all zero unless the matching knob is on; see
+  // net/overload.hpp).  Server drivers only.
+  std::uint64_t would_block = 0;       ///< kWouldBlock batch results seen
+  std::uint64_t arena_deferrals = 0;   ///< burst pauses on arena exhaustion
+  std::uint64_t shed_frames = 0;       ///< staged frames dropped by shedding
+  std::uint64_t naks_suppressed = 0;   ///< NAKs past the feedback budget
+  std::uint64_t members_quarantined = 0;  ///< members moved to catch-up
 };
 
 /// Blocking sender: transfers the groups, then multicasts an end-of-
@@ -159,6 +181,9 @@ struct UdpNpReceiverResult {
   std::uint64_t acks_sent = 0;     ///< reliable mode: positive poll answers
   std::uint64_t nak_retries = 0;   ///< reliable mode: NAK retransmissions
   std::uint64_t stale_rejected = 0;///< dead-incarnation packets dropped
+  /// Runtime NAK suppression (overload.nak_suppression): slotted NAKs
+  /// cancelled because repair arrived first.  Server drivers only.
+  std::uint64_t naks_suppressed = 0;
 };
 
 /// Blocking receiver: processes packets until the end-of-session marker

@@ -36,7 +36,11 @@ sockaddr_in loopback(std::uint16_t port) {
 }
 
 bool is_would_block(int err) noexcept {
-  return err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS;
+  // ENOBUFS/ENOMEM: the kernel could not take the datagram right now —
+  // for a lossy datagram protocol that is transient resource pressure,
+  // not a broken socket; the caller defers or treats the frame as loss.
+  return err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS ||
+         err == ENOMEM;
 }
 
 // Backend selection state.  -1 = no scoped override.  The environment
@@ -124,10 +128,17 @@ UdpSocket::UdpSocket(UdpSocket&& other) noexcept
     : fd_(other.fd_), port_(other.port_),
       impairment_(std::move(other.impairment_)),
       pending_(std::move(other.pending_)), tx_tap_(std::move(other.tx_tap_)),
-      inject_errno_(other.inject_errno_), inject_count_(other.inject_count_) {
+      inject_errno_(other.inject_errno_), inject_count_(other.inject_count_),
+      inject_every_errno_(other.inject_every_errno_),
+      inject_every_(other.inject_every_), inject_burst_(other.inject_burst_),
+      inject_burst_left_(other.inject_burst_left_),
+      attempted_sends_(other.attempted_sends_),
+      injected_failures_(other.injected_failures_) {
   other.fd_ = -1;
   other.port_ = 0;
   other.inject_count_ = 0;
+  other.inject_every_ = 0;
+  other.inject_burst_left_ = 0;
 }
 
 UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
@@ -140,11 +151,38 @@ UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
     tx_tap_ = std::move(other.tx_tap_);
     inject_errno_ = other.inject_errno_;
     inject_count_ = other.inject_count_;
+    inject_every_errno_ = other.inject_every_errno_;
+    inject_every_ = other.inject_every_;
+    inject_burst_ = other.inject_burst_;
+    inject_burst_left_ = other.inject_burst_left_;
+    attempted_sends_ = other.attempted_sends_;
+    injected_failures_ = other.injected_failures_;
     other.fd_ = -1;
     other.port_ = 0;
     other.inject_count_ = 0;
+    other.inject_every_ = 0;
+    other.inject_burst_left_ = 0;
   }
   return *this;
+}
+
+int UdpSocket::consume_injected_send() {
+  if (inject_count_ > 0) {
+    --inject_count_;
+    ++injected_failures_;
+    return inject_errno_;
+  }
+  if (inject_every_ > 0) {
+    ++attempted_sends_;
+    if (inject_burst_left_ == 0 && attempted_sends_ % inject_every_ == 0)
+      inject_burst_left_ = inject_burst_;
+    if (inject_burst_left_ > 0) {
+      --inject_burst_left_;
+      ++injected_failures_;
+      return inject_every_errno_;
+    }
+  }
+  return 0;
 }
 
 void UdpSocket::set_impairment(std::shared_ptr<Impairment> impairment) {
@@ -156,10 +194,9 @@ SendStatus UdpSocket::send_raw(std::uint16_t dest_port,
                                std::span<const std::uint8_t> bytes) {
   const sockaddr_in dest = loopback(dest_port);
   for (;;) {
-    if (inject_count_ > 0) {
-      --inject_count_;
-      if (is_would_block(inject_errno_)) return SendStatus::kWouldBlock;
-      throw std::system_error(inject_errno_, std::generic_category(),
+    if (const int inj = consume_injected_send()) {
+      if (is_would_block(inj)) return SendStatus::kWouldBlock;
+      throw std::system_error(inj, std::generic_category(),
                               "sendto (injected)");
     }
     const ssize_t sent =
@@ -212,9 +249,8 @@ BatchSendResult UdpSocket::send_batch(std::span<const FrameRef> frames) {
       }
       int n;
       for (;;) {
-        if (inject_count_ > 0) {
-          --inject_count_;
-          errno = inject_errno_;
+        if (const int inj = consume_injected_send()) {
+          errno = inj;
           n = -1;
         } else {
           n = ::sendmmsg(fd_, msgs, static_cast<unsigned>(chunk), 0);

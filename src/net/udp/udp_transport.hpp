@@ -168,9 +168,31 @@ class UdpSocket {
     inject_count_ = count;
   }
 
+  /// Fault-injection hook for sustained pushback: every `every`-th send
+  /// syscall attempt opens a window of `burst` consecutive failures with
+  /// errno = err (EAGAIN/ENOBUFS model a stalled socket, ENOMEM a
+  /// starved kernel — all treated as backpressure).  every == 0 disables.
+  /// Deterministic: keyed off the socket's own attempt counter.
+  void inject_send_errno_every(int err, std::size_t every,
+                               std::size_t burst) {
+    inject_every_errno_ = err;
+    inject_every_ = every;
+    inject_burst_ = burst == 0 ? 1 : burst;
+    inject_burst_left_ = 0;
+  }
+
+  /// Send attempts failed by either injection hook since construction —
+  /// the server folds this into the fault_injected_send metric.
+  std::uint64_t injected_send_failures() const noexcept {
+    return injected_failures_;
+  }
+
  private:
   SendStatus send_raw(std::uint16_t dest_port,
                       std::span<const std::uint8_t> bytes);
+  /// Injection gate shared by every send syscall site: returns the errno
+  /// this attempt must fail with, or 0 to let the real syscall run.
+  int consume_injected_send();
   /// Pulls every readable datagram into pending_ (post-impairment).
   /// Returns the number of raw datagrams read off the socket.
   std::size_t drain_ready();
@@ -184,6 +206,12 @@ class UdpSocket {
   TxTap tx_tap_;
   int inject_errno_ = 0;
   std::size_t inject_count_ = 0;
+  int inject_every_errno_ = 0;
+  std::size_t inject_every_ = 0;
+  std::size_t inject_burst_ = 0;
+  std::size_t inject_burst_left_ = 0;
+  std::uint64_t attempted_sends_ = 0;
+  std::uint64_t injected_failures_ = 0;
 };
 
 /// Emulated multicast group: fan-out over member ports.

@@ -129,6 +129,11 @@ struct PartialDeliveryReport {
   std::uint64_t poll_retries = 0; ///< sender re-POLLs after silent rounds
   std::uint64_t nak_retries = 0;  ///< receiver NAK retransmissions
 
+  // Overload outcomes (net/overload.hpp; zero/false on unhardened runs).
+  std::uint64_t shed_frames = 0;  ///< staged frames dropped under pushback
+  std::uint64_t quarantined = 0;  ///< members shifted to parity catch-up
+  bool overloaded = false;        ///< ShedPolicy::kRefuse ended the run
+
   /// Fraction of (receiver, unit) pairs delivered; 1.0 when complete.
   double completion_fraction() const noexcept;
 

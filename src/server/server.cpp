@@ -91,6 +91,22 @@ std::vector<obs::MetricDef> MulticastServer::server_metric_defs() {
        {}, {}},
       {"total_payload_mismatches", K::kCounter,
        "decoded TGs that failed end-to-end byte verification", {}, {}},
+      {"would_block_total", K::kCounter,
+       "kernel send-buffer pushbacks absorbed, all sessions", {}, {}},
+      {"total_arena_deferrals", K::kCounter,
+       "bursts deferred on packet-arena exhaustion, all sessions", {}, {}},
+      {"total_shed_frames", K::kCounter,
+       "frames shed under sustained overload, all sessions", {}, {}},
+      {"total_naks_suppressed", K::kCounter,
+       "NAKs suppressed (slotting or feedback budget), all sessions", {}, {}},
+      {"total_members_quarantined", K::kCounter,
+       "slow receivers moved to parity-only catch-up, all sessions", {}, {}},
+      {"fault_injected_send", K::kCounter,
+       "injected send-syscall failures absorbed, all sessions", {}, {}},
+      {"fault_injected_journal", K::kCounter,
+       "injected journal write failures absorbed, all sessions", {}, {}},
+      {"fault_injected_socket", K::kCounter,
+       "injected socket-creation failures (admissions refused)", {}, {}},
       {"sessions_active", K::kGauge, "sessions currently on the reactor", {},
        {}},
       {"fds_registered", K::kGauge, "descriptors registered with the reactor",
@@ -134,6 +150,16 @@ std::vector<obs::MetricDef> MulticastServer::session_metric_defs() {
        {}},
       {"tgs_exhausted", K::kCounter, "TGs whose parity budget ran out", {},
        {}},
+      {"would_block", K::kCounter,
+       "kernel send-buffer pushbacks absorbed by the sender", {}, {}},
+      {"arena_deferrals", K::kCounter,
+       "bursts deferred on packet-arena exhaustion", {}, {}},
+      {"shed_frames", K::kCounter, "frames shed under sustained overload", {},
+       {}},
+      {"naks_suppressed", K::kCounter,
+       "NAKs suppressed by slotting or the sender feedback budget", {}, {}},
+      {"members_quarantined", K::kCounter,
+       "slow receivers moved to parity-only catch-up", {}, {}},
       {"receiver_naks_sent", K::kCounter, "NAKs sent across all members", {},
        {}},
       {"receiver_nak_retries", K::kCounter,
@@ -264,16 +290,44 @@ bool MulticastServer::admit(SessionSpec spec, bool resuming) {
     np.on_parities_sent = [journal](std::size_t tg, std::size_t high_water) {
       journal->record_parities_sent(tg, high_water);
     };
+    if (cfg_.faults.journal_fail_every > 0)
+      s.journal->journal().inject_write_failure(cfg_.faults.journal_fail_every);
   }
 
-  net::UdpSocket sender_socket;  // ephemeral loopback port
-  const std::uint16_t sender_port = sender_socket.port();
+  // Socket creation can fail (fd limit) — for real or by injection.  An
+  // exhausted descriptor table refuses the admission; it never crashes
+  // the server or strands a half-built session.
+  auto make_socket = [this] {
+    ++sockets_created_;
+    if (cfg_.faults.socket_fail_nth > 0 &&
+        sockets_created_ == cfg_.faults.socket_fail_nth) {
+      ++fault_injected_socket_;
+      server_metrics_.inc("fault_injected_socket");
+      throw std::system_error(EMFILE, std::generic_category(),
+                              "socket (injected fd limit)");
+    }
+    return net::UdpSocket();  // ephemeral loopback port
+  };
+  std::optional<net::UdpSocket> sender_socket;
   std::vector<net::UdpSocket> receiver_sockets;
   net::UdpGroup group;
-  for (std::size_t r = 0; r < s.spec.receivers; ++r) {
-    receiver_sockets.emplace_back();
-    group.add_member(receiver_sockets.back().port());
+  try {
+    sender_socket.emplace(make_socket());
+    for (std::size_t r = 0; r < s.spec.receivers; ++r) {
+      receiver_sockets.push_back(make_socket());
+      group.add_member(receiver_sockets.back().port());
+    }
+  } catch (const std::system_error&) {
+    s.journal.reset();
+    if (!resuming) remove_session_files(s);  // fresh journal: nothing to keep
+    ++refused_;
+    server_metrics_.inc("sessions_refused");
+    return false;
   }
+  const std::uint16_t sender_port = sender_socket->port();
+  if (cfg_.faults.send_eagain_every > 0)
+    sender_socket->inject_send_errno_every(EAGAIN, cfg_.faults.send_eagain_every,
+                                           cfg_.faults.send_eagain_burst);
 
   for (std::size_t r = 0; r < s.spec.receivers; ++r) {
     ReceiverSessionDriver::Options opt;
@@ -295,7 +349,7 @@ bool MulticastServer::admit(SessionSpec spec, bool resuming) {
         }));
   }
   s.sender = std::make_unique<SenderSessionDriver>(
-      reactor_, std::move(sender_socket), std::move(group), np, s.spec.groups,
+      reactor_, std::move(*sender_socket), std::move(group), np, s.spec.groups,
       [this, id] {
         sessions_.at(id)->sender_finished = true;
         maybe_finish_session(id);
@@ -375,6 +429,15 @@ void MulticastServer::refresh_session_metrics(Session& s) {
     m.set_counter("tgs_skipped", st.tgs_skipped);
     m.set_counter("tgs_unconfirmed", st.tgs_unconfirmed);
     m.set_counter("tgs_exhausted", st.tgs_exhausted);
+    m.set_counter("would_block", st.would_block);
+    m.set_counter("arena_deferrals", st.arena_deferrals);
+    m.set_counter("shed_frames", st.shed_frames);
+    m.set_counter("members_quarantined", st.members_quarantined);
+  }
+  if (s.sender || !s.receivers.empty()) {
+    std::uint64_t supp = s.sender ? s.sender->stats().naks_suppressed : 0;
+    for (const auto& r : s.receivers) supp += r->result().naks_suppressed;
+    m.set_counter("naks_suppressed", supp);
   }
   if (!s.receivers.empty()) {
     std::uint64_t naks = 0, retries = 0, dups = 0, stale = 0, redeliv = 0,
@@ -421,10 +484,19 @@ void MulticastServer::refresh_server_metrics() {
                             static_cast<double>(reactor_.timer_count()));
   server_metrics_.set_gauge("uptime_seconds", reactor_.now() - started_at_);
   double journal_bytes = 0.0;
-  for (const auto& [id, s] : sessions_)
-    if (s->journal)
+  std::uint64_t fsend = fault_injected_send_;
+  std::uint64_t fjournal = fault_injected_journal_;
+  for (const auto& [id, s] : sessions_) {
+    if (s->journal) {
       journal_bytes += static_cast<double>(s->journal->journal().size_bytes());
+      fjournal += s->journal->journal().write_failures();
+    }
+    if (s->sender) fsend += s->sender->injected_send_failures();
+  }
   server_metrics_.set_gauge("journal_bytes_total", journal_bytes);
+  server_metrics_.set_counter("fault_injected_send", fsend);
+  server_metrics_.set_counter("fault_injected_journal", fjournal);
+  server_metrics_.set_counter("fault_injected_socket", fault_injected_socket_);
 }
 
 void MulticastServer::finalize_session(std::uint64_t id, bool drained) {
@@ -483,6 +555,17 @@ void MulticastServer::finalize_session(std::uint64_t id, bool drained) {
                       s.metrics.counter("redelivered_prior"));
   server_metrics_.inc("total_payload_mismatches",
                       s.metrics.counter("payload_mismatches"));
+  server_metrics_.inc("would_block_total", s.metrics.counter("would_block"));
+  server_metrics_.inc("total_arena_deferrals",
+                      s.metrics.counter("arena_deferrals"));
+  server_metrics_.inc("total_shed_frames", s.metrics.counter("shed_frames"));
+  server_metrics_.inc("total_naks_suppressed",
+                      s.metrics.counter("naks_suppressed"));
+  server_metrics_.inc("total_members_quarantined",
+                      s.metrics.counter("members_quarantined"));
+  if (s.sender) fault_injected_send_ += s.sender->injected_send_failures();
+  if (s.journal)
+    fault_injected_journal_ += s.journal->journal().write_failures();
   server_metrics_.observe("session_duration_seconds", duration);
   if (s.sender && s.sender->stats().tx_per_packet > 0.0)
     server_metrics_.observe("session_tx_per_packet",

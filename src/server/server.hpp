@@ -61,6 +61,21 @@ struct ServerConfig {
   std::size_t journal_checkpoint_interval = 16;
   /// util::JournalConfig::sync_every; 0 = OS-buffered (soak-friendly).
   std::size_t journal_sync_every = 0;
+  /// Deterministic resource-exhaustion fault injection, applied to every
+  /// admitted session (docs/ROBUSTNESS.md).  All zeros = no faults.
+  struct FaultPlan {
+    /// Every Nth send syscall on a session's sender socket fails with
+    /// EAGAIN for a burst of consecutive attempts (0 = off).
+    std::size_t send_eagain_every = 0;
+    std::size_t send_eagain_burst = 4;
+    /// Every Nth journal append fails ENOSPC-style, record lost but the
+    /// journal stays usable (0 = off).
+    std::size_t journal_fail_every = 0;
+    /// The Nth socket creation across the server's lifetime throws
+    /// (fd-limit simulation) — the admission is refused, not crashed
+    /// (0 = off, 1-based).
+    std::size_t socket_fail_nth = 0;
+  } faults{};
 };
 
 class MulticastServer {
@@ -177,6 +192,10 @@ class MulticastServer {
   std::uint64_t failed_ = 0;
   std::uint64_t drained_ = 0;
   std::uint64_t snapshot_seq_ = 0;
+  std::size_t sockets_created_ = 0;   ///< FaultPlan::socket_fail_nth counter
+  std::uint64_t fault_injected_socket_ = 0;
+  std::uint64_t fault_injected_send_ = 0;
+  std::uint64_t fault_injected_journal_ = 0;
   bool draining_ = false;
   bool stopped_ = false;
   bool drain_timer_armed_ = false;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "protocol/nak_suppression.hpp"
+
 namespace pbl::server {
 
 using protocol::Backoff;
@@ -41,13 +43,16 @@ SenderSessionDriver::SenderSessionDriver(Reactor& reactor, net::UdpSocket socket
   std::size_t max_payload = cfg_.packet_len;
   for (const auto& g : groups_)
     if (!g.empty()) max_payload = std::max(max_payload, g[0].size());
-  arena_ = std::make_unique<net::PacketArena>(
-      fec::wire_size(max_payload),
-      std::max({cfg_.k, cfg_.h, std::size_t{1}}));
+  const std::size_t frames =
+      cfg_.arena_frames > 0 ? cfg_.arena_frames
+                            : std::max({cfg_.k, cfg_.h, std::size_t{1}});
+  arena_ =
+      std::make_unique<net::PacketArena>(fec::wire_size(max_payload), frames);
 }
 
 SenderSessionDriver::~SenderSessionDriver() {
   disarm_timer();
+  disarm_flush_timer();
   if (fd_registered_) reactor_.remove_fd(socket_.fd());
 }
 
@@ -58,9 +63,18 @@ void SenderSessionDriver::start() {
   evicted_.assign(members.size(), false);
   silent_.assign(members.size(), 0);
   delivered_.assign(members.size(), std::vector<bool>(groups_.size(), false));
+  deficit_.assign(members.size(), 0);
+  quarantined_.assign(members.size(), false);
+  parity_high_.assign(groups_.size(), 0);
+  for (std::size_t i = 0;
+       i < cfg_.resume_parities.size() && i < groups_.size(); ++i)
+    parity_high_[i] =
+        std::min<std::size_t>(cfg_.resume_parities[i], cfg_.h);
   deadline_ = Deadline(clk_.now(), cfg_.reliable_control
                                        ? cfg_.retry.session_deadline
                                        : 0.0);
+  pacer_ = net::Pacer(cfg_.overload.pace_rate, cfg_.overload.pace_burst,
+                      clk_.now());
   reactor_.add_fd(socket_.fd(), [this] { on_readable(); });
   fd_registered_ = true;
   tg_ = 0;
@@ -71,6 +85,7 @@ void SenderSessionDriver::stop() {
   if (finished_ || stopped_) return;
   stopped_ = true;
   disarm_timer();
+  disarm_flush_timer();
   if (fd_registered_) {
     reactor_.remove_fd(socket_.fd());
     fd_registered_ = false;
@@ -85,19 +100,220 @@ bool SenderSessionDriver::send_mc(fec::Packet packet) {
   }
   ++sends_;
   packet.header.incarnation = static_cast<std::uint8_t>(cfg_.incarnation);
-  group_.multicast(socket_, packet);
+  // Best-effort control fan-out: a would-block tail is dropped rather
+  // than parking the reactor in a blocking socket wait — control loss is
+  // protocol-legal (re-POLL and NAK-retransmit machinery repairs it),
+  // while a blocking retry under sustained pushback would starve every
+  // other session on this thread.
+  const auto bytes = fec::serialize(packet);
+  std::vector<net::FrameRef> refs;
+  refs.reserve(group_.members().size());
+  for (const std::uint16_t port : group_.members())
+    refs.push_back({port, bytes});
+  if (socket_.send_batch(refs).status == net::SendStatus::kWouldBlock)
+    ++stats_.would_block;
+  return true;
+}
+
+bool SenderSessionDriver::send_to_targets(fec::Packet packet) {
+  if (stats_.crashed) return false;
+  if (sends_ >= cfg_.crash_after_sends) {
+    stats_.crashed = true;
+    return false;
+  }
+  ++sends_;
+  packet.header.incarnation = static_cast<std::uint8_t>(cfg_.incarnation);
+  const auto bytes = fec::serialize(packet);
+  std::vector<net::FrameRef> refs;
+  refs.reserve(cu_targets_.size());
+  const auto& members = group_.members();
+  for (const std::size_t m : cu_targets_) refs.push_back({members[m], bytes});
+  if (socket_.send_batch(refs).status == net::SendStatus::kWouldBlock)
+    ++stats_.would_block;
   return true;
 }
 
 void SenderSessionDriver::stage_frame(std::span<const std::uint8_t> frame) {
+  if (burst_phase_ == BurstPhase::kCatchUpParity) {
+    // Catch-up repair is unicast to the stragglers: the healthy group
+    // already holds this TG and must not pay for the laggards' loss.
+    const auto& members = group_.members();
+    for (const std::size_t m : cu_targets_)
+      burst_.push_back({members[m], frame});
+    return;
+  }
   for (const std::uint16_t port : group_.members())
     burst_.push_back({port, frame});
 }
 
-void SenderSessionDriver::flush_burst() {
-  if (!burst_.empty()) socket_.send_batch_blocking(burst_);
+void SenderSessionDriver::start_burst(BurstPhase phase, std::size_t count) {
+  burst_phase_ = phase;
+  stage_count_ = count;
+  stage_next_ = 0;
+  burst_sent_ = 0;
+  stall_since_ = -1.0;
   burst_.clear();
   arena_->release_all();
+  pump_burst();
+}
+
+void SenderSessionDriver::pump_burst() {
+  if (finished_ || stopped_ || burst_phase_ == BurstPhase::kNone) return;
+  const auto& ov = cfg_.overload;
+  for (;;) {
+    const double now = clk_.now();
+    bool arena_full = false;
+    bool pacer_blocked = false;
+    // Stage as many logical packets as the pacer and arena allow.  The
+    // crash counter ticks per logical packet before its frames stage,
+    // clamping the burst at the same wire position regardless of how
+    // many arena generations or pacer deferrals the burst spans.
+    while (stage_next_ < stage_count_) {
+      if (stats_.crashed) break;
+      if (sends_ >= cfg_.crash_after_sends) {
+        stats_.crashed = true;
+        break;
+      }
+      if (!pacer_.ready(now)) {
+        pacer_blocked = true;
+        break;
+      }
+      const auto frame = arena_->acquire();
+      if (!frame) {
+        arena_full = true;
+        ++stats_.arena_deferrals;
+        break;
+      }
+      ++sends_;
+      pacer_.consume(now);
+      const auto inc = static_cast<std::uint8_t>(cfg_.incarnation);
+      std::size_t len = 0;
+      if (burst_phase_ == BurstPhase::kData) {
+        len = encoder_->write_data_frame(stage_next_, inc, frame->bytes);
+        ++stats_.data_sent;
+      } else {
+        len = encoder_->write_parity_frame(parity_base_ + stage_next_, inc,
+                                           frame->bytes);
+        ++stats_.parity_sent;
+      }
+      stage_frame(frame->bytes.first(len));
+      ++stage_next_;
+    }
+
+    // Flush everything staged but unsent.  send_batch's prefix contract
+    // keeps the wire byte-identical however the burst is chopped.
+    if (burst_sent_ < burst_.size()) {
+      const auto r = socket_.send_batch(
+          std::span<const net::FrameRef>(burst_).subspan(burst_sent_));
+      burst_sent_ += r.sent;
+      if (r.status == net::SendStatus::kWouldBlock) {
+        ++stats_.would_block;
+        // Partial progress restarts the stall clock: shedding is for a
+        // socket that stopped draining, not one draining slowly.
+        if (r.sent > 0 || stall_since_ < 0.0) stall_since_ = now;
+        if (ov.stall_timeout > 0.0 &&
+            now - stall_since_ >= ov.stall_timeout) {
+          const bool parity_burst = burst_phase_ != BurstPhase::kData;
+          if (ov.shed_policy == net::ShedPolicy::kDropNewestParity &&
+              parity_burst) {
+            // Shed the unsent tail of the repair burst: the next NAK
+            // round re-requests whatever this drop cost.
+            stats_.shed_frames += burst_.size() - burst_sent_;
+            burst_sent_ = burst_.size();
+            stage_count_ = stage_next_;
+            stall_since_ = -1.0;
+            continue;
+          }
+          if (ov.shed_policy == net::ShedPolicy::kRefuse) {
+            stats_.shed_frames += burst_.size() - burst_sent_;
+            stats_.report.overloaded = true;
+            finish_session();
+            return;
+          }
+          // kDefer (and data bursts under kDropNewestParity): originals
+          // are never shed — keep waiting on the retry timer.
+        }
+        if (deadline_.expired(now)) {
+          stats_.report.deadline_expired = true;
+          finish_session();
+          return;
+        }
+        arm_flush_timer(now + ov.retry_interval);
+        return;
+      }
+      stall_since_ = -1.0;
+    }
+
+    // Everything staged so far is on the wire.
+    if (stage_next_ >= stage_count_ || stats_.crashed) {
+      on_burst_complete();
+      return;
+    }
+    if (arena_full) {
+      // The staged generation is fully flushed: recycle the arena and
+      // keep staging — a tiny arena costs extra kernel batches, never
+      // different bytes.
+      burst_.clear();
+      burst_sent_ = 0;
+      arena_->release_all();
+      continue;
+    }
+    if (pacer_blocked) {
+      if (deadline_.expired(now)) {
+        stats_.report.deadline_expired = true;
+        finish_session();
+        return;
+      }
+      arm_flush_timer(pacer_.earliest(now));
+      return;
+    }
+  }
+}
+
+void SenderSessionDriver::on_burst_complete() {
+  const BurstPhase phase = burst_phase_;
+  burst_phase_ = BurstPhase::kNone;
+  burst_.clear();
+  burst_sent_ = 0;
+  stage_next_ = 0;
+  stage_count_ = 0;
+  stall_since_ = -1.0;
+  arena_->release_all();
+  disarm_flush_timer();
+  if (stats_.crashed) {
+    finish_session();
+    return;
+  }
+  switch (phase) {
+    case BurstPhase::kData:
+      send_poll();
+      break;
+    case BurstPhase::kParity:
+      ++round_;
+      send_poll();
+      break;
+    case BurstPhase::kCatchUpParity:
+      ++cu_round_;
+      send_catch_up_poll();
+      break;
+    case BurstPhase::kNone:
+      break;
+  }
+}
+
+void SenderSessionDriver::arm_flush_timer(double when) {
+  if (flush_timer_armed_) reactor_.cancel_timer(flush_timer_);
+  flush_timer_ = reactor_.add_timer(when, [this] {
+    flush_timer_armed_ = false;
+    pump_burst();
+  });
+  flush_timer_armed_ = true;
+}
+
+void SenderSessionDriver::disarm_flush_timer() {
+  if (!flush_timer_armed_) return;
+  reactor_.cancel_timer(flush_timer_);
+  flush_timer_armed_ = false;
 }
 
 std::size_t SenderSessionDriver::member_of(std::uint16_t port) const {
@@ -108,9 +324,48 @@ std::size_t SenderSessionDriver::member_of(std::uint16_t port) const {
 }
 
 bool SenderSessionDriver::confirmed() const {
+  // Quarantined members no longer gate the round: their missing TGs are
+  // owed to them by the catch-up pass (or eviction), not by the group.
   for (std::size_t m = 0; m < group_.members().size(); ++m)
-    if (!evicted_[m] && !acked_[m]) return false;
+    if (!evicted_[m] && !quarantined_[m] && !acked_[m]) return false;
   return true;
+}
+
+bool SenderSessionDriver::tg_fully_delivered() const {
+  for (std::size_t m = 0; m < group_.members().size(); ++m)
+    if (quarantined_[m] && !evicted_[m] && !delivered_[m][tg_]) return false;
+  return true;
+}
+
+void SenderSessionDriver::complete_current_tg() {
+  if (cfg_.on_tg_completed) cfg_.on_tg_completed(tg_);
+  ++tgs_completed_;
+}
+
+void SenderSessionDriver::update_quarantine() {
+  const std::size_t need = cfg_.overload.quarantine_deficit;
+  if (need == 0 || catchup_) return;
+  const auto& members = group_.members();
+  std::size_t live = 0;
+  std::size_t acked = 0;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    if (evicted_[m] || quarantined_[m]) continue;
+    ++live;
+    if (acked_[m]) ++acked;
+  }
+  // Deficit accrues only against an acked quorum: when the whole group
+  // is struggling the problem is the sender/network, not a member.
+  if (live == 0 || acked >= live) return;
+  if (static_cast<double>(acked) + 1e-9 <
+      cfg_.overload.quarantine_quorum * static_cast<double>(live))
+    return;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    if (evicted_[m] || quarantined_[m] || acked_[m]) continue;
+    if (++deficit_[m] >= need) {
+      quarantined_[m] = true;
+      ++stats_.members_quarantined;
+    }
+  }
 }
 
 void SenderSessionDriver::arm_window_timer(double window) {
@@ -135,7 +390,7 @@ void SenderSessionDriver::begin_next_tg() {
     ++tg_;
   }
   if (tg_ >= groups_.size()) {
-    finish_session();
+    maybe_start_catch_up();
     return;
   }
   if (stats_.crashed) {
@@ -149,37 +404,19 @@ void SenderSessionDriver::begin_next_tg() {
   }
 
   encoder_.emplace(static_cast<std::uint32_t>(tg_), code_, groups_[tg_]);
-  // Zero-copy burst: frames written in place, one batch to the kernel.
-  // crash_after_sends ticks per logical packet BEFORE its frames are
-  // staged, clamping the burst at the same wire position the per-packet
-  // loop would have (see UdpNpSender::transfer).
-  for (std::size_t j = 0; j < cfg_.k; ++j) {
-    if (sends_ >= cfg_.crash_after_sends) {
-      stats_.crashed = true;
-      break;
-    }
-    ++sends_;
-    const auto frame = arena_->acquire();
-    const std::size_t len = encoder_->write_data_frame(
-        j, static_cast<std::uint8_t>(cfg_.incarnation), frame->bytes);
-    stage_frame(frame->bytes.first(len));
-    ++stats_.data_sent;
-  }
-  flush_burst();
-  if (stats_.crashed) {
-    finish_session();
-    return;
-  }
-
+  // Round state initialises BEFORE the data burst: the burst may now
+  // complete asynchronously (pacer, arena or kernel-pushback deferrals),
+  // and feedback racing in meanwhile must find per-member state sized.
   acked_.assign(group_.members().size(), false);
   heard_.assign(group_.members().size(), false);
   poll_backoff_.emplace(cfg_.retry, Rng(cfg_.seed).split(0x9100 + tg_));
-  parities_used_ = tg_ < cfg_.resume_parities.size()
-                       ? std::min<std::size_t>(cfg_.resume_parities[tg_], cfg_.h)
-                       : 0;
+  parities_used_ = parity_high_[tg_];
   window_pad_ = 0.0;
   round_ = 0;
-  send_poll();
+  // Zero-copy burst: frames written in place into arena slabs, batched
+  // to the kernel by the pump (see pump_burst for the crash-position
+  // and byte-identity invariants).
+  start_burst(BurstPhase::kData, cfg_.k);
 }
 
 void SenderSessionDriver::send_poll() {
@@ -202,6 +439,7 @@ void SenderSessionDriver::send_poll() {
   ++stats_.polls_sent;
 
   l_ = 0;
+  round_naks_ = 0;
   std::fill(heard_.begin(), heard_.end(), false);
   const double now = clk_.now();
   const double window =
@@ -219,13 +457,15 @@ void SenderSessionDriver::on_readable() {
     if (nak->header.type != fec::PacketType::kNak ||
         nak->header.tg != static_cast<std::uint32_t>(tg_))
       continue;
+    std::size_t m = group_.members().size();
     if (cfg_.reliable_control) {
-      const std::size_t m = member_of(nak->header.index);
+      m = member_of(nak->header.index);
       if (m < group_.members().size()) {
         heard_[m] = true;
         silent_[m] = 0;
         if (nak->header.count == 0) {
           ++stats_.acks_received;
+          deficit_[m] = 0;  // a serviced member is no longer lagging
           if (!acked_[m]) {
             acked_[m] = true;
             delivered_[m][tg_] = true;
@@ -234,6 +474,21 @@ void SenderSessionDriver::on_readable() {
       }
     }
     if (nak->header.count > 0 && nak->header.seq == round_id_) {
+      // A quarantined member's NAK is liveness, not demand: its missing
+      // TGs are owed by the catch-up pass, where its NAKs count again.
+      if (!catchup_ && m < group_.members().size() && quarantined_[m]) {
+        ++stats_.naks_suppressed;
+        continue;
+      }
+      // Per-round feedback budget (Section 3.3 implosion control): NAKs
+      // past the budget are dropped this round; the next round's POLL
+      // re-collects anyone still unserved.
+      if (cfg_.overload.feedback_budget > 0 &&
+          round_naks_ >= cfg_.overload.feedback_budget) {
+        ++stats_.naks_suppressed;
+        continue;
+      }
+      ++round_naks_;
       ++stats_.naks_received;
       l_ = std::max(l_, static_cast<std::size_t>(nak->header.count));
     }
@@ -244,34 +499,45 @@ void SenderSessionDriver::on_window_expired() {
   if (finished_ || stopped_) return;
   // Pull in any feedback that raced the timer into the socket buffer.
   on_readable();
-  after_window();
+  if (catchup_)
+    after_catch_up_window();
+  else
+    after_window();
 }
 
 void SenderSessionDriver::after_window() {
-  const auto complete_tg = [&] {
-    if (cfg_.on_tg_completed) cfg_.on_tg_completed(tg_);
-    ++tgs_completed_;
-  };
   const auto next_tg = [&] {
     ++tg_;
     begin_next_tg();
   };
+  // A confirmed round closes the TG, but its completion journals only
+  // once every quarantined live member holds it too — a journaled TG is
+  // never re-sent, so journaling early would silently strand the
+  // stragglers' copies (exactly-once).  Catch-up journals the rest.
+  const auto advance_confirmed = [&] {
+    if (tg_fully_delivered()) complete_current_tg();
+    next_tg();
+  };
 
   if (!cfg_.reliable_control) {
     if (l_ == 0) {
-      complete_tg();  // silence: all receivers reconstructed this TG
+      complete_current_tg();  // silence: all receivers reconstructed it
       next_tg();
       return;
     }
   } else {
     if (confirmed()) {
-      complete_tg();  // every live member positively acked
-      next_tg();
+      advance_confirmed();  // every live non-quarantined member acked
       return;
     }
     if (deadline_.expired(clk_.now())) {
       stats_.report.deadline_expired = true;
       finish_session();
+      return;
+    }
+    update_quarantine();
+    if (confirmed()) {
+      advance_confirmed();  // quarantining removed the last holdout
       return;
     }
     if (l_ == 0) {
@@ -285,8 +551,7 @@ void SenderSessionDriver::after_window() {
         }
       }
       if (confirmed()) {
-        complete_tg();
-        next_tg();
+        advance_confirmed();
         return;
       }
       if (poll_backoff_->exhausted()) {
@@ -314,28 +579,126 @@ void SenderSessionDriver::after_window() {
   // sent (wasteful, never wrong) — the reverse order could re-send
   // indices receivers already hold.
   parities_used_ += l;
+  parity_high_[tg_] = parities_used_;
   if (cfg_.on_parities_sent) cfg_.on_parities_sent(tg_, parities_used_);
-  for (std::size_t j = 0; j < l; ++j) {
-    if (stats_.crashed) break;
-    if (sends_ >= cfg_.crash_after_sends) {
-      stats_.crashed = true;
-      break;
+  parity_base_ = parities_used_ - l;
+  start_burst(BurstPhase::kParity, l);
+}
+
+// ---- slow-receiver catch-up (net/overload.hpp) ----------------------------
+//
+// After the main pass, each TG still owed to a live quarantined member is
+// served again: a unicast POLL to the stragglers, then parity-only repair
+// under the remaining per-TG budget, bounded by catch_up_rounds — the
+// late-join idea applied to members who fell behind instead of arriving
+// late.  A member still missing data when the budget ends is evicted, so
+// the session's outcome never waits on a stuck receiver.
+
+void SenderSessionDriver::maybe_start_catch_up() {
+  if (!catchup_) {
+    catchup_ = true;
+    cu_tgs_.clear();
+    for (std::size_t t = 0; t < groups_.size(); ++t) {
+      if (t < cfg_.resume_completed.size() && cfg_.resume_completed[t])
+        continue;
+      for (std::size_t m = 0; m < group_.members().size(); ++m) {
+        if (quarantined_[m] && !evicted_[m] && !delivered_[m][t]) {
+          cu_tgs_.push_back(t);
+          break;
+        }
+      }
     }
-    ++sends_;
-    const auto frame = arena_->acquire();
-    const std::size_t len = encoder_->write_parity_frame(
-        parities_used_ - l + j, static_cast<std::uint8_t>(cfg_.incarnation),
-        frame->bytes);
-    stage_frame(frame->bytes.first(len));
-    ++stats_.parity_sent;
+    cu_i_ = 0;
   }
-  flush_burst();
-  if (stats_.crashed) {
+  begin_catch_up_tg();
+}
+
+void SenderSessionDriver::begin_catch_up_tg() {
+  if (stats_.crashed || cu_i_ >= cu_tgs_.size()) {
     finish_session();
     return;
   }
-  ++round_;
-  send_poll();
+  if (deadline_.expired(clk_.now())) {
+    stats_.report.deadline_expired = true;
+    finish_session();
+    return;
+  }
+  tg_ = cu_tgs_[cu_i_];
+  encoder_.emplace(static_cast<std::uint32_t>(tg_), code_, groups_[tg_]);
+  parities_used_ = parity_high_[tg_];
+  acked_.assign(group_.members().size(), false);
+  heard_.assign(group_.members().size(), false);
+  cu_targets_.clear();
+  for (std::size_t m = 0; m < group_.members().size(); ++m)
+    if (quarantined_[m] && !evicted_[m] && !delivered_[m][tg_])
+      cu_targets_.push_back(m);
+  if (cu_targets_.empty()) {
+    // Served (or evicted) since the work list was built: safe to journal.
+    complete_current_tg();
+    ++cu_i_;
+    begin_catch_up_tg();
+    return;
+  }
+  cu_round_ = 0;
+  send_catch_up_poll();
+}
+
+void SenderSessionDriver::send_catch_up_poll() {
+  fec::Packet poll;
+  poll.header.type = fec::PacketType::kPoll;
+  poll.header.tg = static_cast<std::uint32_t>(tg_);
+  poll.header.k = static_cast<std::uint16_t>(cfg_.k);
+  poll.header.seq = ++round_id_;
+  if (!send_to_targets(poll)) {
+    finish_session();
+    return;
+  }
+  ++stats_.polls_sent;
+  l_ = 0;
+  round_naks_ = 0;
+  std::fill(heard_.begin(), heard_.end(), false);
+  arm_window_timer(std::min(cfg_.poll_window, deadline_.remaining(clk_.now())));
+}
+
+void SenderSessionDriver::after_catch_up_window() {
+  std::vector<std::size_t> remaining;
+  for (const std::size_t m : cu_targets_)
+    if (!evicted_[m] && !delivered_[m][tg_]) remaining.push_back(m);
+  cu_targets_ = std::move(remaining);
+  const auto close_tg = [&] {
+    complete_current_tg();
+    ++cu_i_;
+    begin_catch_up_tg();
+  };
+  if (cu_targets_.empty()) {
+    close_tg();
+    return;
+  }
+  if (deadline_.expired(clk_.now())) {
+    stats_.report.deadline_expired = true;
+    finish_session();
+    return;
+  }
+  const std::size_t budget_left = cfg_.h - parities_used_;
+  if (cu_round_ >= cfg_.overload.catch_up_rounds || budget_left == 0) {
+    // Budget spent: evict the stragglers via the liveness machinery so
+    // the group outcome stops waiting on them, then close the TG.
+    for (const std::size_t m : cu_targets_) {
+      evicted_[m] = true;
+      ++stats_.evictions;
+    }
+    cu_targets_.clear();
+    close_tg();
+    return;
+  }
+  // Serve at least one fresh parity per round even when the straggler's
+  // NAK was lost — parity is the only repair currency here.
+  std::size_t l = std::min(std::max<std::size_t>(l_, 1), budget_left);
+  parities_used_ += l;
+  parity_high_[tg_] = parities_used_;
+  if (cfg_.on_parities_sent) cfg_.on_parities_sent(tg_, parities_used_);
+  parity_base_ = parities_used_ - l;
+  start_burst(BurstPhase::kCatchUpParity, l);
 }
 
 void SenderSessionDriver::finish_session() {
@@ -360,15 +723,18 @@ void SenderSessionDriver::finish_session() {
     rep.evictions = stats_.evictions;
     rep.units_failed = stats_.tgs_exhausted + stats_.tgs_unconfirmed;
     rep.poll_retries = stats_.poll_retries;
-    rep.complete = !rep.deadline_expired && rep.evictions == 0 &&
-                   rep.units_failed == 0;
+    rep.shed_frames = stats_.shed_frames;
+    rep.quarantined = stats_.members_quarantined;
+    rep.complete = !rep.deadline_expired && !rep.overloaded &&
+                   rep.evictions == 0 && rep.units_failed == 0;
     if (rep.complete)
       for (const auto& row : rep.delivered)
         for (const bool b : row) rep.complete = rep.complete && b;
     // Resumed TGs were delivered by a prior life; their per-member rows
     // are vacuously incomplete this life, so exempt them.
-    if (!rep.complete && !rep.deadline_expired && rep.evictions == 0 &&
-        rep.units_failed == 0 && !cfg_.resume_completed.empty()) {
+    if (!rep.complete && !rep.deadline_expired && !rep.overloaded &&
+        rep.evictions == 0 && rep.units_failed == 0 &&
+        !cfg_.resume_completed.empty()) {
       bool all = true;
       for (const auto& row : rep.delivered)
         for (std::size_t i = 0; i < row.size(); ++i)
@@ -377,6 +743,8 @@ void SenderSessionDriver::finish_session() {
     }
   }
   disarm_timer();
+  disarm_flush_timer();
+  burst_phase_ = BurstPhase::kNone;
   if (fd_registered_) {
     reactor_.remove_fd(socket_.fd());
     fd_registered_ = false;
@@ -433,6 +801,7 @@ ReceiverSessionDriver::ReceiverSessionDriver(
     ++done_count_;
   }
   nak_backoffs_.resize(num_tgs_);
+  supp_rng_ = opt_.rng.split(0x510F);
   known_inc_ = static_cast<std::uint8_t>(
       std::max(cfg_.incarnation, opt_.resume_incarnation));
 }
@@ -522,6 +891,14 @@ void ReceiverSessionDriver::on_wake() {
     auto& bo = nak_backoffs_[nak_tg_];
     if (need == 0 || !bo || bo->exhausted()) {
       nak_pending_ = false;
+      nak_first_ = false;
+    } else if (nak_first_) {
+      // The suppression slot elapsed with no repair covering us: this IS
+      // the first send of the NAK, not a retransmission.
+      nak_first_ = false;
+      ++result_.naks_sent;
+      send_feedback(nak_tg_, need, nak_round_);
+      nak_retry_at_ = clk_.now() + cfg_.poll_window + bo->next();
     } else {
       ++result_.nak_retries;
       ++result_.naks_sent;
@@ -598,8 +975,16 @@ void ReceiverSessionDriver::handle_packet(const fec::Packet& packet) {
           ++result_.duplicates;
         return;
       }
-      // Repair traffic for the NAKed TG: the request was heard.
-      if (nak_pending_ && hdr.tg == nak_tg_) nak_pending_ = false;
+      // Repair traffic for the NAKed TG: the request was heard.  A NAK
+      // still sitting in its suppression slot is cancelled outright —
+      // another member's request covered ours (Section 5.1 damping).
+      if (nak_pending_ && hdr.tg == nak_tg_) {
+        if (nak_first_) {
+          ++result_.naks_suppressed;
+          nak_first_ = false;
+        }
+        nak_pending_ = false;
+      }
       accept_block_packet(packet);
       if (done_count_ >= cfg_.crash_after_tgs) {
         finish(net::UdpNpEndReason::kCrashed);
@@ -614,6 +999,28 @@ void ReceiverSessionDriver::handle_packet(const fec::Packet& packet) {
           send_feedback(hdr.tg, 0, hdr.seq);
           ++result_.acks_sent;
         }
+        break;
+      }
+      if (cfg_.overload.nak_suppression && cfg_.reliable_control) {
+        // Runtime slotting (Section 5.1): instead of answering the POLL
+        // instantly, draw a seeded slot delay keyed to how much we need
+        // — the needier answer sooner — and send only if no repair for
+        // this TG lands first.  The trailing reschedule() in
+        // on_readable folds nak_retry_at_ into the wake timer.
+        auto& bo = nak_backoffs_[hdr.tg];
+        if (!bo)
+          bo = std::make_unique<Backoff>(cfg_.retry,
+                                         opt_.rng.split(0x7000 + hdr.tg));
+        const double slot =
+            cfg_.overload.nak_slot > 0.0
+                ? cfg_.overload.nak_slot
+                : cfg_.poll_window / static_cast<double>(cfg_.k + 1);
+        nak_pending_ = true;
+        nak_first_ = true;
+        nak_tg_ = hdr.tg;
+        nak_round_ = hdr.seq;
+        nak_retry_at_ =
+            clk_.now() + protocol::nak_backoff(cfg_.k, l, slot, supp_rng_);
         break;
       }
       send_feedback(hdr.tg, l, hdr.seq);

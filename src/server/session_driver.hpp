@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fec/fec_block.hpp"
+#include "net/pacer.hpp"
 #include "net/udp/packet_arena.hpp"
 #include "net/udp/udp_np.hpp"
 #include "server/reactor.hpp"
@@ -55,8 +56,21 @@ class SenderSessionDriver {
   /// Index of the TG currently in repair (== num TGs when done).
   std::size_t current_tg() const noexcept { return tg_; }
   std::uint16_t port() const noexcept { return socket_.port(); }
+  /// The session socket, exposed so overload tests and the server's
+  /// fault plan can install send-errno injection on a live driver.
+  net::UdpSocket& socket() noexcept { return socket_; }
+  std::uint64_t injected_send_failures() const noexcept {
+    return socket_.injected_send_failures();
+  }
+  std::uint64_t arena_canary_violations() const noexcept {
+    return arena_->canary_violations();
+  }
 
  private:
+  /// What the in-flight burst carries — determines the frame writer, the
+  /// fan-out set, and what happens when the burst completes.
+  enum class BurstPhase { kNone, kData, kParity, kCatchUpParity };
+
   void on_readable();
   void on_window_expired();
   void begin_next_tg();
@@ -64,13 +78,35 @@ class SenderSessionDriver {
   void after_window();  // the post-collect decision logic
   void finish_session();
   bool send_mc(fec::Packet packet);
-  /// Fans a pre-framed DATA/PARITY frame out to every member as part of
-  /// the current burst (sent on flush_burst as one batch).
+  /// Best-effort unicast of a control packet to the catch-up targets.
+  bool send_to_targets(fec::Packet packet);
+  /// Fans a pre-framed DATA/PARITY frame out to the burst's destination
+  /// set (the whole group, or cu_targets_ during catch-up).
   void stage_frame(std::span<const std::uint8_t> frame);
-  void flush_burst();
+  /// Opens a resumable burst of `count` logical packets and pumps it.
+  void start_burst(BurstPhase phase, std::size_t count);
+  /// The burst engine: stages frames as the pacer and arena allow,
+  /// flushes them with non-blocking send_batch, and on pushback or
+  /// exhaustion defers itself on a reactor timer instead of blocking —
+  /// the reactor thread is never parked in a socket wait.
+  void pump_burst();
+  void on_burst_complete();
+  void arm_flush_timer(double when);
+  void disarm_flush_timer();
   void arm_window_timer(double window);
   void disarm_timer();
   bool confirmed() const;
+  /// True when every quarantined live member holds the current TG —
+  /// only then may its completion be journaled (exactly-once).
+  bool tg_fully_delivered() const;
+  void complete_current_tg();
+  /// Service-deficit accounting: once an acked quorum exists, laggards
+  /// accrue deficit and cross into quarantine at the configured bound.
+  void update_quarantine();
+  void maybe_start_catch_up();
+  void begin_catch_up_tg();
+  void send_catch_up_poll();
+  void after_catch_up_window();
   std::size_t member_of(std::uint16_t port) const;
 
   Reactor& reactor_;
@@ -113,6 +149,28 @@ class SenderSessionDriver {
   std::size_t l_ = 0;  ///< max NAK count collected this round
   Reactor::TimerId window_timer_ = 0;
   bool timer_armed_ = false;
+
+  // Resumable burst engine (pump_burst).
+  net::Pacer pacer_;
+  BurstPhase burst_phase_ = BurstPhase::kNone;
+  std::size_t stage_next_ = 0;    ///< next logical packet to stage
+  std::size_t stage_count_ = 0;   ///< logical packets in this burst
+  std::size_t burst_sent_ = 0;    ///< FrameRefs already on the wire
+  std::size_t parity_base_ = 0;   ///< first parity index of this burst
+  double stall_since_ = -1.0;     ///< when sustained pushback began
+  Reactor::TimerId flush_timer_ = 0;
+  bool flush_timer_armed_ = false;
+
+  // Quarantine and parity-only catch-up (net/overload.hpp).
+  std::vector<std::size_t> parity_high_;  ///< per-TG parity high-water
+  std::vector<std::size_t> deficit_;      ///< rounds behind an acked quorum
+  std::vector<bool> quarantined_;
+  std::size_t round_naks_ = 0;  ///< NAKs admitted this round (budget)
+  bool catchup_ = false;
+  std::vector<std::size_t> cu_tgs_;      ///< TGs a straggler still lacks
+  std::size_t cu_i_ = 0;
+  std::size_t cu_round_ = 0;
+  std::vector<std::size_t> cu_targets_;  ///< members served this catch-up TG
 };
 
 /// Non-blocking receiver endpoint: the counterpart of UdpNpReceiver,
@@ -210,6 +268,10 @@ class ReceiverSessionDriver {
   std::size_t done_count_ = 0;
   std::vector<std::unique_ptr<protocol::Backoff>> nak_backoffs_;
   bool nak_pending_ = false;
+  /// Suppression mode: the pending NAK has never been sent — it sits in
+  /// its slot delay and repair arriving first cancels it entirely.
+  bool nak_first_ = false;
+  Rng supp_rng_{1};  ///< seeds the suppression slot draws
   std::uint32_t nak_tg_ = 0;
   std::uint32_t nak_round_ = 0;
   double nak_retry_at_ = 0.0;

@@ -179,6 +179,10 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     crashed_ = other.crashed_;
     crash_at_append_ = other.crash_at_append_;
     crash_keep_bytes_ = other.crash_keep_bytes_;
+    fail_every_ = other.fail_every_;
+    fail_partial_bytes_ = other.fail_partial_bytes_;
+    attempted_appends_ = other.attempted_appends_;
+    write_failures_ = other.write_failures_;
   }
   return *this;
 }
@@ -199,6 +203,22 @@ bool Journal::append(std::uint32_t type,
     write_all(fd_, frame.data(), keep, path_);
     (void)::fsync(fd_);
     crashed_ = true;
+    return false;
+  }
+  if (fail_every_ > 0 && ++attempted_appends_ % fail_every_ == 0) {
+    // Injected ENOSPC-style failure: optionally land a short write, then
+    // truncate it back off so the log remains the same clean prefix a
+    // real short write would recover to.  The record is lost; the
+    // journal lives on.
+    const std::size_t partial = std::min(fail_partial_bytes_, frame.size());
+    if (partial > 0) {
+      write_all(fd_, frame.data(), partial, path_);
+      if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0)
+        throw_errno("ftruncate", path_);
+      if (::lseek(fd_, static_cast<off_t>(size_), SEEK_SET) < 0)
+        throw_errno("lseek", path_);
+    }
+    ++write_failures_;
     return false;
   }
   write_all(fd_, frame.data(), frame.size(), path_);
@@ -244,6 +264,12 @@ void Journal::sync() {
 void Journal::crash_on_append(std::uint64_t nth, std::size_t keep_bytes) {
   crash_at_append_ = appended_ + nth;
   crash_keep_bytes_ = keep_bytes;
+}
+
+void Journal::inject_write_failure(std::uint64_t every,
+                                   std::size_t partial_bytes) {
+  fail_every_ = every;
+  fail_partial_bytes_ = partial_bytes;
 }
 
 }  // namespace pbl::util

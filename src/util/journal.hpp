@@ -116,6 +116,19 @@ class Journal {
   void crash_on_append(std::uint64_t nth, std::size_t keep_bytes);
   bool crashed() const noexcept { return crashed_; }
 
+  // ---- recoverable write-failure injection ------------------------------
+  //
+  // Simulates a disk that intermittently refuses writes (ENOSPC-style):
+  // every `every`-th append FAILS — optionally after putting the first
+  // `partial_bytes` bytes of its frame on disk (a short write), which the
+  // injector immediately truncates back off so the on-disk log stays a
+  // clean prefix, exactly as the next open()'s torn-tail recovery would
+  // leave it.  Unlike crash_on_append the journal stays usable: the
+  // failed record is simply not persisted and later appends proceed.
+  // every == 0 disables.  Failures are counted in write_failures().
+  void inject_write_failure(std::uint64_t every, std::size_t partial_bytes = 0);
+  std::uint64_t write_failures() const noexcept { return write_failures_; }
+
  private:
   Journal() = default;
 
@@ -131,6 +144,11 @@ class Journal {
   bool crashed_ = false;
   std::uint64_t crash_at_append_ = ~std::uint64_t{0};
   std::size_t crash_keep_bytes_ = 0;
+
+  std::uint64_t fail_every_ = 0;
+  std::size_t fail_partial_bytes_ = 0;
+  std::uint64_t attempted_appends_ = 0;
+  std::uint64_t write_failures_ = 0;
 };
 
 }  // namespace pbl::util

@@ -221,6 +221,59 @@ TEST_F(JournalTest, CrashOnAppendLeavesRecoverableTornFrame) {
   }
 }
 
+TEST_F(JournalTest, InjectedWriteFailuresLoseOnlyTheFailedRecords) {
+  // ENOSPC-style injection: every 3rd append fails but — unlike
+  // crash_on_append — the journal stays USABLE.  The failed records are
+  // simply not persisted; everything accepted before and after them
+  // round-trips, and the failures are counted.
+  const auto path = temp_path();
+  const auto records = sample_records(10);
+  std::vector<JournalRecord> persisted;
+  {
+    Journal j = Journal::open(path, {.sync_every = 1});
+    j.inject_write_failure(/*every=*/3);
+    for (const auto& rec : records) {
+      if (j.append(rec.type, rec.payload)) persisted.push_back(rec);
+    }
+    EXPECT_FALSE(j.crashed());
+    EXPECT_EQ(j.write_failures(), 3u);  // appends 3, 6, 9 failed
+    EXPECT_EQ(persisted.size(), 7u);
+  }
+  Journal j = Journal::open(path, {.sync_every = 1});
+  EXPECT_FALSE(j.recovered_torn_tail());
+  ASSERT_EQ(j.recovered().size(), persisted.size());
+  for (std::size_t i = 0; i < persisted.size(); ++i)
+    EXPECT_EQ(j.recovered()[i], persisted[i]) << "record " << i;
+}
+
+TEST_F(JournalTest, InjectedShortWriteLeavesCleanPrefixOnDisk) {
+  // The harsher variant: the failing append lands `partial_bytes` of its
+  // frame before dying.  The injector must repair the file back to the
+  // clean prefix immediately — the NEXT append extends a well-formed
+  // log, and a reopen sees no torn tail at all.
+  const auto path = temp_path();
+  const auto records = sample_records(6);
+  for (std::size_t partial : {1u, 7u, 11u}) {
+    std::remove(path_.c_str());
+    std::vector<JournalRecord> persisted;
+    {
+      Journal j = Journal::open(path, {.sync_every = 1});
+      j.inject_write_failure(/*every=*/2, partial);
+      for (const auto& rec : records) {
+        if (j.append(rec.type, rec.payload)) persisted.push_back(rec);
+      }
+      EXPECT_EQ(j.write_failures(), 3u) << "partial=" << partial;
+    }
+    Journal j = Journal::open(path, {.sync_every = 1});
+    EXPECT_FALSE(j.recovered_torn_tail()) << "partial=" << partial;
+    ASSERT_EQ(j.recovered().size(), persisted.size())
+        << "partial=" << partial;
+    for (std::size_t i = 0; i < persisted.size(); ++i)
+      EXPECT_EQ(j.recovered()[i], persisted[i])
+          << "partial=" << partial << " record " << i;
+  }
+}
+
 TEST_F(JournalTest, RejectsOversizedRecords) {
   const auto path = temp_path();
   Journal j = Journal::open(path, {.sync_every = 0, .max_record_bytes = 16});

@@ -161,6 +161,39 @@ TEST(PacketArena, RandomInterleavingPreservesInvariants) {
   EXPECT_EQ(arena.canary_violations(), 0u);
 }
 
+TEST(PacketArena, ExhaustionRecoveryChurnStaysCleanAcrossGenerations) {
+  // The burst engine's overload pattern (src/server/session_driver.cpp):
+  // fill the arena to exhaustion, flush, release_all, refill — thousands
+  // of generations on a deliberately undersized slab.  Every generation
+  // must see virgin zero-filled frames, never an aliased or stale one,
+  // and the canary must stay silent throughout.
+  PacketArena arena(96, 2);  // smaller than any realistic burst
+  std::mt19937 rng(20260808);
+  for (int generation = 0; generation < 2000; ++generation) {
+    std::vector<PacketArena::Frame> batch;
+    while (auto f = arena.acquire()) {
+      ASSERT_TRUE(std::all_of(f->bytes.begin(), f->bytes.end(),
+                              [](std::uint8_t b) { return b == 0; }))
+          << "generation " << generation;
+      // Scribble a generation-unique pattern, as frame writers do.
+      std::memset(f->bytes.data(), static_cast<int>(generation & 0xFF),
+                  f->bytes.size());
+      batch.push_back(*f);
+    }
+    ASSERT_EQ(batch.size(), arena.capacity());  // exhaustion, not leakage
+    ASSERT_EQ(arena.live(), arena.capacity());
+    // Half the generations release frame-by-frame (the retry path), half
+    // in one sweep (the burst-complete path).
+    if (rng() % 2 == 0) {
+      for (const auto& f : batch) arena.release(f);
+    } else {
+      arena.release_all();
+    }
+    ASSERT_EQ(arena.live(), 0u);
+  }
+  EXPECT_EQ(arena.canary_violations(), 0u);
+}
+
 #ifdef PBL_TEST_ASAN
 // Under ASan a released frame is poisoned: any touch must abort with a
 // use-after-free report.  Death test keeps the abort out of this process.

@@ -246,6 +246,29 @@ TEST_F(ServerTest, SnapshotFilesAndCsvRows) {
   EXPECT_EQ(commas(header), commas(row));
 }
 
+TEST_F(ServerTest, ArenaExhaustionUnderLiveLoadShedsDefersRecovers) {
+  // A one-frame arena under a lossy multi-session load: every burst is
+  // forced through the exhaust→flush→recycle path while POLL/NAK rounds
+  // and journaling run concurrently on the reactor.  Delivery must stay
+  // complete and byte-perfect (end-to-end proof no recycled frame leaked
+  // stale bytes), with the deferrals visible in the schema'd counters.
+  Reactor reactor;
+  ServerConfig cfg = base_config();
+  cfg.np.arena_frames = 1;
+  MulticastServer server(reactor, cfg);
+  for (std::uint64_t id = 0; id < 4; ++id)
+    ASSERT_TRUE(server.submit(make_spec(id, 4, 0.25)));
+  reactor.run();
+
+  EXPECT_EQ(server.completed_sessions(), 4u);
+  EXPECT_EQ(server.failed_sessions(), 0u);
+  EXPECT_EQ(server.payload_mismatches_total(), 0u);
+  EXPECT_GT(server.server_metrics().counter("total_arena_deferrals"), 0u);
+  const std::string snap = server.snapshot_json();
+  EXPECT_NE(snap.find("\"arena_deferrals\""), std::string::npos);
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+}
+
 TEST(ServerSchema, CommittedSchemaFileMatchesCode) {
   // metrics-schema.json is generated from the def lists in server.cpp
   // (examples/multicast_server --print-schema > metrics-schema.json).

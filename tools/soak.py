@@ -49,7 +49,27 @@ SUMMARY_RE = re.compile(
     r"resumed=(?P<resumed>\d+) refused=(?P<refused>\d+) "
     r"completed=(?P<completed>\d+) failed=(?P<failed>\d+) "
     r"drained=(?P<drained>\d+) redelivered_prior=(?P<redelivered>\d+) "
-    r"payload_mismatches=(?P<mismatches>\d+)")
+    r"payload_mismatches=(?P<mismatches>\d+) "
+    r"would_block=(?P<would_block>\d+) shed=(?P<shed>\d+) "
+    r"suppressed=(?P<suppressed>\d+) quarantined=(?P<quarantined>\d+) "
+    r"faults=(?P<faults>\d+)")
+
+# The overload scenario rides the same exactly-once/byte-identity gates
+# as the plain soak, but with every delivery squeezed through bounded
+# resources: a one-frame packet arena, paced bursts, injected EAGAIN
+# storms and journal write failures, and runtime NAK suppression.  The
+# shed policy stays `defer` (lossless), so completions still must equal
+# submissions — overload slows delivery, it never corrupts it.
+OVERLOAD_FLAGS = [
+    "--arena-frames=1",
+    "--pace-rate=30000",
+    "--pace-burst=8",
+    "--fault-send-every=25",
+    "--fault-send-burst=3",
+    "--fault-journal-every=5",
+    "--nak-suppression=true",
+    "--feedback-budget=2",
+]
 
 
 def run_server(binary, flags, kill_after):
@@ -113,6 +133,12 @@ def main():
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--kill-after", type=float, default=0.0,
                     help="seconds before SIGTERM (0 = no chaos phase)")
+    ap.add_argument("--scenario", choices=["plain", "overload"],
+                    default="plain",
+                    help="'overload' adds bounded-resource stress "
+                         "(tiny arena, pacing, EAGAIN/journal fault "
+                         "injection, NAK suppression) and gates that the "
+                         "stress actually engaged")
     args = ap.parse_args()
 
     schema = validate_metrics.load_schema(args.schema)
@@ -132,6 +158,8 @@ def main():
         f"--snapshot-interval={args.snapshot_interval}",
         f"--seed={args.seed}", f"--journal-dir={jdir}",
     ]
+    if args.scenario == "overload":
+        common += OVERLOAD_FLAGS
 
     errors = []
     code1, run1 = run_server(args.binary, common + [f"--snapshot-dir={sdir1}"],
@@ -142,7 +170,9 @@ def main():
     print(f"run 1: {run1['completed']} completed, {run1['drained']} drained, "
           f"{len(journals)} journals on disk")
 
-    run2 = {"completed": 0, "failed": 0, "redelivered": 0, "mismatches": 0}
+    run2 = {"completed": 0, "failed": 0, "redelivered": 0, "mismatches": 0,
+            "would_block": 0, "shed": 0, "suppressed": 0, "quarantined": 0,
+            "faults": 0}
     if args.kill_after > 0:
         code2, run2 = run_server(
             args.binary,
@@ -173,6 +203,21 @@ def main():
         if run["mismatches"]:
             errors.append(f"{label}: {run['mismatches']} payload "
                           f"mismatch(es)")
+
+    if args.scenario == "overload":
+        stress = sum(run[k] for run in (run1, run2)
+                     for k in ("would_block", "suppressed", "faults"))
+        print(f"overload stress engaged: would_block="
+              f"{run1['would_block'] + run2['would_block']} suppressed="
+              f"{run1['suppressed'] + run2['suppressed']} faults="
+              f"{run1['faults'] + run2['faults']}")
+        if stress == 0:
+            errors.append("overload scenario: no stress counter moved — "
+                          "the injection knobs are not reaching the server")
+        shed = run1["shed"] + run2["shed"]
+        if shed:
+            errors.append(f"overload scenario: shed={shed} under the "
+                          f"lossless defer policy")
 
     for e in errors:
         print(f"  SOAK-FAIL {e}")

@@ -18,6 +18,12 @@ Usage:
 
 Directories among the operands are expanded to their ``*.json`` files.
 Exit status 1 with one line per problem if anything fails.
+
+``--require NAME`` (repeatable, comma-separable) additionally asserts
+that the schema itself declares the named metric — ``server.NAME`` or
+``session.NAME`` to pin the scope, bare ``NAME`` for either.  CI uses
+this as a drift gate: a counter the soak gates on cannot silently
+disappear from the schema.  With ``--require``, snapshots are optional.
 """
 
 import argparse
@@ -164,20 +170,41 @@ def expand(paths):
     return out
 
 
+def check_required(schema, required, errors):
+    server_names = {d["name"] for d in schema["server"]}
+    session_names = {d["name"] for d in schema["session"]}
+    for name in required:
+        if name.startswith("server."):
+            ok = name[len("server."):] in server_names
+        elif name.startswith("session."):
+            ok = name[len("session."):] in session_names
+        else:
+            ok = name in server_names or name in session_names
+        if not ok:
+            errors.append(f"--require: metric {name!r} not declared "
+                          f"in the schema")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--schema", required=True,
                     help="path to the committed metrics-schema.json")
-    ap.add_argument("snapshots", nargs="+",
+    ap.add_argument("--require", action="append", default=[],
+                    help="metric the schema must declare (server.NAME, "
+                         "session.NAME, or bare NAME for either scope); "
+                         "repeatable, comma-separable")
+    ap.add_argument("snapshots", nargs="*",
                     help="snapshot files (or directories of *.json)")
     args = ap.parse_args()
 
     schema = load_schema(args.schema)
+    required = [n for arg in args.require for n in arg.split(",") if n]
     files = expand(args.snapshots)
-    if not files:
+    if not files and not required:
         raise SystemExit("no snapshot files to validate")
 
     errors = []
+    check_required(schema, required, errors)
     for path in files:
         validate_snapshot(schema, load_json(path), path, errors)
 
@@ -187,7 +214,10 @@ def main():
         print(f"\nFAIL: {len(errors)} problem(s) across {len(files)} "
               f"snapshot(s)")
         return 1
-    print(f"OK: {len(files)} snapshot(s) conform to {schema['schema']} "
+    parts = [f"{len(files)} snapshot(s)"]
+    if required:
+        parts.append(f"{len(required)} required metric(s)")
+    print(f"OK: {' + '.join(parts)} conform to {schema['schema']} "
           f"v{schema['version']}")
     return 0
 
