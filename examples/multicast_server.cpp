@@ -113,6 +113,18 @@ int main(int argc, char** argv) {
   const int fault_send_burst = cli.get_int("fault-send-burst", 4);
   const int fault_journal_every = cli.get_int("fault-journal-every", 0);
   const int fault_socket_nth = cli.get_int("fault-socket-nth", 0);
+  // Hostile-peer hardening (docs/ROBUSTNESS.md): all knobs default off.
+  const bool guard = cli.get_bool("guard", false);
+  const bool guard_auth = cli.get_bool("guard-auth", false);
+  const double guard_rate = cli.get_double("guard-rate", 0.0);
+  const double guard_burst = cli.get_double("guard-burst", 16.0);
+  const int greylist_after = cli.get_int("greylist-after", 8);
+  const int ban_after = cli.get_int("ban-after", 24);
+  const double greylist_duration = cli.get_double("greylist-duration", 0.25);
+  const double ban_duration = cli.get_double("ban-duration", 5.0);
+  // Byzantine-receiver injection ("" = none; see net/adversary.hpp).
+  const std::string hostile = cli.get_string("hostile", "");
+  const double hostile_rate = cli.get_double("hostile-rate", 200.0);
 
   if (cli.has("help")) {
     std::cout << cli.usage();
@@ -151,6 +163,25 @@ int main(int argc, char** argv) {
   cfg.np.overload.quarantine_quorum = quarantine_quorum;
   cfg.np.overload.catch_up_rounds = static_cast<std::size_t>(catch_up_rounds);
   cfg.np.arena_frames = static_cast<std::size_t>(arena_frames);
+  cfg.np.guard.enabled = guard;
+  cfg.np.guard.auth = guard_auth;
+  cfg.np.guard.feedback_rate = guard_rate;
+  cfg.np.guard.feedback_burst = guard_burst;
+  cfg.np.guard.greylist_after = static_cast<std::size_t>(greylist_after);
+  cfg.np.guard.ban_after = static_cast<std::size_t>(ban_after);
+  cfg.np.guard.greylist_duration = greylist_duration;
+  cfg.np.guard.ban_duration = ban_duration;
+  if (!hostile.empty()) {
+    pbl::net::AdversaryProfile profile;
+    if (!pbl::net::parse_adversary_profile(hostile, profile)) {
+      std::cerr << "unknown --hostile profile (want storm|spoof|replay|"
+                   "garbage|false-completion)\n";
+      return 2;
+    }
+    cfg.hostile.enabled = true;
+    cfg.hostile.profile = hostile;
+    cfg.hostile.rate = hostile_rate;
+  }
   cfg.faults.send_eagain_every = static_cast<std::size_t>(fault_send_every);
   cfg.faults.send_eagain_burst = static_cast<std::size_t>(fault_send_burst);
   cfg.faults.journal_fail_every = static_cast<std::size_t>(fault_journal_every);
@@ -214,7 +245,7 @@ int main(int argc, char** argv) {
       "multicast_server: backend=%s submitted=%zu resumed=%zu refused=%zu "
       "completed=%llu failed=%llu drained=%llu redelivered_prior=%llu "
       "payload_mismatches=%llu would_block=%llu shed=%llu suppressed=%llu "
-      "quarantined=%llu faults=%llu\n",
+      "quarantined=%llu faults=%llu peer_rejected=%llu peer_banned=%llu\n",
       reactor.backend() == pbl::server::Reactor::Backend::kEpoll ? "epoll"
                                                                  : "poll",
       submitted, resumed, refused,
@@ -229,7 +260,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(sm.counter("total_members_quarantined")),
       static_cast<unsigned long long>(sm.counter("fault_injected_send") +
                                       sm.counter("fault_injected_journal") +
-                                      sm.counter("fault_injected_socket")));
+                                      sm.counter("fault_injected_socket")),
+      static_cast<unsigned long long>(sm.counter("total_peer_rejected")),
+      static_cast<unsigned long long>(sm.counter("total_peer_banned")));
 
   const bool ok =
       server.failed_sessions() == 0 && redelivered == 0 && mismatches == 0;

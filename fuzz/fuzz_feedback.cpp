@@ -1,0 +1,117 @@
+// Fuzz target: PeerGuard over arbitrary feedback streams.
+//
+// Contract under test (net/peer_guard.hpp): whatever arrives on the
+// sender's feedback socket — genuine member NAKs, spoofed identities,
+// replays, sealed-but-nonsense frames, raw noise — the guard (a) never
+// crashes, (b) never admits a frame from a non-member source, and
+// (c) keeps its decision counters closed-world:
+//
+//     accepted + rejected == checks
+//     rejected == unknown_source + bad_shape + addr_mismatch
+//               + auth_failed + replays + rate_limited
+//               + greylist_drops + ban_drops
+//
+// The input is a little driver program:
+//
+//   byte 0      flags: bit0 auth on, bit1 rate policing on,
+//               bit2 require_index_match off, bit3 reseal frames
+//               under the true member key (drives the accept/replay
+//               paths that random tags can never reach)
+//   then records: [src selector u8][time delta u8][len u8][len bytes]
+//
+// Each record's bytes go through fec::deserialize (whose own contract is
+// fuzz_packet's problem); parse rejects are skipped, parsed frames are
+// checked against the guard at a monotonically advancing clock — so one
+// input exercises strikes, greylist/ban escalation, ban expiry
+// readmission and the per-peer replay window in sequence.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "fec/packet.hpp"
+#include "net/peer_guard.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  const std::uint8_t flags = data[0];
+
+  const std::vector<std::uint16_t> members = {1000, 2000, 3000};
+  pbl::net::PeerGuardConfig gc;
+  gc.enabled = true;
+  gc.auth = (flags & 0x01) != 0;
+  gc.auth_key = 0x5EED5EED5EED5EEDull;
+  gc.feedback_rate = (flags & 0x02) ? 50.0 : 0.0;
+  gc.feedback_burst = 2.0;
+  gc.require_index_match = (flags & 0x04) == 0;
+  gc.greylist_after = 2;
+  gc.ban_after = 4;
+  gc.greylist_duration = 0.05;
+  gc.ban_duration = 0.5;
+  const bool reseal = (flags & 0x08) != 0;
+
+  double now = 0.0;
+  pbl::net::PeerGuard guard(gc, members, /*k=*/4, /*num_tgs=*/8, now);
+
+  std::uint64_t checks = 0;
+  std::size_t pos = 1;
+  std::uint32_t fbseq = 0;
+  while (pos + 3 <= size) {
+    const std::uint8_t sel = data[pos];
+    const std::uint8_t dt = data[pos + 1];
+    const std::size_t len = data[pos + 2];
+    pos += 3;
+    const std::size_t take = std::min(len, size - pos);
+    const std::span<const std::uint8_t> frame{data + pos, take};
+    pos += take;
+
+    // Selector covers every member port plus strangers on both sides.
+    static constexpr std::uint16_t kSources[] = {1000, 2000, 3000,
+                                                 999,  1001, 65535};
+    const std::uint16_t src = kSources[sel % 6];
+    now += static_cast<double>(dt) / 256.0;  // 0..~1s per record
+
+    pbl::fec::Packet packet;
+    try {
+      packet = pbl::fec::deserialize(frame);
+    } catch (const std::invalid_argument&) {
+      continue;  // unparseable datagrams never reach the guard
+    }
+    if (reseal && gc.auth) {
+      // Tag under the key the guard expects for this source, with a
+      // fresh fbseq — the only way fuzzed inputs ever pass auth, which
+      // is exactly the point: it exposes the post-auth paths (replay
+      // window, rate bucket, escalation) to coverage.
+      if (packet.payload.size() >= pbl::net::kAuthTrailerSize)
+        packet.payload.resize(packet.payload.size() -
+                              pbl::net::kAuthTrailerSize);
+      pbl::net::append_auth_trailer(
+          packet, pbl::net::derive_member_key(gc.auth_key, src), fbseq++);
+    }
+
+    const pbl::net::PeerVerdict verdict = guard.check(src, packet, now);
+    ++checks;
+    if (verdict == pbl::net::PeerVerdict::kAccept) {
+      // An accepted frame must come from an admitted member...
+      bool member = false;
+      for (const std::uint16_t m : members) member |= (m == src);
+      if (!member) __builtin_trap();
+      // ...and (with the identity cross-check on) claim its own port.
+      if (gc.require_index_match && packet.header.index != src)
+        __builtin_trap();
+    }
+  }
+
+  const pbl::net::PeerGuardStats& st = guard.stats();
+  if (st.accepted + st.rejected != checks) __builtin_trap();
+  const std::uint64_t causes = st.unknown_source + st.bad_shape +
+                               st.addr_mismatch + st.auth_failed +
+                               st.replays + st.rate_limited +
+                               st.greylist_drops + st.ban_drops;
+  if (st.rejected != causes) __builtin_trap();
+  // Escalation bookkeeping: you cannot leave a ban you never entered.
+  if (st.readmitted > st.banned) __builtin_trap();
+  return 0;
+}

@@ -154,9 +154,19 @@ UdpNpSenderStats UdpNpSender::transfer(const std::vector<TgBytes>& groups) {
           std::min(cfg_.poll_window + window_pad, deadline.remaining(t0));
       double remaining = window;
       while (remaining > 0.0) {
-        if (auto nak = socket_.receive(remaining)) {
+        if (auto dg = socket_.receive_from(remaining)) {
+          const auto* nak = &dg->packet;
           if (nak->header.type == fec::PacketType::kNak &&
               nak->header.tg == i) {
+            if (cfg_.reliable_control &&
+                nak->header.index != dg->src_port) {
+              // The member identity rides in header.index; a frame whose
+              // claim contradicts the kernel-reported source is spoofed
+              // (or smuggled) feedback and must not touch liveness state.
+              ++stats.feedback_addr_mismatch;
+              remaining = window - (clk.now() - t0);
+              continue;
+            }
             if (cfg_.reliable_control) {
               const std::size_t m = member_of(nak->header.index);
               if (m < members.size()) {

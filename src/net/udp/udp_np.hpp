@@ -23,6 +23,7 @@
 #include "fec/rse_code.hpp"
 #include "net/impairment.hpp"
 #include "net/overload.hpp"
+#include "net/peer_guard.hpp"
 #include "net/udp/udp_transport.hpp"
 #include "protocol/retry.hpp"
 #include "util/rng.hpp"
@@ -108,6 +109,14 @@ struct UdpNpConfig {
   /// driver then fills bursts in multiple arena generations, deferring
   /// on its retry timer between them — same bytes, bounded memory.
   std::size_t arena_frames = 0;
+
+  // ---- hostile-peer hardening (docs/ROBUSTNESS.md, "Hostile peers") ----
+
+  /// Feedback admission, keyed frame authentication and per-peer
+  /// policing; every field defaults to OFF (net/peer_guard.hpp).
+  /// Honoured by the server's event-driven drivers — the blocking pair
+  /// only applies the always-on feedback_addr_mismatch cross-check.
+  PeerGuardConfig guard{};
 };
 
 struct UdpNpSenderStats {
@@ -137,6 +146,14 @@ struct UdpNpSenderStats {
   std::uint64_t shed_frames = 0;       ///< staged frames dropped by shedding
   std::uint64_t naks_suppressed = 0;   ///< NAKs past the feedback budget
   std::uint64_t members_quarantined = 0;  ///< members moved to catch-up
+
+  // Hostile-peer accounting (net/peer_guard.hpp).
+  /// Feedback whose advertised member identity contradicted the
+  /// kernel-reported source port.  Counted with the guard OFF too — the
+  /// cross-check is always on wherever the source port is available.
+  std::uint64_t feedback_addr_mismatch = 0;
+  /// Guard decision counters (all zero unless guard.enabled).
+  PeerGuardStats guard{};
 };
 
 /// Blocking sender: transfers the groups, then multicasts an end-of-
@@ -184,6 +201,12 @@ struct UdpNpReceiverResult {
   /// Runtime NAK suppression (overload.nak_suppression): slotted NAKs
   /// cancelled because repair arrived first.  Server drivers only.
   std::uint64_t naks_suppressed = 0;
+
+  // Hostile-peer accounting (guard knobs on; server drivers only).
+  /// Datagrams dropped because they did not come from the sender's port.
+  std::uint64_t foreign_rejected = 0;
+  /// Control frames whose keyed trailer failed verification (guard.auth).
+  std::uint64_t auth_rejected = 0;
 };
 
 /// Blocking receiver: processes packets until the end-of-session marker

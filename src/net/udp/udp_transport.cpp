@@ -1,5 +1,7 @@
 #include "net/udp/udp_transport.hpp"
 
+#include "net/udp/frame_stream.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -26,6 +28,11 @@ namespace {
 constexpr std::size_t kTxChunk = 128;
 constexpr std::size_t kRxChunk = 16;
 constexpr std::size_t kMaxDatagram = 65536;
+// Malformed datagrams up to this size are run through FrameStreamDecoder
+// to salvage embedded valid frames.  The byte-by-byte resync scan is
+// O(size * frame) in the worst case, so a hostile peer flooding max-size
+// garbage must not buy that work: larger junk is just counted + dropped.
+constexpr std::size_t kSalvageLimit = 4096;
 
 sockaddr_in loopback(std::uint16_t port) {
   sockaddr_in addr{};
@@ -127,7 +134,9 @@ UdpSocket::~UdpSocket() {
 UdpSocket::UdpSocket(UdpSocket&& other) noexcept
     : fd_(other.fd_), port_(other.port_),
       impairment_(std::move(other.impairment_)),
-      pending_(std::move(other.pending_)), tx_tap_(std::move(other.tx_tap_)),
+      pending_(std::move(other.pending_)), parsed_(std::move(other.parsed_)),
+      frame_resyncs_(other.frame_resyncs_),
+      frames_skipped_(other.frames_skipped_), tx_tap_(std::move(other.tx_tap_)),
       inject_errno_(other.inject_errno_), inject_count_(other.inject_count_),
       inject_every_errno_(other.inject_every_errno_),
       inject_every_(other.inject_every_), inject_burst_(other.inject_burst_),
@@ -148,6 +157,9 @@ UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
     port_ = other.port_;
     impairment_ = std::move(other.impairment_);
     pending_ = std::move(other.pending_);
+    parsed_ = std::move(other.parsed_);
+    frame_resyncs_ = other.frame_resyncs_;
+    frames_skipped_ = other.frames_skipped_;
     tx_tap_ = std::move(other.tx_tap_);
     inject_errno_ = other.inject_errno_;
     inject_count_ = other.inject_count_;
@@ -188,6 +200,7 @@ int UdpSocket::consume_injected_send() {
 void UdpSocket::set_impairment(std::shared_ptr<Impairment> impairment) {
   impairment_ = std::move(impairment);
   pending_.clear();
+  parsed_.clear();
 }
 
 SendStatus UdpSocket::send_raw(std::uint16_t dest_port,
@@ -318,16 +331,20 @@ std::size_t UdpSocket::drain_ready() {
     struct RxScratch {
       std::vector<std::uint8_t> bufs =
           std::vector<std::uint8_t>(kRxChunk * kMaxDatagram);
+      sockaddr_in srcs[kRxChunk];
       iovec iovs[kRxChunk];
       mmsghdr msgs[kRxChunk];
     };
     thread_local RxScratch scratch;
     std::memset(scratch.msgs, 0, sizeof(scratch.msgs));
+    std::memset(scratch.srcs, 0, sizeof(scratch.srcs));
     for (std::size_t i = 0; i < kRxChunk; ++i) {
       scratch.iovs[i].iov_base = scratch.bufs.data() + i * kMaxDatagram;
       scratch.iovs[i].iov_len = kMaxDatagram;
       scratch.msgs[i].msg_hdr.msg_iov = &scratch.iovs[i];
       scratch.msgs[i].msg_hdr.msg_iovlen = 1;
+      scratch.msgs[i].msg_hdr.msg_name = &scratch.srcs[i];
+      scratch.msgs[i].msg_hdr.msg_namelen = sizeof(scratch.srcs[i]);
     }
     timespec no_wait{0, 0};
     int n;
@@ -339,45 +356,81 @@ std::size_t UdpSocket::drain_ready() {
       const std::span<const std::uint8_t> raw{
           static_cast<const std::uint8_t*>(scratch.iovs[i].iov_base),
           scratch.msgs[i].msg_len};
+      const std::uint16_t src = ntohs(scratch.srcs[i].sin_port);
       // Impairment is applied per datagram in kernel receive order —
       // exactly the order the fallback's one-at-a-time loop would see.
+      // Duplicates inherit the original datagram's source.
       if (impairment_) {
         for (auto& bytes : impairment_->apply_bytes(raw))
-          pending_.push_back(std::move(bytes));
+          pending_.push_back({src, std::move(bytes)});
       } else {
-        pending_.emplace_back(raw.begin(), raw.end());
+        pending_.push_back(
+            {src, std::vector<std::uint8_t>(raw.begin(), raw.end())});
       }
     }
     return static_cast<std::size_t>(n);
   }
 #endif
   std::uint8_t buf[kMaxDatagram];
-  const ssize_t got = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+  sockaddr_in src_addr{};
+  socklen_t src_len = sizeof(src_addr);
+  const ssize_t got =
+      ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT,
+                 reinterpret_cast<sockaddr*>(&src_addr), &src_len);
   if (got < 0) return 0;
   const std::span<const std::uint8_t> raw{buf, static_cast<std::size_t>(got)};
+  const std::uint16_t src = ntohs(src_addr.sin_port);
   if (impairment_) {
     for (auto& bytes : impairment_->apply_bytes(raw))
-      pending_.push_back(std::move(bytes));
+      pending_.push_back({src, std::move(bytes)});
   } else {
-    pending_.emplace_back(raw.begin(), raw.end());
+    pending_.push_back(
+        {src, std::vector<std::uint8_t>(raw.begin(), raw.end())});
   }
   return 1;
 }
 
-std::optional<fec::Packet> UdpSocket::parse_pending() {
-  while (!pending_.empty()) {
-    std::vector<std::uint8_t> bytes = std::move(pending_.front());
+std::optional<Datagram> UdpSocket::parse_pending() {
+  for (;;) {
+    // Frames salvaged from an earlier malformed datagram go first (they
+    // arrived before anything still sitting in pending_).
+    if (!parsed_.empty()) {
+      Datagram d = std::move(parsed_.front());
+      parsed_.pop_front();
+      return d;
+    }
+    if (pending_.empty()) return std::nullopt;
+    RawDatagram raw = std::move(pending_.front());
     pending_.pop_front();
     try {
-      return fec::deserialize(bytes);
+      return Datagram{raw.src_port, fec::deserialize(raw.bytes)};
     } catch (const std::invalid_argument&) {
-      // corrupted/truncated in flight: the parse turns it into loss
+      // Corrupted/truncated in flight — or hostile garbage.  Scan for
+      // embedded sealed frames (bounded; see kSalvageLimit) and surface
+      // the desync evidence through the frame_resyncs/frames_skipped
+      // counters either way.
+      if (raw.bytes.size() <= kSalvageLimit) {
+        FrameStreamDecoder dec;
+        dec.feed(raw.bytes);
+        frame_resyncs_ += dec.resyncs();
+        frames_skipped_ += dec.skipped_invalid();
+        auto salvaged = dec.take();
+        if (salvaged.empty()) ++frames_skipped_;
+        for (auto& p : salvaged)
+          parsed_.push_back({raw.src_port, std::move(p)});
+      } else {
+        ++frames_skipped_;
+      }
     }
   }
-  return std::nullopt;
 }
 
 std::optional<fec::Packet> UdpSocket::receive(double timeout_s) {
+  if (auto d = receive_from(timeout_s)) return std::move(d->packet);
+  return std::nullopt;
+}
+
+std::optional<Datagram> UdpSocket::receive_from(double timeout_s) {
   const auto start = std::chrono::steady_clock::now();
   bool polled = false;
   for (;;) {
@@ -416,7 +469,7 @@ std::size_t UdpSocket::receive_batch(std::vector<fec::Packet>& out,
     while (produced < max_packets) {
       auto p = parse_pending();
       if (!p) break;
-      out.push_back(std::move(*p));
+      out.push_back(std::move(p->packet));
       ++produced;
     }
   };

@@ -86,6 +86,15 @@ struct BatchSendResult {
   int last_errno = 0;  ///< errno that stopped the batch, 0 if none
 };
 
+/// A parsed packet together with the kernel-reported source port of the
+/// datagram that carried it.  On the loopback topology the source port
+/// IS the peer identity, so this is what feedback admission (PeerGuard,
+/// the feedback_addr_mismatch cross-check) keys on.
+struct Datagram {
+  std::uint16_t src_port = 0;
+  fec::Packet packet;
+};
+
 class UdpSocket {
  public:
   /// Observes every frame the socket actually hands to the kernel, in
@@ -113,7 +122,9 @@ class UdpSocket {
   /// True when received datagrams are queued for parsing: a receive(0)
   /// can return packets even if the descriptor is not readable, so
   /// event-driven callers must drain until both are empty.
-  bool has_pending() const noexcept { return !pending_.empty(); }
+  bool has_pending() const noexcept {
+    return !pending_.empty() || !parsed_.empty();
+  }
 
   /// Sends a packet to 127.0.0.1:dest_port.  Returns kWouldBlock on
   /// transient kernel pushback (EAGAIN/EWOULDBLOCK/ENOBUFS) instead of
@@ -141,6 +152,11 @@ class UdpSocket {
   /// keeps waiting for the rest of the timeout), so nullopt always means
   /// "nothing arrived", even under impairment.
   std::optional<fec::Packet> receive(double timeout_s);
+
+  /// receive() plus the datagram's kernel-reported source port — the
+  /// hostile-peer defenses key on where bytes actually came from, not on
+  /// what the header claims.  Same timeout/drop semantics as receive().
+  std::optional<Datagram> receive_from(double timeout_s);
 
   /// Batched receive: drains queued datagrams, then waits up to
   /// `timeout_s` for the socket once and pulls everything readable in a
@@ -187,6 +203,15 @@ class UdpSocket {
     return injected_failures_;
   }
 
+  /// Corruption-driven desync evidence from the receive path.  A
+  /// datagram that fails the whole-datagram parse is run through a
+  /// FrameStreamDecoder to salvage any embedded valid frames (a hostile
+  /// peer may concatenate garbage around a sealed frame); every one-byte
+  /// resynchronisation slide and every skipped frame is counted here and
+  /// surfaces in the session metrics as frame_resyncs/frames_skipped.
+  std::uint64_t frame_resyncs() const noexcept { return frame_resyncs_; }
+  std::uint64_t frames_skipped() const noexcept { return frames_skipped_; }
+
  private:
   SendStatus send_raw(std::uint16_t dest_port,
                       std::span<const std::uint8_t> bytes);
@@ -196,13 +221,23 @@ class UdpSocket {
   /// Pulls every readable datagram into pending_ (post-impairment).
   /// Returns the number of raw datagrams read off the socket.
   std::size_t drain_ready();
-  /// Pops pending_ until a datagram parses; nullopt when drained.
-  std::optional<fec::Packet> parse_pending();
+  /// Pops pending_ until a datagram parses (directly or salvaged via
+  /// FrameStreamDecoder); nullopt when drained.
+  std::optional<Datagram> parse_pending();
+
+  /// A received datagram awaiting parsing, tagged with its source port.
+  struct RawDatagram {
+    std::uint16_t src_port = 0;
+    std::vector<std::uint8_t> bytes;
+  };
 
   int fd_ = -1;
   std::uint16_t port_ = 0;
   std::shared_ptr<Impairment> impairment_;
-  std::deque<std::vector<std::uint8_t>> pending_;  // received, not yet parsed
+  std::deque<RawDatagram> pending_;  // received, not yet parsed
+  std::deque<Datagram> parsed_;      // salvaged frames awaiting delivery
+  std::uint64_t frame_resyncs_ = 0;
+  std::uint64_t frames_skipped_ = 0;
   TxTap tx_tap_;
   int inject_errno_ = 0;
   std::size_t inject_count_ = 0;

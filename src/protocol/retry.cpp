@@ -80,6 +80,7 @@ std::string PartialDeliveryReport::summary() const {
   if (overloaded) s += ", overloaded";
   if (evictions) s += ", " + std::to_string(evictions) + " evicted";
   if (quarantined) s += ", " + std::to_string(quarantined) + " quarantined";
+  if (expelled) s += ", " + std::to_string(expelled) + " expelled";
   if (shed_frames) s += ", " + std::to_string(shed_frames) + " frames shed";
   if (units_failed) s += ", " + std::to_string(units_failed) + " units failed";
   s += ", " + std::to_string(poll_retries) + " poll retries, " +

@@ -134,6 +134,12 @@ struct PartialDeliveryReport {
   std::uint64_t quarantined = 0;  ///< members shifted to parity catch-up
   bool overloaded = false;        ///< ShedPolicy::kRefuse ended the run
 
+  // Hostile-peer outcome (net/peer_guard.hpp; zero on unguarded runs).
+  /// Members banished for hostile behaviour (PeerGuard ban).  An
+  /// expelled member is exempt from the completeness requirement:
+  /// `complete` means every NON-expelled receiver delivered every unit.
+  std::uint64_t expelled = 0;
+
   /// Fraction of (receiver, unit) pairs delivered; 1.0 when complete.
   double completion_fraction() const noexcept;
 

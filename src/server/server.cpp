@@ -101,6 +101,22 @@ std::vector<obs::MetricDef> MulticastServer::server_metric_defs() {
        "NAKs suppressed (slotting or feedback budget), all sessions", {}, {}},
       {"total_members_quarantined", K::kCounter,
        "slow receivers moved to parity-only catch-up, all sessions", {}, {}},
+      {"total_peer_rejected", K::kCounter,
+       "hostile datagrams dropped before protocol state, all sessions",
+       {}, {}},
+      {"total_peer_greylisted", K::kCounter,
+       "peer greylist episodes, all sessions", {}, {}},
+      {"total_peer_banned", K::kCounter, "peer ban episodes, all sessions",
+       {}, {}},
+      {"total_feedback_addr_mismatch", K::kCounter,
+       "feedback whose claimed identity contradicted its source, all sessions",
+       {}, {}},
+      {"total_frame_resyncs", K::kCounter,
+       "byte-level resync slides while salvaging datagrams, all sessions",
+       {}, {}},
+      {"total_frames_skipped", K::kCounter,
+       "unparseable frames dropped on the receive path, all sessions",
+       {}, {}},
       {"fault_injected_send", K::kCounter,
        "injected send-syscall failures absorbed, all sessions", {}, {}},
       {"fault_injected_journal", K::kCounter,
@@ -160,6 +176,22 @@ std::vector<obs::MetricDef> MulticastServer::session_metric_defs() {
        "NAKs suppressed by slotting or the sender feedback budget", {}, {}},
       {"members_quarantined", K::kCounter,
        "slow receivers moved to parity-only catch-up", {}, {}},
+      {"peer_rejected", K::kCounter,
+       "hostile datagrams dropped before protocol state (guard rejections "
+       "plus receiver-side foreign-source and auth drops)", {}, {}},
+      {"peer_greylisted", K::kCounter,
+       "greylist episodes pronounced by the peer guard", {}, {}},
+      {"peer_banned", K::kCounter, "ban episodes pronounced by the peer guard",
+       {}, {}},
+      {"members_expelled", K::kCounter,
+       "banned members exempted from the completeness requirement", {}, {}},
+      {"feedback_addr_mismatch", K::kCounter,
+       "feedback whose claimed identity contradicted its kernel-reported "
+       "source", {}, {}},
+      {"frame_resyncs", K::kCounter,
+       "byte-level resync slides while salvaging malformed datagrams", {}, {}},
+      {"frames_skipped", K::kCounter,
+       "unparseable frames dropped on the receive path", {}, {}},
       {"receiver_naks_sent", K::kCounter, "NAKs sent across all members", {},
        {}},
       {"receiver_nak_retries", K::kCounter,
@@ -248,6 +280,11 @@ bool MulticastServer::admit(SessionSpec spec, bool resuming) {
 
   net::UdpNpConfig np = cfg_.np;
   np.seed = s.spec.seed;
+  // Session auth keys are minted at admission, deterministically from
+  // (seed, id): a resumed life derives the SAME key, so receivers that
+  // survived the crash keep verifying the new sender incarnation.
+  if (np.guard.auth && np.guard.auth_key == 0)
+    np.guard.auth_key = net::siphash24(s.spec.seed, id, {});
 
   // Crash tolerance: open (or recover) this session's write-ahead
   // journal before a single packet moves.  SessionJournal bumps and
@@ -325,6 +362,29 @@ bool MulticastServer::admit(SessionSpec spec, bool resuming) {
     return false;
   }
   const std::uint16_t sender_port = sender_socket->port();
+
+  // Byzantine injection: the adversary binds its own socket and joins
+  // the group as a full member — the sender multicasts to it, tracks it,
+  // and owes it completeness until the guard bans (expels) it.  It is
+  // NOT in `receivers`, so honest-side accounting is untouched.
+  if (cfg_.hostile.enabled) {
+    net::AdversaryConfig ac;
+    if (!net::parse_adversary_profile(cfg_.hostile.profile, ac.profile))
+      throw std::invalid_argument("MulticastServer: unknown hostile profile " +
+                                  cfg_.hostile.profile);
+    ac.sender_port = sender_port;
+    ac.victims = group.members();  // honest members only, joined so far
+    ac.rate = cfg_.hostile.rate;
+    ac.seed = s.spec.seed ^ (id * 0xAD5EC0DEull) ^ 0xBADF00Dull;
+    ac.k = np.k;
+    ac.num_tgs = num_tgs;
+    ac.auth = np.guard.auth;
+    ac.auth_key = np.guard.auth_key;
+    ac.incarnation = static_cast<std::uint8_t>(np.incarnation);
+    s.adversary = std::make_unique<net::AdversaryPeer>(std::move(ac));
+    group.add_member(s.adversary->port());
+  }
+
   if (cfg_.faults.send_eagain_every > 0)
     sender_socket->inject_send_errno_every(EAGAIN, cfg_.faults.send_eagain_every,
                                            cfg_.faults.send_eagain_burst);
@@ -372,6 +432,7 @@ bool MulticastServer::admit(SessionSpec spec, bool resuming) {
   Session& started = *sessions_.at(id);
   for (auto& r : started.receivers) r->start();
   started.sender->start();
+  if (started.adversary) started.adversary->start();
   return true;
 }
 
@@ -461,6 +522,31 @@ void MulticastServer::refresh_session_metrics(Session& s) {
     m.set_counter("payload_mismatches", mismatch);
     m.set_gauge("tgs_done_min", static_cast<double>(min_done));
   }
+  if (s.sender || !s.receivers.empty()) {
+    // Hostile-peer evidence combines the sender-side guard with the
+    // receiver-side source/auth drops; frame-desync counters span every
+    // socket in the session.
+    std::uint64_t foreign = 0, auth_rej = 0, resyncs = 0, skipped = 0;
+    for (const auto& r : s.receivers) {
+      foreign += r->result().foreign_rejected;
+      auth_rej += r->result().auth_rejected;
+      resyncs += r->frame_resyncs();
+      skipped += r->frames_skipped();
+    }
+    if (s.sender) {
+      const net::UdpNpSenderStats& st = s.sender->stats();
+      m.set_counter("peer_rejected", st.guard.rejected + foreign + auth_rej);
+      m.set_counter("peer_greylisted", st.guard.greylisted);
+      m.set_counter("peer_banned", st.guard.banned);
+      m.set_counter("members_expelled", st.report.expelled);
+      m.set_counter("feedback_addr_mismatch",
+                    st.feedback_addr_mismatch + st.guard.addr_mismatch);
+      resyncs += s.sender->frame_resyncs();
+      skipped += s.sender->frames_skipped();
+    }
+    m.set_counter("frame_resyncs", resyncs);
+    m.set_counter("frames_skipped", skipped);
+  }
   m.set_gauge("receivers_finished", static_cast<double>(s.receivers_finished));
   m.set_gauge("journal_bytes",
               s.journal ? static_cast<double>(s.journal->journal().size_bytes())
@@ -503,6 +589,8 @@ void MulticastServer::finalize_session(std::uint64_t id, bool drained) {
   const auto it = sessions_.find(id);
   if (it == sessions_.end() || it->second->finalized) return;
   Session& s = *it->second;
+  // The attack thread must stop before the sockets it aims at close.
+  if (s.adversary) s.adversary->stop();
   refresh_session_metrics(s);
   const double duration = reactor_.now() - s.started_at;
   s.metrics.set_gauge("duration_seconds", duration);
@@ -563,6 +651,17 @@ void MulticastServer::finalize_session(std::uint64_t id, bool drained) {
                       s.metrics.counter("naks_suppressed"));
   server_metrics_.inc("total_members_quarantined",
                       s.metrics.counter("members_quarantined"));
+  server_metrics_.inc("total_peer_rejected",
+                      s.metrics.counter("peer_rejected"));
+  server_metrics_.inc("total_peer_greylisted",
+                      s.metrics.counter("peer_greylisted"));
+  server_metrics_.inc("total_peer_banned", s.metrics.counter("peer_banned"));
+  server_metrics_.inc("total_feedback_addr_mismatch",
+                      s.metrics.counter("feedback_addr_mismatch"));
+  server_metrics_.inc("total_frame_resyncs",
+                      s.metrics.counter("frame_resyncs"));
+  server_metrics_.inc("total_frames_skipped",
+                      s.metrics.counter("frames_skipped"));
   if (s.sender) fault_injected_send_ += s.sender->injected_send_failures();
   if (s.journal)
     fault_injected_journal_ += s.journal->journal().write_failures();
@@ -587,6 +686,7 @@ void MulticastServer::finalize_session(std::uint64_t id, bool drained) {
   // journal closes too; its file stays only for drained sessions.
   s.sender.reset();
   s.receivers.clear();
+  s.adversary.reset();
   s.journal.reset();
   if (state != "drained") remove_session_files(s);
   s.finalized = true;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/session_state.hpp"
+#include "net/adversary.hpp"
 #include "net/udp/udp_np.hpp"
 #include "obs/metrics.hpp"
 #include "server/reactor.hpp"
@@ -76,6 +77,15 @@ struct ServerConfig {
     /// (0 = off, 1-based).
     std::size_t socket_fail_nth = 0;
   } faults{};
+  /// Byzantine-receiver injection: every admitted session gets one
+  /// AdversaryPeer joined to its group, attacking per the profile
+  /// (net/adversary.hpp).  Drives test_hostile and soak --scenario
+  /// hostile; the np.guard knobs are what the adversary is up against.
+  struct HostilePlan {
+    bool enabled = false;
+    std::string profile = "storm";  ///< parse_adversary_profile names
+    double rate = 200.0;            ///< attack frames per second
+  } hostile{};
 };
 
 class MulticastServer {
@@ -153,6 +163,9 @@ class MulticastServer {
     std::unique_ptr<core::SessionJournal> journal;
     std::unique_ptr<SenderSessionDriver> sender;
     std::vector<std::unique_ptr<ReceiverSessionDriver>> receivers;
+    /// The session's Byzantine member (ServerConfig::HostilePlan); its
+    /// port is in the group but it is NOT counted among `receivers`.
+    std::unique_ptr<net::AdversaryPeer> adversary;
     obs::MetricsRegistry metrics;
     double started_at = 0.0;
     bool resumed = false;

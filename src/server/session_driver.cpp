@@ -75,6 +75,17 @@ void SenderSessionDriver::start() {
                                        : 0.0);
   pacer_ = net::Pacer(cfg_.overload.pace_rate, cfg_.overload.pace_burst,
                       clk_.now());
+  expelled_.assign(members.size(), false);
+  if (cfg_.guard.enabled) {
+    auto gcfg = cfg_.guard;
+    // The member identity rides in header.index only on the reliable
+    // control plane; without it there is no claim to cross-check.
+    gcfg.require_index_match = cfg_.reliable_control;
+    guard_ = std::make_unique<net::PeerGuard>(gcfg, members, cfg_.k,
+                                              groups_.size(), clk_.now());
+  }
+  if (cfg_.guard.auth)
+    group_key_ = net::derive_group_key(cfg_.guard.auth_key);
   reactor_.add_fd(socket_.fd(), [this] { on_readable(); });
   fd_registered_ = true;
   tg_ = 0;
@@ -100,6 +111,12 @@ bool SenderSessionDriver::send_mc(fec::Packet packet) {
   }
   ++sends_;
   packet.header.incarnation = static_cast<std::uint8_t>(cfg_.incarnation);
+  // Authenticated control plane: POLLs (including the end marker) carry
+  // a group-keyed trailer so a hostile member cannot forge or replay
+  // them at honest receivers.  One key for the whole group keeps the
+  // fan-out bytes identical per member.
+  if (cfg_.guard.auth && packet.header.type == fec::PacketType::kPoll)
+    net::append_auth_trailer(packet, group_key_, ++ctl_seq_);
   // Best-effort control fan-out: a would-block tail is dropped rather
   // than parking the reactor in a blocking socket wait — control loss is
   // protocol-legal (re-POLL and NAK-retransmit machinery repairs it),
@@ -123,6 +140,8 @@ bool SenderSessionDriver::send_to_targets(fec::Packet packet) {
   }
   ++sends_;
   packet.header.incarnation = static_cast<std::uint8_t>(cfg_.incarnation);
+  if (cfg_.guard.auth && packet.header.type == fec::PacketType::kPoll)
+    net::append_auth_trailer(packet, group_key_, ++ctl_seq_);
   const auto bytes = fec::serialize(packet);
   std::vector<net::FrameRef> refs;
   refs.reserve(cu_targets_.size());
@@ -326,15 +345,30 @@ std::size_t SenderSessionDriver::member_of(std::uint16_t port) const {
 bool SenderSessionDriver::confirmed() const {
   // Quarantined members no longer gate the round: their missing TGs are
   // owed to them by the catch-up pass (or eviction), not by the group.
+  // Expelled (banned) members forfeited their claim entirely.
   for (std::size_t m = 0; m < group_.members().size(); ++m)
-    if (!evicted_[m] && !quarantined_[m] && !acked_[m]) return false;
+    if (!evicted_[m] && !quarantined_[m] && !expelled_[m] && !acked_[m])
+      return false;
   return true;
 }
 
 bool SenderSessionDriver::tg_fully_delivered() const {
   for (std::size_t m = 0; m < group_.members().size(); ++m)
-    if (quarantined_[m] && !evicted_[m] && !delivered_[m][tg_]) return false;
+    if (quarantined_[m] && !evicted_[m] && !expelled_[m] &&
+        !delivered_[m][tg_])
+      return false;
   return true;
+}
+
+void SenderSessionDriver::refresh_expulsions() {
+  if (!guard_) return;
+  // Expulsion is sticky: a ban ever pronounced exempts that member from
+  // the group's completeness requirement for the rest of the session,
+  // even if the ban itself later expires into readmission.  Without
+  // this, one Byzantine peer would hold every round open (or force
+  // eviction metrics that mask real failures).
+  for (std::size_t m = 0; m < group_.members().size(); ++m)
+    if (!expelled_[m] && guard_->ever_banned(m)) expelled_[m] = true;
 }
 
 void SenderSessionDriver::complete_current_tg() {
@@ -349,7 +383,7 @@ void SenderSessionDriver::update_quarantine() {
   std::size_t live = 0;
   std::size_t acked = 0;
   for (std::size_t m = 0; m < members.size(); ++m) {
-    if (evicted_[m] || quarantined_[m]) continue;
+    if (evicted_[m] || quarantined_[m] || expelled_[m]) continue;
     ++live;
     if (acked_[m]) ++acked;
   }
@@ -360,7 +394,7 @@ void SenderSessionDriver::update_quarantine() {
       cfg_.overload.quarantine_quorum * static_cast<double>(live))
     return;
   for (std::size_t m = 0; m < members.size(); ++m) {
-    if (evicted_[m] || quarantined_[m] || acked_[m]) continue;
+    if (evicted_[m] || quarantined_[m] || expelled_[m] || acked_[m]) continue;
     if (++deficit_[m] >= need) {
       quarantined_[m] = true;
       ++stats_.members_quarantined;
@@ -449,14 +483,33 @@ void SenderSessionDriver::send_poll() {
 
 void SenderSessionDriver::on_readable() {
   while (!finished_ && !stopped_) {
-    auto nak = socket_.receive(0.0);
-    if (!nak) {
+    auto dg = socket_.receive_from(0.0);
+    if (!dg) {
       if (!socket_.has_pending()) break;
+      continue;
+    }
+    const fec::Packet* nak = &dg->packet;
+    // Hostile-peer admission runs before ANY protocol state is touched:
+    // unknown sources, shape-invalid frames, identity spoofs, bad tags,
+    // replays and over-rate peers are counted and dropped here.
+    if (guard_ &&
+        guard_->check(dg->src_port, *nak, clk_.now()) !=
+            net::PeerVerdict::kAccept) {
+      stats_.guard = guard_->stats();
       continue;
     }
     if (nak->header.type != fec::PacketType::kNak ||
         nak->header.tg != static_cast<std::uint32_t>(tg_))
       continue;
+    // Even with the guard off, feedback whose claimed identity
+    // contradicts the kernel-reported source never reaches liveness
+    // state (the header.index port-smuggling fix).  With the guard on
+    // the same check already ran (and struck the peer) inside check().
+    if (cfg_.reliable_control && !guard_ &&
+        nak->header.index != dg->src_port) {
+      ++stats_.feedback_addr_mismatch;
+      continue;
+    }
     std::size_t m = group_.members().size();
     if (cfg_.reliable_control) {
       m = member_of(nak->header.index);
@@ -506,6 +559,7 @@ void SenderSessionDriver::on_window_expired() {
 }
 
 void SenderSessionDriver::after_window() {
+  refresh_expulsions();
   const auto next_tg = [&] {
     ++tg_;
     begin_next_tg();
@@ -543,8 +597,11 @@ void SenderSessionDriver::after_window() {
     if (l_ == 0) {
       // A totally unanswered round: age every unconfirmed member and
       // re-POLL with a widened window — unless the budget is spent.
+      // Expelled members are expected to be silent (their feedback is
+      // dropped at the guard); aging them would turn every ban into a
+      // spurious eviction and fail sessions the adversary cannot touch.
       for (std::size_t m = 0; m < group_.members().size(); ++m) {
-        if (evicted_[m] || acked_[m] || heard_[m]) continue;
+        if (evicted_[m] || expelled_[m] || acked_[m] || heard_[m]) continue;
         if (++silent_[m] >= cfg_.retry.grace_rounds) {
           evicted_[m] = true;
           ++stats_.evictions;
@@ -602,7 +659,8 @@ void SenderSessionDriver::maybe_start_catch_up() {
       if (t < cfg_.resume_completed.size() && cfg_.resume_completed[t])
         continue;
       for (std::size_t m = 0; m < group_.members().size(); ++m) {
-        if (quarantined_[m] && !evicted_[m] && !delivered_[m][t]) {
+        if (quarantined_[m] && !evicted_[m] && !expelled_[m] &&
+            !delivered_[m][t]) {
           cu_tgs_.push_back(t);
           break;
         }
@@ -630,7 +688,8 @@ void SenderSessionDriver::begin_catch_up_tg() {
   heard_.assign(group_.members().size(), false);
   cu_targets_.clear();
   for (std::size_t m = 0; m < group_.members().size(); ++m)
-    if (quarantined_[m] && !evicted_[m] && !delivered_[m][tg_])
+    if (quarantined_[m] && !evicted_[m] && !expelled_[m] &&
+        !delivered_[m][tg_])
       cu_targets_.push_back(m);
   if (cu_targets_.empty()) {
     // Served (or evicted) since the work list was built: safe to journal.
@@ -661,9 +720,11 @@ void SenderSessionDriver::send_catch_up_poll() {
 }
 
 void SenderSessionDriver::after_catch_up_window() {
+  refresh_expulsions();
   std::vector<std::size_t> remaining;
   for (const std::size_t m : cu_targets_)
-    if (!evicted_[m] && !delivered_[m][tg_]) remaining.push_back(m);
+    if (!evicted_[m] && !expelled_[m] && !delivered_[m][tg_])
+      remaining.push_back(m);
   cu_targets_ = std::move(remaining);
   const auto close_tg = [&] {
     complete_current_tg();
@@ -703,6 +764,8 @@ void SenderSessionDriver::after_catch_up_window() {
 
 void SenderSessionDriver::finish_session() {
   if (finished_) return;
+  refresh_expulsions();
+  if (guard_) stats_.guard = guard_->stats();
   if (!stats_.crashed) {
     // A crashed sender never says goodbye — the receivers' phase-aware
     // idle clocks (or its own next incarnation) must end their runs.
@@ -725,22 +788,22 @@ void SenderSessionDriver::finish_session() {
     rep.poll_retries = stats_.poll_retries;
     rep.shed_frames = stats_.shed_frames;
     rep.quarantined = stats_.members_quarantined;
+    for (const bool e : expelled_) rep.expelled += e ? 1 : 0;
+    // `complete` = every NON-expelled member delivered every unit, with
+    // two exemptions: TGs a prior life confirmed (their rows are
+    // vacuously incomplete this life), and members banished for hostile
+    // behaviour (they forfeited the group's delivery obligation).
     rep.complete = !rep.deadline_expired && !rep.overloaded &&
                    rep.evictions == 0 && rep.units_failed == 0;
     if (rep.complete)
-      for (const auto& row : rep.delivered)
-        for (const bool b : row) rep.complete = rep.complete && b;
-    // Resumed TGs were delivered by a prior life; their per-member rows
-    // are vacuously incomplete this life, so exempt them.
-    if (!rep.complete && !rep.deadline_expired && !rep.overloaded &&
-        rep.evictions == 0 && rep.units_failed == 0 &&
-        !cfg_.resume_completed.empty()) {
-      bool all = true;
-      for (const auto& row : rep.delivered)
+      for (std::size_t m = 0; m < rep.delivered.size(); ++m) {
+        if (m < expelled_.size() && expelled_[m]) continue;
+        const auto& row = rep.delivered[m];
         for (std::size_t i = 0; i < row.size(); ++i)
-          if (!row[i] && !cfg_.resume_completed[i]) all = false;
-      rep.complete = all;
-    }
+          if (!row[i] && !(i < cfg_.resume_completed.size() &&
+                           cfg_.resume_completed[i]))
+            rep.complete = false;
+      }
   }
   disarm_timer();
   disarm_flush_timer();
@@ -804,6 +867,13 @@ ReceiverSessionDriver::ReceiverSessionDriver(
   supp_rng_ = opt_.rng.split(0x510F);
   known_inc_ = static_cast<std::uint8_t>(
       std::max(cfg_.incarnation, opt_.resume_incarnation));
+  if (cfg_.guard.auth) {
+    // Feedback we send is tagged under OUR member key (the sender
+    // verifies it per-source); control we accept must carry the shared
+    // group key (one tag per POLL preserves the multicast fan-out).
+    member_key_ = net::derive_member_key(cfg_.guard.auth_key, socket_.port());
+    group_key_ = net::derive_group_key(cfg_.guard.auth_key);
+  }
 }
 
 ReceiverSessionDriver::~ReceiverSessionDriver() {
@@ -863,20 +933,32 @@ void ReceiverSessionDriver::send_feedback(std::uint32_t tg, std::size_t count,
   fb.header.count = static_cast<std::uint16_t>(count);
   fb.header.seq = seq;
   fb.header.incarnation = known_inc_;
-  // The sender's liveness tracking needs to know who spoke: receive()
-  // discards the source address, so the port rides in the header.
+  // The port rides in the header for the sender's liveness tracking;
+  // the kernel-reported source address must corroborate it (the guard —
+  // and the always-on driver cross-check — reject mismatches).
   if (cfg_.reliable_control) fb.header.index = socket_.port();
+  // Every send gets a FRESH feedback sequence, so honest retransmissions
+  // of the same NAK pass the sender's replay window while a verbatim
+  // capture-and-replay of old bytes does not.
+  if (cfg_.guard.auth) net::append_auth_trailer(fb, member_key_, fbseq_++);
   socket_.send_to(sender_port_, fb);
 }
 
 void ReceiverSessionDriver::on_readable() {
   while (!finished_) {
-    auto packet = socket_.receive(0.0);
-    if (!packet) {
+    auto dg = socket_.receive_from(0.0);
+    if (!dg) {
       if (!socket_.has_pending()) break;
       continue;
     }
-    handle_packet(*packet);
+    // Guarded receivers only listen to their sender: a peer injecting
+    // frames directly at members (fake end markers, garbage repair) is
+    // rejected on source address before any header field is believed.
+    if (cfg_.guard.enabled && dg->src_port != sender_port_) {
+      ++result_.foreign_rejected;
+      continue;
+    }
+    handle_packet(dg->packet);
   }
   if (!finished_) reschedule(idle_deadline());
 }
@@ -946,7 +1028,17 @@ void ReceiverSessionDriver::accept_block_packet(const fec::Packet& packet) {
 
 void ReceiverSessionDriver::handle_packet(const fec::Packet& packet) {
   const auto& hdr = packet.header;
-  // Stale-incarnation filtering comes first: a dead sender's straggler
+  // Authenticated control comes before EVERYTHING: an unverified POLL —
+  // including a forged or replayed end marker — must not advance
+  // known_inc_, refresh the idle clock, or end the session.  (DATA and
+  // PARITY ride the zero-copy arena path untagged; their integrity is
+  // covered end-to-end by the eager payload verification instead.)
+  if (cfg_.guard.auth && hdr.type == fec::PacketType::kPoll &&
+      !net::verify_auth_trailer(packet, group_key_)) {
+    ++result_.auth_rejected;
+    return;
+  }
+  // Stale-incarnation filtering comes next: a dead sender's straggler
   // must neither end the session (its end marker), repair anything, nor
   // count as liveness for the idle clock.
   if (hdr.incarnation < known_inc_) {

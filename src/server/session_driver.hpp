@@ -65,6 +65,13 @@ class SenderSessionDriver {
   std::uint64_t arena_canary_violations() const noexcept {
     return arena_->canary_violations();
   }
+  /// Receive-path desync evidence (see UdpSocket::frame_resyncs).
+  std::uint64_t frame_resyncs() const noexcept {
+    return socket_.frame_resyncs();
+  }
+  std::uint64_t frames_skipped() const noexcept {
+    return socket_.frames_skipped();
+  }
 
  private:
   /// What the in-flight burst carries — determines the frame writer, the
@@ -108,6 +115,9 @@ class SenderSessionDriver {
   void send_catch_up_poll();
   void after_catch_up_window();
   std::size_t member_of(std::uint16_t port) const;
+  /// Marks members the guard has banned as expelled (sticky) — the round
+  /// closer and the final report stop waiting for them.
+  void refresh_expulsions();
 
   Reactor& reactor_;
   net::UdpSocket socket_;
@@ -167,6 +177,12 @@ class SenderSessionDriver {
   std::vector<bool> quarantined_;
   std::size_t round_naks_ = 0;  ///< NAKs admitted this round (budget)
   bool catchup_ = false;
+
+  // Hostile-peer defense (net/peer_guard.hpp; null when guard off).
+  std::unique_ptr<net::PeerGuard> guard_;
+  std::vector<bool> expelled_;   ///< banned members, exempt from rounds
+  std::uint32_t ctl_seq_ = 0;    ///< nonce for authenticated POLL frames
+  std::uint64_t group_key_ = 0;  ///< sender->group control-frame key
   std::vector<std::size_t> cu_tgs_;      ///< TGs a straggler still lacks
   std::size_t cu_i_ = 0;
   std::size_t cu_round_ = 0;
@@ -232,6 +248,13 @@ class ReceiverSessionDriver {
   std::uint32_t incarnation_heard() const noexcept { return known_inc_; }
   std::size_t tgs_done() const noexcept { return done_count_; }
   std::uint16_t port() const noexcept { return socket_.port(); }
+  /// Receive-path desync evidence (see UdpSocket::frame_resyncs).
+  std::uint64_t frame_resyncs() const noexcept {
+    return socket_.frame_resyncs();
+  }
+  std::uint64_t frames_skipped() const noexcept {
+    return socket_.frames_skipped();
+  }
 
  private:
   void on_readable();
@@ -277,6 +300,10 @@ class ReceiverSessionDriver {
   double nak_retry_at_ = 0.0;
   std::uint8_t known_inc_ = 0;
   double last_rx_ = 0.0;
+  // Hostile-peer defense (guard knobs; zero-cost when off).
+  std::uint32_t fbseq_ = 0;      ///< monotone per-feedback anti-replay seq
+  std::uint64_t member_key_ = 0; ///< tags this member's feedback
+  std::uint64_t group_key_ = 0;  ///< verifies sender control frames
   Reactor::TimerId wake_timer_ = 0;
   bool timer_armed_ = false;
   double armed_at_ = 0.0;

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "fec/packet.hpp"
+#include "net/peer_guard.hpp"
 #include "util/rng.hpp"
 
 namespace pbl::server {
@@ -267,6 +269,134 @@ TEST_F(ServerTest, ArenaExhaustionUnderLiveLoadShedsDefersRecovers) {
   const std::string snap = server.snapshot_json();
   EXPECT_NE(snap.find("\"arena_deferrals\""), std::string::npos);
   EXPECT_TRUE(std::filesystem::is_empty(dir_));
+}
+
+TEST(PeerGuardTest, UnknownSourceRejectedBeforeProtocolState) {
+  // Rule 1 of the guard: a datagram whose kernel-reported source is not
+  // an admitted member is dropped and counted before anything looks at
+  // its contents — even a perfectly well-formed NAK.
+  net::PeerGuardConfig gc;
+  gc.enabled = true;
+  net::PeerGuard guard(gc, {1000, 2000}, /*k=*/4, /*num_tgs=*/8, /*now=*/0.0);
+
+  fec::Packet nak;
+  nak.header.type = fec::PacketType::kNak;
+  nak.header.tg = 0;
+  nak.header.count = 1;
+  nak.header.index = 3000;
+  EXPECT_EQ(guard.check(3000, nak, 0.0), net::PeerVerdict::kUnknownSource);
+  EXPECT_EQ(guard.stats().unknown_source, 1u);
+  EXPECT_EQ(guard.stats().rejected, 1u);
+  EXPECT_EQ(guard.stats().accepted, 0u);
+
+  // The same frame from an admitted member (claiming its own identity)
+  // sails through, and the stranger's noise struck nobody.
+  nak.header.index = 1000;
+  EXPECT_EQ(guard.check(1000, nak, 0.0), net::PeerVerdict::kAccept);
+  EXPECT_EQ(guard.stats().accepted, 1u);
+  EXPECT_FALSE(guard.ever_banned(0));
+  EXPECT_FALSE(guard.ever_banned(1));
+}
+
+TEST(PeerGuardTest, BannedPeerReadmittedAfterQuarantineExpiry) {
+  // Escalation is quarantine, not capital punishment: strikes climb to
+  // greylist then ban, the ban eats everything while live, and its
+  // expiry readmits the peer with a clean slate — but `ever_banned`
+  // stays sticky so the session report can exempt the member.
+  net::PeerGuardConfig gc;
+  gc.enabled = true;
+  gc.greylist_after = 2;
+  gc.ban_after = 3;
+  gc.greylist_duration = 0.1;
+  gc.ban_duration = 1.0;
+  net::PeerGuard guard(gc, {1000}, /*k=*/4, /*num_tgs=*/8, /*now=*/0.0);
+
+  fec::Packet bad;
+  bad.header.type = fec::PacketType::kNak;
+  bad.header.tg = 0;
+  bad.header.count = 99;  // demands more than k: shape-invalid, a strike
+  bad.header.index = 1000;
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(guard.check(1000, bad, 0.0), net::PeerVerdict::kBadShape);
+  EXPECT_EQ(guard.stats().banned, 1u);
+  EXPECT_TRUE(guard.is_banned(0, 0.5));
+  EXPECT_TRUE(guard.ever_banned(0));
+
+  // While banned, even a perfectly valid frame is eaten unconditionally.
+  fec::Packet good;
+  good.header.type = fec::PacketType::kNak;
+  good.header.tg = 0;
+  good.header.count = 1;
+  good.header.index = 1000;
+  EXPECT_EQ(guard.check(1000, good, 0.5), net::PeerVerdict::kBanned);
+  EXPECT_EQ(guard.stats().ban_drops, 1u);
+
+  // Past ban_duration the peer is lazily readmitted on its next frame.
+  EXPECT_EQ(guard.check(1000, good, 1.5), net::PeerVerdict::kAccept);
+  EXPECT_EQ(guard.stats().readmitted, 1u);
+  EXPECT_FALSE(guard.is_banned(0, 1.5));
+  EXPECT_TRUE(guard.ever_banned(0));  // sticky for the session report
+}
+
+TEST_F(ServerTest, ReplayedEndMarkerFromOldIncarnationRejected) {
+  // A receiver resumed at incarnation 2 must treat a replayed
+  // incarnation-0 end marker as a dead sender's straggler: counted as
+  // stale, session NOT ended — only the current incarnation's goodbye
+  // finishes the run.
+  Reactor reactor;
+  net::UdpNpConfig np;
+  np.k = 4;
+  np.h = 8;
+  np.packet_len = 32;
+  np.poll_window = 0.02;
+  np.reliable_control = true;
+  np.clock = &reactor.clock();
+
+  net::UdpSocket fake_sender;
+  const std::uint16_t sender_port = fake_sender.port();
+  net::UdpSocket rx_socket;
+  const std::uint16_t rx_port = rx_socket.port();
+
+  bool finished = false;
+  ReceiverSessionDriver::Options opt;
+  opt.idle_timeout = 5.0;
+  opt.resume_incarnation = 2;
+  ReceiverSessionDriver receiver(reactor, std::move(rx_socket), sender_port,
+                                 /*num_tgs=*/2, np, std::move(opt), [&] {
+                                   finished = true;
+                                   reactor.stop();
+                                 });
+  receiver.start();
+
+  const auto end_marker = [](std::uint32_t incarnation) {
+    fec::Packet end;
+    end.header.type = fec::PacketType::kPoll;
+    end.header.tg = net::kUdpEndOfSession;
+    end.header.incarnation = static_cast<std::uint8_t>(incarnation);
+    return end;
+  };
+  bool stale_survived = false;
+  reactor.add_timer(reactor.now() + 0.02, [&] {
+    for (int i = 0; i < 3; ++i) fake_sender.send_to(rx_port, end_marker(0));
+  });
+  reactor.add_timer(reactor.now() + 0.15, [&] {
+    stale_survived = !finished && receiver.result().stale_rejected > 0;
+    fake_sender.send_to(rx_port, end_marker(2));
+  });
+  bool wedged = false;
+  reactor.add_timer(reactor.now() + 10.0, [&] {
+    wedged = true;
+    reactor.stop();
+  });
+  reactor.run();
+
+  ASSERT_FALSE(wedged) << "current-incarnation end marker never landed";
+  EXPECT_TRUE(stale_survived)
+      << "a replayed incarnation-0 end marker ended the session (or was "
+         "not counted as stale): stale_rejected="
+      << receiver.result().stale_rejected;
+  EXPECT_TRUE(finished);
+  EXPECT_GE(receiver.result().stale_rejected, 3u);
 }
 
 TEST(ServerSchema, CommittedSchemaFileMatchesCode) {

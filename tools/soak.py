@@ -52,7 +52,8 @@ SUMMARY_RE = re.compile(
     r"payload_mismatches=(?P<mismatches>\d+) "
     r"would_block=(?P<would_block>\d+) shed=(?P<shed>\d+) "
     r"suppressed=(?P<suppressed>\d+) quarantined=(?P<quarantined>\d+) "
-    r"faults=(?P<faults>\d+)")
+    r"faults=(?P<faults>\d+) peer_rejected=(?P<peer_rejected>\d+) "
+    r"peer_banned=(?P<peer_banned>\d+)")
 
 # The overload scenario rides the same exactly-once/byte-identity gates
 # as the plain soak, but with every delivery squeezed through bounded
@@ -69,6 +70,23 @@ OVERLOAD_FLAGS = [
     "--fault-journal-every=5",
     "--nak-suppression=true",
     "--feedback-budget=2",
+]
+
+# The hostile scenario admits one Byzantine member per session (a NAK
+# storm at 5x the policing rate) with the full guard on: authenticated
+# feedback, per-peer token buckets, greylist->ban escalation.  The gates
+# require that every HONEST receiver still completes exactly-once AND
+# that the defenses demonstrably engaged (peers rejected and banned) —
+# a run where the adversary was never heard proves nothing.
+HOSTILE_FLAGS = [
+    "--guard=true",
+    "--guard-auth=true",
+    "--guard-rate=60",
+    "--guard-burst=2",
+    "--greylist-after=2",
+    "--ban-after=6",
+    "--hostile=storm",
+    "--hostile-rate=300",
 ]
 
 
@@ -133,12 +151,16 @@ def main():
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--kill-after", type=float, default=0.0,
                     help="seconds before SIGTERM (0 = no chaos phase)")
-    ap.add_argument("--scenario", choices=["plain", "overload"],
+    ap.add_argument("--scenario", choices=["plain", "overload", "hostile"],
                     default="plain",
                     help="'overload' adds bounded-resource stress "
                          "(tiny arena, pacing, EAGAIN/journal fault "
                          "injection, NAK suppression) and gates that the "
-                         "stress actually engaged")
+                         "stress actually engaged; 'hostile' joins one "
+                         "Byzantine NAK-storming member per session under "
+                         "the full peer guard and gates that peers were "
+                         "rejected AND banned while honest sessions still "
+                         "completed exactly-once")
     args = ap.parse_args()
 
     schema = validate_metrics.load_schema(args.schema)
@@ -160,6 +182,8 @@ def main():
     ]
     if args.scenario == "overload":
         common += OVERLOAD_FLAGS
+    elif args.scenario == "hostile":
+        common += HOSTILE_FLAGS
 
     errors = []
     code1, run1 = run_server(args.binary, common + [f"--snapshot-dir={sdir1}"],
@@ -172,7 +196,7 @@ def main():
 
     run2 = {"completed": 0, "failed": 0, "redelivered": 0, "mismatches": 0,
             "would_block": 0, "shed": 0, "suppressed": 0, "quarantined": 0,
-            "faults": 0}
+            "faults": 0, "peer_rejected": 0, "peer_banned": 0}
     if args.kill_after > 0:
         code2, run2 = run_server(
             args.binary,
@@ -218,6 +242,18 @@ def main():
         if shed:
             errors.append(f"overload scenario: shed={shed} under the "
                           f"lossless defer policy")
+
+    if args.scenario == "hostile":
+        rejected = run1["peer_rejected"] + run2["peer_rejected"]
+        banned = run1["peer_banned"] + run2["peer_banned"]
+        print(f"hostile defenses engaged: peer_rejected={rejected} "
+              f"peer_banned={banned}")
+        if rejected == 0:
+            errors.append("hostile scenario: peer_rejected == 0 — the "
+                          "adversary's frames never reached the guard")
+        if banned == 0:
+            errors.append("hostile scenario: peer_banned == 0 — the "
+                          "Byzantine member was never escalated to a ban")
 
     for e in errors:
         print(f"  SOAK-FAIL {e}")
